@@ -1,0 +1,79 @@
+// Command scoopbench regenerates the tables and figures of the Scoop
+// paper's evaluation (§6). Each figure is a set of full simulations;
+// -scale quick runs shortened single trials for a fast look, -scale
+// full uses the paper's parameters (40-minute runs, 3 trials).
+//
+//	scoopbench                  # everything, quick
+//	scoopbench -scale full      # everything, paper-scale (minutes of CPU)
+//	scoopbench -fig 3m -fig 4   # selected figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scoop/internal/exp"
+)
+
+type figure struct {
+	id, name string
+	run      func(exp.Scale, int64)
+}
+
+func main() {
+	var figs multiFlag
+	flag.Var(&figs, "fig", "figure to run: 3l, 3m, 3r, 4, 5, sample, loss, root, scale, energy (repeatable; default all)")
+	scaleF := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	scale := exp.Quick
+	switch *scaleF {
+	case "quick":
+	case "full":
+		scale = exp.Full
+	default:
+		fmt.Fprintln(os.Stderr, "scoopbench: -scale must be quick or full")
+		os.Exit(2)
+	}
+
+	all := []figure{
+		{"3l", "Figure 3 (left)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Left(s, sd); fmt.Println(t) }},
+		{"3m", "Figure 3 (middle)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Middle(s, sd); fmt.Println(t) }},
+		{"3r", "Figure 3 (right)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Right(s, sd); fmt.Println(t) }},
+		{"4", "Figure 4", func(s exp.Scale, sd int64) { t, _ := exp.Figure4(s, sd); fmt.Println(t) }},
+		{"5", "Figure 5", func(s exp.Scale, sd int64) { t, _ := exp.Figure5(s, sd); fmt.Println(t) }},
+		{"sample", "Sample-interval sweep", func(s exp.Scale, sd int64) { t, _ := exp.SampleIntervalSweep(s, sd); fmt.Println(t) }},
+		{"loss", "Loss rates", func(s exp.Scale, sd int64) { t, _ := exp.LossRates(s, sd); fmt.Println(t) }},
+		{"root", "Root skew", func(s exp.Scale, sd int64) { t, _ := exp.RootSkew(s, sd); fmt.Println(t) }},
+		{"scale", "Scaling", func(s exp.Scale, sd int64) { t, _ := exp.Scaling(s, sd); fmt.Println(t) }},
+		{"energy", "Energy / lifetimes", func(s exp.Scale, sd int64) { t, _ := exp.EnergyTable(s, sd); fmt.Println(t) }},
+	}
+
+	want := map[string]bool{}
+	for _, f := range figs {
+		want[f] = true
+	}
+	ran := 0
+	for _, f := range all {
+		if len(want) > 0 && !want[f.id] {
+			continue
+		}
+		f.run(scale, *seed)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "scoopbench: no matching figure; known ids:")
+		for _, f := range all {
+			fmt.Fprintf(os.Stderr, "  %-7s %s\n", f.id, f.name)
+		}
+		os.Exit(2)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

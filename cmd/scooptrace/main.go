@@ -1,0 +1,81 @@
+// Command scooptrace generates, inspects and freezes sensor-data
+// traces in the replayable format the workload package understands
+// (one line per node, whitespace-separated readings in sample order —
+// the role the Intel-lab trace file plays for the paper's REAL
+// workload).
+//
+//	scooptrace -source real -nodes 63 -samples 160 > real.trace
+//	scooptrace -inspect real.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scoop/internal/workload"
+)
+
+func main() {
+	var (
+		source  = flag.String("source", "real", "source to freeze: real, unique, equal, random, gaussian")
+		nodes   = flag.Int("nodes", 63, "nodes including the basestation")
+		samples = flag.Int("samples", 160, "readings per node (paper: 30 min at 15 s)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		inspect = flag.String("inspect", "", "summarise an existing trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "scooptrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	src, err := workload.NewSource(*source, *nodes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scooptrace:", err)
+		os.Exit(1)
+	}
+	rec := workload.Record(src, *nodes, *samples)
+	if _, err := rec.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scooptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := workload.ParseReplay(path, f)
+	if err != nil {
+		return err
+	}
+	lo, hi := r.Domain()
+	fmt.Printf("trace %s: %d nodes, domain [%d,%d]\n", path, r.NumNodes(), lo, hi)
+	for id := 0; id < r.NumNodes(); id++ {
+		series := r.Series(id)
+		if len(series) == 0 {
+			fmt.Printf("  node %3d: empty\n", id)
+			continue
+		}
+		min, max, sum := series[0], series[0], 0
+		for _, v := range series {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		fmt.Printf("  node %3d: n=%d mean=%.1f min=%d max=%d\n",
+			id, len(series), float64(sum)/float64(len(series)), min, max)
+	}
+	return nil
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"sort"
+
+	"scoop/internal/index"
+	"scoop/internal/metrics"
+	"scoop/internal/netsim"
+	"scoop/internal/routing"
+	"scoop/internal/storage"
+	"scoop/internal/trickle"
+	"scoop/internal/workload"
+)
+
+// indexRecord remembers when an index generation became active, so
+// historical queries can locate the data stored under it (paper §5.5:
+// "unlike nodes, the basestation never discards old storage indices").
+type indexRecord struct {
+	ix *index.Index
+	at netsim.Time
+}
+
+// loggedQuery feeds the query-statistics profile.
+type loggedQuery struct {
+	at     netsim.Time
+	lo, hi int
+	ranged bool
+}
+
+// pendingQuery tracks reply collection for one issued query.
+type pendingQuery struct {
+	expected int
+	replied  map[netsim.NodeID]bool
+	readings []storage.Reading // tuples carried back (reply payloads are capped)
+}
+
+// Base is the Scoop basestation application (node 0). The paper runs
+// it on a PC attached to a mote; it has ample CPU/memory.
+type Base struct {
+	api   *netsim.NodeAPI
+	cfg   Config
+	stats *RunStats
+	start netsim.Time // when indexing begins (after warm-up)
+
+	tree  *routing.Tree
+	store *storage.DataBuffer
+
+	latest  map[netsim.NodeID]*SummaryMsg // last summary per node
+	history []*SummaryMsg                 // never discarded (paper §5.5)
+
+	cur        *index.Index
+	records    []indexRecord
+	nextID     uint16
+	chunks     map[trickle.Key]index.Chunk
+	mapGos     *trickle.Trickle
+	qGos       *trickle.Trickle
+	queriesOut map[uint16]*QueryMsg
+
+	queryLog []loggedQuery
+	pending  map[uint16]*pendingQuery
+	qidNext  uint16
+}
+
+// NewBase creates the basestation; index construction begins at the
+// absolute virtual time startAt plus one remap interval.
+func NewBase(cfg Config, stats *RunStats, startAt netsim.Time) *Base {
+	return &Base{cfg: cfg, stats: stats, start: startAt}
+}
+
+// CurrentIndex exposes the active storage index (nil before the first
+// build). Test/diagnostic accessor.
+func (b *Base) CurrentIndex() *index.Index { return b.cur }
+
+// IndexHistory exposes all disseminated index generations with their
+// activation times.
+func (b *Base) IndexHistory() []*index.Index {
+	out := make([]*index.Index, len(b.records))
+	for i, r := range b.records {
+		out[i] = r.ix
+	}
+	return out
+}
+
+// SummaryCount reports how many summaries the base holds per node.
+func (b *Base) SummaryCount() int { return len(b.latest) }
+
+// Store exposes the basestation's local data store for tests.
+func (b *Base) Store() *storage.DataBuffer { return b.store }
+
+// Init implements netsim.App.
+func (b *Base) Init(api *netsim.NodeAPI) {
+	b.api = api
+	b.tree = routing.NewTree(api, true, b.cfg.Tree)
+	b.store = storage.NewDataBuffer(1 << 18)
+	b.latest = make(map[netsim.NodeID]*SummaryMsg)
+	b.chunks = make(map[trickle.Key]index.Chunk)
+	b.queriesOut = make(map[uint16]*QueryMsg)
+	b.pending = make(map[uint16]*pendingQuery)
+	b.mapGos = trickle.New(api, timerMapping, b.cfg.MappingTrickle, b.sendChunk)
+	b.qGos = trickle.New(api, timerQuery, b.cfg.QueryTrickle, b.sendQuery)
+	if b.cfg.Preload != nil {
+		b.cur = b.cfg.Preload
+		b.records = append(b.records, indexRecord{ix: b.cfg.Preload, at: 0})
+	}
+	b.tree.Start(timerTree)
+	if !b.cfg.DisableRemap {
+		// First remap one summary interval after sampling starts, so
+		// the first wave of statistics has arrived; then every
+		// RemapInterval.
+		first := b.start + b.cfg.SummaryInterval + 10*netsim.Second
+		api.SetTimer(timerRemap, first-api.Now())
+	}
+}
+
+// Timer implements netsim.App.
+func (b *Base) Timer(id int) {
+	switch id {
+	case timerTree:
+		b.tree.OnTimer()
+	case timerRemap:
+		b.Remap()
+		b.api.SetTimer(timerRemap, b.cfg.RemapInterval)
+	case timerMapping:
+		b.mapGos.OnTimer()
+	case timerQuery:
+		b.qGos.OnTimer()
+	}
+}
+
+// Receive implements netsim.App.
+func (b *Base) Receive(p *netsim.Packet) {
+	b.tree.Observe(p)
+	switch m := p.Payload.(type) {
+	case *SummaryMsg:
+		b.tree.RecordUpstream(p.Origin, p.Src)
+		b.onSummary(m)
+	case *DataMsg:
+		b.tree.RecordUpstream(p.Origin, p.Src)
+		b.onData(m)
+	case *ReplyMsg:
+		b.tree.RecordUpstream(p.Origin, p.Src)
+		b.onReply(m)
+	case *MappingMsg:
+		b.mapGos.Heard(mapKey(m.Chunk.IndexID, m.Chunk.Num))
+	case *QueryMsg:
+		b.qGos.Heard(queryKey(m.ID))
+	}
+}
+
+// Snoop implements netsim.App.
+func (b *Base) Snoop(p *netsim.Packet) { b.tree.Observe(p) }
+
+func (b *Base) onSummary(m *SummaryMsg) {
+	b.stats.SummariesReceived++
+	b.latest[m.Node] = m
+	b.history = append(b.history, m)
+}
+
+// onData implements routing rule 4: data arriving at the basestation
+// is stored here, never routed back down.
+func (b *Base) onData(m *DataMsg) {
+	for _, r := range m.Readings {
+		b.store.Store(r)
+		b.stats.MarkStored(r.Producer, r.Time)
+		if m.Owner == b.api.ID() {
+			b.stats.StoredAtOwner++
+		} else {
+			// The network failed to find the owner; the reading washed
+			// up at the root (the paper's ~15% case).
+			b.stats.StoredAtBase++
+		}
+	}
+}
+
+func (b *Base) onReply(m *ReplyMsg) {
+	pq, ok := b.pending[m.QueryID]
+	if !ok || pq.replied[m.Node] {
+		return
+	}
+	pq.replied[m.Node] = true
+	pq.readings = append(pq.readings, m.Readings...)
+	b.stats.RepliesReceived++
+	b.stats.TuplesReturned += int64(m.Count)
+}
+
+// LastQueryID returns the ID of the most recently issued query.
+func (b *Base) LastQueryID() uint16 { return b.qidNext }
+
+// QueryResults returns the tuples collected so far for the query
+// (replies carry at most ReplyMaxReadings tuples each, so large result
+// sets are truncated per responding node, as on real motes).
+func (b *Base) QueryResults(qid uint16) []storage.Reading {
+	if pq, ok := b.pending[qid]; ok {
+		return pq.readings
+	}
+	return nil
+}
+
+// Remap recomputes the storage index from current statistics and
+// disseminates it unless it is too similar to the active one
+// (paper §4 and §5.3). Exposed for tests and adaptive experiments.
+func (b *Base) Remap() {
+	in := b.buildInput()
+	b.stats.IndexesBuilt++
+	id := b.nextID + 1
+	var ix *index.Index
+	if b.cfg.StoreLocalFallback {
+		ix = index.ChooseIndex(id, in)
+	} else {
+		ix = index.Build(id, in)
+	}
+	if b.cur != nil && index.Similarity(ix, b.cur) >= b.cfg.SimilaritySuppress {
+		b.stats.IndexesSuppressed++
+		return
+	}
+	b.nextID = id
+	b.cur = ix
+	b.records = append(b.records, indexRecord{ix: ix, at: b.api.Now()})
+	// Replace the gossip set with the new generation's chunks.
+	for k := range b.chunks {
+		delete(b.chunks, k)
+		b.mapGos.Remove(k)
+	}
+	for _, c := range ix.Chunks(b.cfg.ChunkEntries) {
+		k := mapKey(c.IndexID, c.Num)
+		b.chunks[k] = c
+		b.mapGos.Add(k)
+	}
+}
+
+// buildInput assembles the indexing algorithm's input from the latest
+// summaries (histograms, rates, link qualities) and the query log.
+func (b *Base) buildInput() index.BuildInput {
+	n := b.api.N()
+	g := index.NewGraph(n)
+	// Link qualities from summary topology sections…
+	for _, s := range b.latest {
+		for _, nb := range s.Neighbors {
+			g.Report(nb.ID, s.Node, nb.Quality)
+		}
+	}
+	// …and from the base's own neighbor table.
+	for _, nb := range b.tree.Neighbors.Best(n) {
+		g.Report(nb.ID, b.api.ID(), nb.Quality)
+	}
+	nodes := make([]index.NodeStat, n)
+	for id, s := range b.latest {
+		nodes[id] = index.NodeStat{Hist: s.Hist, Rate: s.Rate}
+	}
+	return index.BuildInput{
+		N:        n,
+		Base:     b.api.ID(),
+		Nodes:    nodes,
+		Query:    b.queryProfile(),
+		Xmits:    g.Xmits(),
+		MinValue: b.cfg.DomainMin,
+		MaxValue: b.cfg.DomainMax,
+	}
+}
+
+// queryProfile derives P(user queries v) and the query rate from the
+// sliding window of recent queries (paper §5.5).
+func (b *Base) queryProfile() index.QueryProfile {
+	window := b.queryLog
+	if len(window) > b.cfg.QueryStatsWindow {
+		window = window[len(window)-b.cfg.QueryStatsWindow:]
+	}
+	prof := index.QueryProfile{
+		MinValue: b.cfg.DomainMin,
+		Prob:     make([]float64, b.cfg.DomainMax-b.cfg.DomainMin+1),
+	}
+	if len(window) == 0 {
+		return prof
+	}
+	ranged := 0
+	for _, q := range window {
+		if !q.ranged {
+			continue
+		}
+		ranged++
+		for v := q.lo; v <= q.hi && v <= b.cfg.DomainMax; v++ {
+			if v >= b.cfg.DomainMin {
+				prof.Prob[v-b.cfg.DomainMin]++
+			}
+		}
+	}
+	if ranged > 0 {
+		for i := range prof.Prob {
+			prof.Prob[i] /= float64(ranged)
+		}
+	}
+	span := b.api.Now() - window[0].at
+	if span > 0 {
+		prof.Rate = float64(len(window)) / (float64(span) / float64(netsim.Second))
+	}
+	return prof
+}
+
+// IssueQuery disseminates a user query and registers reply tracking.
+// It returns the set of targeted nodes (diagnostics/tests).
+func (b *Base) IssueQuery(q workload.Query) []netsim.NodeID {
+	b.stats.QueriesIssued++
+	lg := loggedQuery{at: b.api.Now()}
+	if !q.IsNodeQuery() {
+		lg.lo, lg.hi, lg.ranged = q.ValueLo, q.ValueHi, true
+	}
+	b.queryLog = append(b.queryLog, lg)
+
+	targets := b.targets(q)
+	b.qidNext++
+	msg := &QueryMsg{
+		ID:     b.qidNext,
+		TimeLo: q.TimeLo,
+		TimeHi: q.TimeHi,
+	}
+	if q.IsNodeQuery() {
+		msg.ValueLo, msg.ValueHi = 1, 0 // no value constraint
+	} else {
+		msg.ValueLo, msg.ValueHi = q.ValueLo, q.ValueHi
+	}
+	expected := 0
+	for _, id := range targets {
+		if id == b.api.ID() {
+			continue
+		}
+		msg.Bitmap.Set(id)
+		expected++
+	}
+	pq := &pendingQuery{expected: expected, replied: make(map[netsim.NodeID]bool)}
+	b.pending[msg.ID] = pq
+	// The base also scans its own store (readings it owns plus
+	// washed-up data) at no message cost.
+	b.scanLocal(msg, pq)
+	if expected == 0 {
+		return targets
+	}
+	b.stats.RepliesExpected += int64(expected)
+	b.queriesOut[msg.ID] = msg
+	b.qGos.Add(queryKey(msg.ID))
+	// Kick off dissemination immediately rather than waiting for the
+	// first Trickle fire.
+	b.sendQuery(queryKey(msg.ID))
+	b.qGos.Heard(queryKey(msg.ID)) // count our own broadcast
+	return targets
+}
+
+// AnswerFromStore resolves a query entirely against the basestation's
+// local store, costing zero network traffic — how the send-to-base
+// (BASE) policy answers every query. It returns the match count.
+func (b *Base) AnswerFromStore(q workload.Query) int {
+	b.stats.QueriesIssued++
+	count := 0
+	b.store.Scan(func(r storage.Reading) bool {
+		if r.Time < int64(q.TimeLo) || r.Time > int64(q.TimeHi) {
+			return true
+		}
+		if !q.IsNodeQuery() && (r.Value < q.ValueLo || r.Value > q.ValueHi) {
+			return true
+		}
+		if q.IsNodeQuery() {
+			found := false
+			for _, id := range q.Nodes {
+				if netsim.NodeID(r.Producer) == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return true
+			}
+		}
+		count++
+		return true
+	})
+	b.stats.TuplesReturned += int64(count)
+	return count
+}
+
+func (b *Base) scanLocal(q *QueryMsg, pq *pendingQuery) {
+	count := 0
+	b.store.Scan(func(r storage.Reading) bool {
+		if r.Time < int64(q.TimeLo) || r.Time > int64(q.TimeHi) {
+			return true
+		}
+		if q.wantsValues() && (r.Value < q.ValueLo || r.Value > q.ValueHi) {
+			return true
+		}
+		count++
+		pq.readings = append(pq.readings, r)
+		return true
+	})
+	b.stats.TuplesReturned += int64(count)
+}
+
+// targets computes the node set a query must contact: the queried
+// node list, or the owners of the value range under every index
+// generation active in the query's time window (paper §5.5). Time
+// ranges predating the first index — or overlapping a store-local
+// generation — involve every node.
+func (b *Base) targets(q workload.Query) []netsim.NodeID {
+	if q.IsNodeQuery() {
+		return q.Nodes
+	}
+	n := b.api.N()
+	all := func() []netsim.NodeID {
+		out := make([]netsim.NodeID, 0, n-1)
+		for i := 1; i < n; i++ {
+			out = append(out, netsim.NodeID(i))
+		}
+		return out
+	}
+	if len(b.records) == 0 || q.TimeLo < b.records[0].at {
+		// Data from before the first index is stored locally on every
+		// node.
+		return all()
+	}
+	seen := make(map[netsim.NodeID]bool)
+	var out []netsim.NodeID
+	for i, rec := range b.records {
+		end := netsim.Time(1 << 62)
+		if i+1 < len(b.records) {
+			end = b.records[i+1].at
+		}
+		// A small slack covers asynchronous adoption: data produced
+		// just after a new generation may still be placed by the old
+		// one on laggard nodes.
+		start := rec.at
+		if i+1 < len(b.records) {
+			end += 30 * netsim.Second
+		}
+		if end < q.TimeLo || start > q.TimeHi {
+			continue
+		}
+		if rec.ix.Local {
+			return all()
+		}
+		for _, o := range rec.ix.Owners(q.ValueLo, q.ValueHi) {
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// QueryMax answers "maximum value in [t0,t1]" directly from stored
+// summary messages, costing zero network traffic (paper §5.5's
+// optimisation; the base never discards summaries). ok is false when
+// no summary covers the window.
+func (b *Base) QueryMax(t0, t1 netsim.Time) (int, bool) {
+	if !b.cfg.SummaryShortcut {
+		return 0, false
+	}
+	best, found := 0, false
+	for _, s := range b.history {
+		if s.SentAt < t0 || s.SentAt > t1 {
+			continue
+		}
+		if !found || s.Max > best {
+			best, found = s.Max, true
+		}
+	}
+	if found {
+		b.stats.SummaryAnswered++
+	}
+	return best, found
+}
+
+// sendChunk is the mapping-Trickle transmit callback.
+func (b *Base) sendChunk(key trickle.Key) {
+	c, ok := b.chunks[key]
+	if !ok {
+		return
+	}
+	m := &MappingMsg{Chunk: c}
+	b.api.Broadcast(&netsim.Packet{
+		Class:        metrics.Mapping,
+		Origin:       b.api.ID(),
+		OriginParent: netsim.NoNode,
+		Size:         mappingSize(m),
+		Payload:      m,
+	})
+}
+
+// sendQuery is the query-Trickle transmit callback.
+func (b *Base) sendQuery(key trickle.Key) {
+	q, ok := b.queriesOut[uint16(key)]
+	if !ok {
+		return
+	}
+	b.api.Broadcast(&netsim.Packet{
+		Class:        metrics.Query,
+		Origin:       b.api.ID(),
+		OriginParent: netsim.NoNode,
+		Size:         querySize(q),
+		Payload:      q,
+	})
+}

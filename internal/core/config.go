@@ -1,0 +1,230 @@
+// Package core implements the Scoop protocol itself: the per-node
+// state machine (sampling, summary reporting, the six data-routing
+// rules, batching, storage-index assembly, query answering) and the
+// basestation (statistics collection, cost-based index construction,
+// Trickle dissemination, query dissemination and reply collection).
+// It composes the substrates: netsim for the radio, routing for the
+// tree, trickle for dissemination, histogram/index/storage for state.
+package core
+
+import (
+	"scoop/internal/index"
+	"scoop/internal/netsim"
+	"scoop/internal/routing"
+	"scoop/internal/trickle"
+)
+
+// Timer identifiers shared by node and basestation applications.
+const (
+	timerSample  = 1 // node: take a sensor sample
+	timerSummary = 2 // node: send a summary message
+	timerTree    = 3 // both: routing-tree maintenance/beacons
+	timerMapping = 4 // both: mapping-chunk Trickle
+	timerQuery   = 5 // both: query Trickle
+	timerBatch   = 6 // node: flush a stale data batch
+	timerRemap   = 7 // base: recompute the storage index
+	timerReply   = 8 // node: send jittered query replies
+)
+
+// Config carries every protocol parameter. Defaults (DefaultConfig)
+// are the paper's experimental settings (§6 table and in-text values).
+type Config struct {
+	// SampleInterval is the sensor sampling period (paper: 15 s).
+	SampleInterval netsim.Time
+	// SummaryInterval is the summary-message period (paper: 110 s).
+	SummaryInterval netsim.Time
+	// RemapInterval is the storage-index recomputation period
+	// (paper: 240 s).
+	RemapInterval netsim.Time
+
+	// RecentBufSize is the recent-readings ring size (paper: 30).
+	RecentBufSize int
+	// DataBufCap bounds each node's Flash data buffer, in readings.
+	DataBufCap int
+	// NBins is the summary histogram resolution (paper: 10).
+	NBins int
+	// NeighborReport is how many best neighbors a summary carries
+	// (paper: 12).
+	NeighborReport int
+	// BatchSize is the max readings per data message (paper: 5).
+	BatchSize int
+	// BatchTimeout flushes a pending batch even without an owner
+	// change, so readings are not held arbitrarily long.
+	BatchTimeout netsim.Time
+	// MaxHops is the data-message TTL guarding against transient
+	// routing loops.
+	MaxHops int
+
+	// ChunkEntries is the number of index entries per mapping message.
+	ChunkEntries int
+	// SimilaritySuppress suppresses dissemination of a new index whose
+	// per-value agreement with the current one is at least this
+	// fraction (paper §5.3: suppress "if it is very similar").
+	SimilaritySuppress float64
+	// StoreLocalFallback enables the basestation's store-local cost
+	// comparison (paper §4). The paper's experiments disable it.
+	StoreLocalFallback bool
+	// NeighborShortcut enables routing rule 3 (direct send to a
+	// neighbor, bypassing the tree). On by default; ablation knob.
+	NeighborShortcut bool
+	// SummaryShortcut lets the basestation answer suitable aggregate
+	// queries straight from stored summaries (paper §5.5).
+	SummaryShortcut bool
+
+	// ReplyMaxReadings caps readings carried in one reply message.
+	ReplyMaxReadings int
+	// QueryStatsWindow is how many recent queries feed the query
+	// profile used by index construction.
+	QueryStatsWindow int
+
+	// DomainMin/DomainMax bound the attribute value domain the
+	// basestation indexes (from the workload source).
+	DomainMin, DomainMax int
+
+	// Preload, when non-nil, installs a fixed storage index on every
+	// node and the basestation at time zero and skips dissemination.
+	// The comparator policies are exactly this: LOCAL preloads a
+	// store-local index, BASE preloads an all-values→base index, and
+	// the simulated HASH extension preloads a static hash index.
+	Preload *index.Index
+	// DisableSummaries turns off statistics reporting (comparator
+	// policies have no summaries).
+	DisableSummaries bool
+	// DisableRemap turns off periodic index recomputation.
+	DisableRemap bool
+
+	// Tree configures the routing-tree substrate.
+	Tree routing.Config
+	// MappingTrickle configures mapping-chunk dissemination.
+	MappingTrickle trickle.Config
+	// QueryTrickle configures query dissemination.
+	QueryTrickle trickle.Config
+}
+
+// DefaultConfig returns the paper's experimental parameters for a
+// value domain of [lo,hi].
+func DefaultConfig(lo, hi int) Config {
+	return Config{
+		SampleInterval:  15 * netsim.Second,
+		SummaryInterval: 110 * netsim.Second,
+		RemapInterval:   240 * netsim.Second,
+
+		RecentBufSize:  30,
+		DataBufCap:     4096,
+		NBins:          10,
+		NeighborReport: 12,
+		BatchSize:      5,
+		BatchTimeout:   120 * netsim.Second,
+		MaxHops:        32,
+
+		ChunkEntries:       6,
+		SimilaritySuppress: 0.90,
+		StoreLocalFallback: false,
+		NeighborShortcut:   true,
+		SummaryShortcut:    true,
+
+		ReplyMaxReadings: 20,
+		QueryStatsWindow: 100,
+
+		DomainMin: lo,
+		DomainMax: hi,
+
+		Tree: routing.DefaultConfig(),
+		MappingTrickle: trickle.Config{
+			TauLow:    500 * netsim.Millisecond,
+			TauHigh:   16 * netsim.Second,
+			K:         1,
+			MaxRounds: 6,
+		},
+		QueryTrickle: trickle.Config{
+			TauLow:    200 * netsim.Millisecond,
+			TauHigh:   2 * netsim.Second,
+			K:         1,
+			MaxRounds: 4,
+		},
+	}
+}
+
+// RunStats aggregates end-to-end delivery outcomes across a run, the
+// numbers behind the paper's "93% of data messages stored" and "78% of
+// query results retrieved" and the 85%-found-owner routing result.
+// One RunStats is shared by all nodes of a simulation (single
+// goroutine).
+type RunStats struct {
+	Produced      int64 // readings sampled
+	StoredLocal   int64 // readings stored by their producer
+	StoredAtOwner int64 // readings stored at the correct owner
+	StoredAtBase  int64 // readings that fell back to the base (owner not found)
+	LostData      int64 // sender-perceived losses (ack never seen)
+
+	// storedSeen deduplicates storage events per reading, so the
+	// success rate is not inflated by at-least-once retransmission
+	// duplicates (an ack loss makes the sender retry a reading the
+	// receiver already stored).
+	storedSeen map[uint64]struct{}
+	// StoredUnique counts distinct readings stored at least once.
+	StoredUnique      int64
+	QueriesIssued     int64
+	RepliesExpected   int64 // targeted nodes across all queries
+	QueriesHeard      int64 // query packets first heard by a targeted node
+	RepliesSent       int64 // replies launched by targeted nodes
+	RepliesForwarded  int64 // reply hop-forwards at intermediate nodes
+	RepliesReceived   int64
+	TuplesReturned    int64
+	SummariesSent     int64
+	SummariesReceived int64 // summaries that reached the base
+	IndexesBuilt      int64
+	IndexesSuppressed int64
+	SummaryAnswered   int64 // queries answered from summaries alone
+}
+
+// MarkStored records that the reading (producer, sampled at time t)
+// was stored somewhere, and reports whether this is its first storage
+// event. Nodes call it on every store; duplicates return false.
+func (s *RunStats) MarkStored(producer uint16, t int64) bool {
+	if s.storedSeen == nil {
+		s.storedSeen = make(map[uint64]struct{})
+	}
+	key := uint64(producer)<<48 | uint64(t)&0xFFFFFFFFFFFF
+	if _, dup := s.storedSeen[key]; dup {
+		return false
+	}
+	s.storedSeen[key] = struct{}{}
+	s.StoredUnique++
+	return true
+}
+
+// Stored returns all storage events (including retransmission
+// duplicates); see StoredUnique for the deduplicated count.
+func (s *RunStats) Stored() int64 { return s.StoredLocal + s.StoredAtOwner + s.StoredAtBase }
+
+// DataSuccessRate returns the fraction of produced readings stored at
+// least once — the paper's "data messages are successfully stored
+// about 93% of the time".
+func (s *RunStats) DataSuccessRate() float64 {
+	if s.Produced == 0 {
+		return 0
+	}
+	return float64(s.StoredUnique) / float64(s.Produced)
+}
+
+// OwnerHitRate returns the fraction of routed (non-local) readings
+// that reached their designated owner rather than falling back to the
+// base — the paper's "about 85% of the time, the appropriate
+// destination node is found".
+func (s *RunStats) OwnerHitRate() float64 {
+	routed := s.StoredAtOwner + s.StoredAtBase
+	if routed == 0 {
+		return 0
+	}
+	return float64(s.StoredAtOwner) / float64(routed)
+}
+
+// QuerySuccessRate returns the fraction of targeted nodes whose
+// replies made it back to the basestation.
+func (s *RunStats) QuerySuccessRate() float64 {
+	if s.RepliesExpected == 0 {
+		return 0
+	}
+	return float64(s.RepliesReceived) / float64(s.RepliesExpected)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"scoop/internal/histogram"
+	"scoop/internal/index"
+	"scoop/internal/netsim"
+	"scoop/internal/routing"
+	"scoop/internal/storage"
+)
+
+// SummaryMsg is the periodic statistics report every node sends up the
+// routing tree (paper §5.2): a coarse histogram over recent readings,
+// min/max/sum of those readings, the node's production rate, its
+// best-connected neighbors, and the ID of the last complete storage
+// index it holds.
+type SummaryMsg struct {
+	Node          netsim.NodeID
+	Hist          histogram.Histogram
+	Min, Max, Sum int
+	Rate          float64 // readings per second over the recent window
+	Neighbors     []routing.NeighborInfo
+	LastIndexID   uint16
+	SentAt        netsim.Time
+	Hops          uint8 // forwarding TTL
+}
+
+// summarySize approximates the on-air bytes of a summary message:
+// histogram bins (2 B each), min/max/sum, rate, per-neighbor 3 B,
+// plus the Scoop header.
+func summarySize(m *SummaryMsg) int {
+	return 14 + 2*len(m.Hist.Counts) + 3*len(m.Neighbors)
+}
+
+// DataMsg carries batched readings toward their owner (paper §5.4).
+// Owner and SID may be rewritten in flight by nodes holding a newer
+// storage index (routing rule 1). Hops is a TTL against transient
+// routing loops.
+type DataMsg struct {
+	Readings []storage.Reading
+	Owner    netsim.NodeID
+	SID      uint16
+	Hops     uint8
+}
+
+func dataSize(m *DataMsg) int { return 10 + 4*len(m.Readings) }
+
+// MappingMsg is one storage-index chunk under Trickle dissemination
+// (paper §5.3).
+type MappingMsg struct {
+	Chunk index.Chunk
+}
+
+func mappingSize(m *MappingMsg) int { return 12 + 5*len(m.Chunk.Entries) }
+
+// QueryMsg is a query packet (paper §5.5): a bitmap of nodes expected
+// to answer, plus the value and time ranges of interest. A node-list
+// query has ValueLo > ValueHi (no value constraint).
+type QueryMsg struct {
+	ID               uint16
+	Bitmap           Bitmap
+	ValueLo, ValueHi int
+	TimeLo, TimeHi   netsim.Time
+}
+
+// wantsValues reports whether the query constrains values.
+func (q *QueryMsg) wantsValues() bool { return q.ValueLo <= q.ValueHi }
+
+func querySize(*QueryMsg) int { return 16 + 14 }
+
+// ReplyMsg carries a node's matching tuples back to the basestation.
+// Count is the total number of matches; Readings is capped at
+// ReplyMaxReadings (packet size), as a mote reply would be.
+type ReplyMsg struct {
+	QueryID  uint16
+	Node     netsim.NodeID
+	Count    int
+	Readings []storage.Reading
+	Hops     uint8 // forwarding TTL
+}
+
+func replySize(m *ReplyMsg) int { return 8 + 4*len(m.Readings) }
+
+// Bitmap is the 128-bit node bitmap in query packets, which "puts an
+// upper bound to the size of the sensor network; 128 nodes in our
+// current implementation" (paper §5.5).
+type Bitmap [16]byte
+
+// Set marks node id.
+func (b *Bitmap) Set(id netsim.NodeID) { b[id/8] |= 1 << (id % 8) }
+
+// Has reports whether node id is marked.
+func (b *Bitmap) Has(id netsim.NodeID) bool {
+	if int(id) >= netsim.MaxNodes {
+		return false
+	}
+	return b[id/8]&(1<<(id%8)) != 0
+}
+
+// Count returns the number of marked nodes.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, byt := range b {
+		for ; byt != 0; byt &= byt - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// IDs returns all marked nodes in ascending order.
+func (b *Bitmap) IDs() []netsim.NodeID {
+	var out []netsim.NodeID
+	for i := 0; i < netsim.MaxNodes; i++ {
+		if b.Has(netsim.NodeID(i)) {
+			out = append(out, netsim.NodeID(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,553 @@
+package core
+
+import (
+	"sort"
+
+	"scoop/internal/histogram"
+	"scoop/internal/index"
+	"scoop/internal/metrics"
+	"scoop/internal/netsim"
+	"scoop/internal/routing"
+	"scoop/internal/storage"
+	"scoop/internal/trickle"
+)
+
+// Sampler produces the sensor value node id reads at virtual time now.
+// The experiment harness adapts a workload.Source to this.
+type Sampler func(id netsim.NodeID, now netsim.Time) int
+
+// mapKey encodes a mapping chunk's identity for Trickle.
+func mapKey(indexID uint16, num uint8) trickle.Key {
+	return trickle.Key(indexID)<<8 | trickle.Key(num)
+}
+
+// queryKey encodes a query's identity for Trickle.
+func queryKey(id uint16) trickle.Key { return trickle.Key(id) }
+
+// Node is the Scoop application running on every non-base mote.
+type Node struct {
+	api    *netsim.NodeAPI
+	cfg    Config
+	stats  *RunStats
+	sample Sampler
+	start  netsim.Time // when sampling begins (after tree warm-up)
+
+	tree   *routing.Tree
+	recent *storage.RecentBuffer
+	store  *storage.DataBuffer
+
+	asm    *index.Assembler
+	cur    *index.Index // newest complete storage index (nil: none yet)
+	chunks map[trickle.Key]index.Chunk
+	mapGos *trickle.Trickle
+
+	queries  map[uint16]*QueryMsg
+	answered map[uint16]bool
+	qGos     *trickle.Trickle
+
+	// Pending data batches, one per destination owner (paper §5.4
+	// batches "up to n readings destined for the same node"; keeping
+	// one open batch per owner instead of flushing on every owner
+	// change preserves the batching win when consecutive samples
+	// straddle a range boundary — see DESIGN.md §6).
+	batches  map[netsim.NodeID][]storage.Reading
+	batchSID uint16
+
+	pendingAnswers []*QueryMsg // queries awaiting the jittered reply
+
+	// Forwarding dedup: ack loss makes upstream senders retransmit
+	// packets we already relayed; re-forwarding every copy amplifies
+	// exponentially along the path.
+	seenSummaries map[uint64]bool
+	seenReplies   map[uint32]bool
+
+	samplesSinceSummary int
+}
+
+// NewNode creates a Scoop node that begins sampling at the absolute
+// virtual time startAt (the paper spends the first 10 minutes
+// stabilising the routing tree before sampling starts).
+func NewNode(cfg Config, stats *RunStats, sample Sampler, startAt netsim.Time) *Node {
+	return &Node{cfg: cfg, stats: stats, sample: sample, start: startAt}
+}
+
+// CurrentIndex exposes the node's active storage index (nil before the
+// first complete one arrives). Test/diagnostic accessor.
+func (n *Node) CurrentIndex() *index.Index { return n.cur }
+
+// Store exposes the node's data buffer for tests.
+func (n *Node) Store() *storage.DataBuffer { return n.store }
+
+// Tree exposes the node's routing state for tests.
+func (n *Node) Tree() *routing.Tree { return n.tree }
+
+// Init implements netsim.App.
+func (n *Node) Init(api *netsim.NodeAPI) {
+	n.api = api
+	n.tree = routing.NewTree(api, false, n.cfg.Tree)
+	n.recent = storage.NewRecentBuffer(n.cfg.RecentBufSize)
+	n.store = storage.NewDataBuffer(n.cfg.DataBufCap)
+	n.asm = index.NewAssembler()
+	n.chunks = make(map[trickle.Key]index.Chunk)
+	n.queries = make(map[uint16]*QueryMsg)
+	n.answered = make(map[uint16]bool)
+	n.seenSummaries = make(map[uint64]bool)
+	n.seenReplies = make(map[uint32]bool)
+	n.batches = make(map[netsim.NodeID][]storage.Reading)
+	n.mapGos = trickle.New(api, timerMapping, n.cfg.MappingTrickle, n.sendChunk)
+	n.qGos = trickle.New(api, timerQuery, n.cfg.QueryTrickle, n.sendQuery)
+
+	if n.cfg.Preload != nil {
+		n.cur = n.cfg.Preload
+	}
+	n.tree.Start(timerTree)
+	jitter := netsim.Time(api.RandIntn(int(n.cfg.SampleInterval)))
+	api.SetTimer(timerSample, n.start+jitter-api.Now())
+	if !n.cfg.DisableSummaries {
+		sjitter := netsim.Time(api.RandIntn(int(n.cfg.SummaryInterval)))
+		api.SetTimer(timerSummary, n.start+sjitter-api.Now())
+	}
+}
+
+// Timer implements netsim.App.
+func (n *Node) Timer(id int) {
+	switch id {
+	case timerTree:
+		n.tree.OnTimer()
+	case timerSample:
+		n.takeSample()
+		n.api.SetTimer(timerSample, n.cfg.SampleInterval)
+	case timerSummary:
+		n.sendSummary()
+		n.api.SetTimer(timerSummary, n.cfg.SummaryInterval)
+	case timerMapping:
+		n.mapGos.OnTimer()
+	case timerQuery:
+		n.qGos.OnTimer()
+	case timerBatch:
+		n.flushBatch()
+	case timerReply:
+		for _, q := range n.pendingAnswers {
+			n.answer(q)
+		}
+		n.pendingAnswers = nil
+	}
+}
+
+// Receive implements netsim.App.
+func (n *Node) Receive(p *netsim.Packet) {
+	n.tree.Observe(p)
+	switch m := p.Payload.(type) {
+	case *SummaryMsg:
+		n.learnDescendant(p)
+		key := uint64(m.Node)<<48 | uint64(m.SentAt)&0xFFFFFFFFFFFF
+		if int(m.Hops) <= n.cfg.MaxHops && !n.seenSummaries[key] {
+			n.seenSummaries[key] = true
+			fwd := *m
+			fwd.Hops++
+			n.forwardUp(p, &fwd, metrics.Summary, summarySize(m))
+		}
+	case *ReplyMsg:
+		n.learnDescendant(p)
+		key := uint32(m.Node)<<16 | uint32(m.QueryID)
+		if int(m.Hops) <= n.cfg.MaxHops && !n.seenReplies[key] {
+			n.seenReplies[key] = true
+			fwd := *m
+			fwd.Hops++
+			n.stats.RepliesForwarded++
+			n.forwardUp(p, &fwd, metrics.Reply, replySize(m))
+		}
+	case *DataMsg:
+		n.learnDescendant(p)
+		n.handleData(m)
+	case *MappingMsg:
+		n.onChunk(m.Chunk)
+	case *QueryMsg:
+		n.onQuery(m)
+	}
+}
+
+// Snoop implements netsim.App: overheard traffic still feeds link
+// estimation.
+func (n *Node) Snoop(p *netsim.Packet) { n.tree.Observe(p) }
+
+// learnDescendant records the packet's origin as reachable via the
+// link-layer sender, feeding the descendants list used by routing
+// rule 5. Traffic arriving from our own parent teaches us nothing
+// about our subtree.
+func (n *Node) learnDescendant(p *netsim.Packet) {
+	if p.Src != n.tree.Parent() && p.Origin != n.api.ID() {
+		n.tree.RecordUpstream(p.Origin, p.Src)
+	}
+}
+
+// forwardUp relays a summary or reply one hop toward the basestation.
+func (n *Node) forwardUp(p *netsim.Packet, payload interface{}, class metrics.Class, size int) {
+	if !n.tree.HasRoute() {
+		return // nowhere to go; the message is lost
+	}
+	fwd := &netsim.Packet{
+		Class:        class,
+		Dst:          n.tree.Parent(),
+		Origin:       p.Origin,
+		OriginParent: p.OriginParent,
+		Size:         size,
+		Payload:      payload,
+	}
+	n.api.Send(fwd, nil)
+}
+
+// takeSample reads the sensor and routes the reading per the current
+// storage index (paper §5.4).
+func (n *Node) takeSample() {
+	now := n.api.Now()
+	v := n.sample(n.api.ID(), now)
+	n.stats.Produced++
+	n.recent.Add(v)
+	n.samplesSinceSummary++
+	r := storage.Reading{Producer: uint16(n.api.ID()), Value: v, Time: int64(now)}
+
+	owner, sid, ok := n.lookupOwner(v)
+	if !ok || owner == n.api.ID() {
+		// No (usable) index yet → store-local default; or we own v.
+		n.store.Store(r)
+		n.stats.StoredLocal++
+		n.stats.MarkStored(r.Producer, r.Time)
+		return
+	}
+	// Batch readings destined for the same owner (paper: up to 5).
+	if len(n.batches) == 0 {
+		n.api.SetTimer(timerBatch, n.cfg.BatchTimeout)
+	}
+	n.batchSID = sid
+	n.batches[owner] = append(n.batches[owner], r)
+	if len(n.batches[owner]) >= n.cfg.BatchSize {
+		n.flushOwner(owner)
+	}
+}
+
+// lookupOwner resolves v through the node's current index. ok is false
+// when the node has no index or a store-local index.
+func (n *Node) lookupOwner(v int) (netsim.NodeID, uint16, bool) {
+	if n.cur == nil || n.cur.Local {
+		return 0, 0, false
+	}
+	o, ok := n.cur.Owner(v)
+	if !ok {
+		return 0, 0, false
+	}
+	return o, n.cur.ID, true
+}
+
+// flushOwner launches the pending batch for one owner.
+func (n *Node) flushOwner(owner netsim.NodeID) {
+	rs := n.batches[owner]
+	if len(rs) == 0 {
+		return
+	}
+	delete(n.batches, owner)
+	n.routeData(&DataMsg{Readings: rs, Owner: owner, SID: n.batchSID})
+}
+
+// flushBatch launches every pending batch (timeout path; owner order
+// for determinism).
+func (n *Node) flushBatch() {
+	owners := make([]netsim.NodeID, 0, len(n.batches))
+	for o := range n.batches {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, o := range owners {
+		n.flushOwner(o)
+	}
+	n.api.CancelTimer(timerBatch)
+}
+
+// handleData applies the paper's six routing rules to a received (or
+// locally produced) data message.
+func (n *Node) handleData(m *DataMsg) {
+	// TTL guard against transient routing loops.
+	if int(m.Hops) > n.cfg.MaxHops {
+		n.stats.LostData += int64(len(m.Readings))
+		return
+	}
+	// Rule 1: a newer index here rewrites the destination. Readings in
+	// one batch may now map to different owners; regroup (in owner
+	// order, so runs are reproducible).
+	if n.cur != nil && !n.cur.Local && n.cur.ID > m.SID {
+		groups := make(map[netsim.NodeID][]storage.Reading)
+		var order []netsim.NodeID
+		for _, r := range m.Readings {
+			o, ok := n.cur.Owner(r.Value)
+			if !ok {
+				o = 0 // out-of-domain values head for the base
+			}
+			if _, seen := groups[o]; !seen {
+				order = append(order, o)
+			}
+			groups[o] = append(groups[o], r)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, o := range order {
+			n.routeData(&DataMsg{Readings: groups[o], Owner: o, SID: n.cur.ID, Hops: m.Hops})
+		}
+		return
+	}
+	n.routeData(m)
+}
+
+// routeData applies rules 2–6 (rule 4 lives in the basestation app).
+func (n *Node) routeData(m *DataMsg) {
+	me := n.api.ID()
+	// Rule 2: we are the owner.
+	if m.Owner == me {
+		for _, r := range m.Readings {
+			n.store.Store(r)
+			n.stats.MarkStored(r.Producer, r.Time)
+			if netsim.NodeID(r.Producer) == me {
+				n.stats.StoredLocal++
+			} else {
+				n.stats.StoredAtOwner++
+			}
+		}
+		return
+	}
+	// Rule 3: the owner is a direct neighbor — shortcut the tree.
+	// Only links of reasonable quality qualify: shortcutting over a
+	// barely-audible link wastes a full retransmission budget before
+	// falling back (property P4: avoid lossy links).
+	if n.cfg.NeighborShortcut && n.tree.OutQuality(m.Owner) >= 0.4 {
+		n.sendData(m, m.Owner, func(ok bool) {
+			if !ok {
+				// Shortcut failed; fall back to tree routing.
+				n.treeRouteData(m)
+			}
+		})
+		return
+	}
+	n.treeRouteData(m)
+}
+
+// treeRouteData applies rules 5 and 6.
+func (n *Node) treeRouteData(m *DataMsg) {
+	// Rule 5: owner is a known descendant — route down that branch.
+	if child, ok := n.tree.Descendants.NextHop(m.Owner); ok && child != n.tree.Parent() {
+		n.sendData(m, child, func(ok bool) {
+			if !ok {
+				n.tree.Descendants.Forget(m.Owner)
+				n.sendToParent(m)
+			}
+		})
+		return
+	}
+	// Rule 6: send toward the basestation.
+	n.sendToParent(m)
+}
+
+func (n *Node) sendToParent(m *DataMsg) {
+	if !n.tree.HasRoute() {
+		n.stats.LostData += int64(len(m.Readings))
+		return
+	}
+	n.sendData(m, n.tree.Parent(), func(ok bool) {
+		if !ok {
+			n.stats.LostData += int64(len(m.Readings))
+		}
+	})
+}
+
+func (n *Node) sendData(m *DataMsg, to netsim.NodeID, done func(bool)) {
+	fwd := *m
+	fwd.Hops++
+	n.api.Send(&netsim.Packet{
+		Class:        metrics.Data,
+		Dst:          to,
+		Origin:       n.api.ID(),
+		OriginParent: n.tree.Parent(),
+		Size:         dataSize(&fwd),
+		Payload:      &fwd,
+	}, done)
+}
+
+// sendSummary builds and launches this node's periodic summary message
+// (paper §5.2).
+func (n *Node) sendSummary() {
+	if n.recent.Len() == 0 || !n.tree.HasRoute() {
+		n.samplesSinceSummary = 0
+		return
+	}
+	min, max, sum, _ := n.recent.MinMaxSum()
+	lastID := uint16(0)
+	if n.cur != nil {
+		lastID = n.cur.ID
+	}
+	m := &SummaryMsg{
+		Node:        n.api.ID(),
+		Hist:        histogram.Build(n.recent.Values(), n.cfg.NBins),
+		Min:         min,
+		Max:         max,
+		Sum:         sum,
+		Rate:        float64(n.samplesSinceSummary) / (float64(n.cfg.SummaryInterval) / float64(netsim.Second)),
+		Neighbors:   n.tree.Neighbors.Best(n.cfg.NeighborReport),
+		LastIndexID: lastID,
+		SentAt:      n.api.Now(),
+	}
+	n.samplesSinceSummary = 0
+	n.stats.SummariesSent++
+	n.api.Send(&netsim.Packet{
+		Class:        metrics.Summary,
+		Dst:          n.tree.Parent(),
+		Origin:       n.api.ID(),
+		OriginParent: n.tree.Parent(),
+		Size:         summarySize(m),
+		Payload:      m,
+	}, nil)
+}
+
+// onChunk processes one received mapping message (paper §5.3).
+func (n *Node) onChunk(c index.Chunk) {
+	key := mapKey(c.IndexID, c.Num)
+	if _, held := n.chunks[key]; held {
+		n.mapGos.Heard(key)
+		return
+	}
+	if n.cur != nil && c.IndexID < n.cur.ID {
+		// A neighbor is gossiping a stale generation: speed up our own
+		// gossip so it catches up (Trickle inconsistency rule). Reset
+		// in key order — each reset draws randomness.
+		var ks []trickle.Key
+		for k, ch := range n.chunks {
+			if ch.IndexID == n.cur.ID {
+				ks = append(ks, k)
+			}
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		for _, k := range ks {
+			n.mapGos.Reset(k)
+		}
+		return
+	}
+	n.chunks[key] = c
+	n.mapGos.Add(key)
+	if complete := n.asm.Offer(c); complete != nil {
+		if n.cur == nil || complete.ID > n.cur.ID {
+			n.cur = complete
+		}
+		// Stop gossiping superseded generations.
+		for k, ch := range n.chunks {
+			if ch.IndexID < n.cur.ID {
+				delete(n.chunks, k)
+				n.mapGos.Remove(k)
+			}
+		}
+	}
+}
+
+// sendChunk is the mapping-Trickle transmit callback.
+func (n *Node) sendChunk(key trickle.Key) {
+	c, ok := n.chunks[key]
+	if !ok {
+		return
+	}
+	m := &MappingMsg{Chunk: c}
+	n.api.Broadcast(&netsim.Packet{
+		Class:        metrics.Mapping,
+		Origin:       n.api.ID(),
+		OriginParent: n.tree.Parent(),
+		Size:         mappingSize(m),
+		Payload:      m,
+	})
+}
+
+// onQuery processes a query packet: feed Trickle suppression, decide
+// whether to re-broadcast (Scoop's selective dissemination uses the
+// bitmap plus the neighbor and descendants lists, paper §5.5), and
+// answer if targeted.
+func (n *Node) onQuery(q *QueryMsg) {
+	key := queryKey(q.ID)
+	if _, seen := n.queries[q.ID]; seen {
+		n.qGos.Heard(key)
+		return
+	}
+	n.queries[q.ID] = q
+	if n.shouldRelay(q) {
+		n.qGos.Add(key)
+	}
+	if q.Bitmap.Has(n.api.ID()) && !n.answered[q.ID] {
+		n.answered[q.ID] = true
+		n.stats.QueriesHeard++
+		// Jitter the reply so a widely-targeted query does not trigger
+		// a synchronized reply storm (the paper notes it takes several
+		// seconds for the first replies to come back).
+		qc := q
+		n.api.SetTimer(timerReply, netsim.Time(50+n.api.RandIntn(int(4*netsim.Second))))
+		n.pendingAnswers = append(n.pendingAnswers, qc)
+	}
+}
+
+// shouldRelay reports whether this node re-broadcasts the query: only
+// when some targeted node other than itself is plausibly reachable
+// through it (a known neighbor or recorded descendant).
+func (n *Node) shouldRelay(q *QueryMsg) bool {
+	me := n.api.ID()
+	for _, id := range q.Bitmap.IDs() {
+		if id == me {
+			continue
+		}
+		if n.tree.Neighbors.Contains(id) {
+			return true
+		}
+		if _, ok := n.tree.Descendants.NextHop(id); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// sendQuery is the query-Trickle transmit callback.
+func (n *Node) sendQuery(key trickle.Key) {
+	q, ok := n.queries[uint16(key)]
+	if !ok {
+		return
+	}
+	n.api.Broadcast(&netsim.Packet{
+		Class:        metrics.Query,
+		Origin:       n.api.ID(),
+		OriginParent: n.tree.Parent(),
+		Size:         querySize(q),
+		Payload:      q,
+	})
+}
+
+// answer linearly scans the data buffer (paper §5.5) and sends a reply
+// toward the basestation — "even if no tuples matched the query".
+func (n *Node) answer(q *QueryMsg) {
+	var matches []storage.Reading
+	n.store.Scan(func(r storage.Reading) bool {
+		if r.Time < int64(q.TimeLo) || r.Time > int64(q.TimeHi) {
+			return true
+		}
+		if q.wantsValues() && (r.Value < q.ValueLo || r.Value > q.ValueHi) {
+			return true
+		}
+		matches = append(matches, r)
+		return true
+	})
+	carried := matches
+	if len(carried) > n.cfg.ReplyMaxReadings {
+		carried = carried[:n.cfg.ReplyMaxReadings]
+	}
+	m := &ReplyMsg{QueryID: q.ID, Node: n.api.ID(), Count: len(matches), Readings: carried}
+	if !n.tree.HasRoute() {
+		return
+	}
+	n.stats.RepliesSent++
+	n.api.Send(&netsim.Packet{
+		Class:        metrics.Reply,
+		Dst:          n.tree.Parent(),
+		Origin:       n.api.ID(),
+		OriginParent: n.tree.Parent(),
+		Size:         replySize(m),
+		Payload:      m,
+	}, nil)
+}

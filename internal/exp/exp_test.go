@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"testing"
+
+	"scoop/internal/core"
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+)
+
+// quick returns a shortened single-trial configuration.
+func quick(p policy.Name, source string) Config {
+	cfg := Default()
+	cfg.Policy = p
+	cfg.Source = source
+	Quick.apply(&cfg)
+	return cfg
+}
+
+func total(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Breakdown.Total()
+}
+
+// The paper's headline comparison (Figure 3, middle): under the
+// default workload SCOOP beats both send-to-base and store-local.
+func TestPolicyOrderingOnReal(t *testing.T) {
+	scoop := total(t, quick(policy.Scoop, "real"))
+	local := total(t, quick(policy.Local, "real"))
+	base := total(t, quick(policy.Base, "real"))
+	if scoop >= base {
+		t.Fatalf("SCOOP (%.0f) not cheaper than BASE (%.0f)", scoop, base)
+	}
+	if scoop >= local {
+		t.Fatalf("SCOOP (%.0f) not cheaper than LOCAL (%.0f)", scoop, local)
+	}
+	// The paper reports SCOOP at roughly a quarter of the baselines'
+	// cost; require at least a 1.4× win in the shortened runs.
+	if base/scoop < 1.4 {
+		t.Fatalf("SCOOP/BASE improvement only %.2fx", base/scoop)
+	}
+}
+
+// Figure 3 (right): UNIQUE is SCOOP's best case (perfect locality);
+// GAUSSIAN — spatially uncorrelated producers — is the worst of the
+// localized sources. REAL vs RANDOM is within single-trial noise at
+// this scale, so only the robust orderings are asserted; EXPERIMENTS.md
+// records the full-scale picture.
+func TestSourceOrdering(t *testing.T) {
+	unique := total(t, quick(policy.Scoop, "unique"))
+	real := total(t, quick(policy.Scoop, "real"))
+	random := total(t, quick(policy.Scoop, "random"))
+	gaussian := total(t, quick(policy.Scoop, "gaussian"))
+	if unique >= random {
+		t.Fatalf("UNIQUE (%.0f) not cheaper than RANDOM (%.0f)", unique, random)
+	}
+	if unique >= real {
+		t.Fatalf("UNIQUE (%.0f) not cheaper than REAL (%.0f)", unique, real)
+	}
+	if real >= gaussian {
+		t.Fatalf("REAL (%.0f) not cheaper than GAUSSIAN (%.0f)", real, gaussian)
+	}
+}
+
+// EQUAL's index never changes, so mapping dissemination is almost
+// entirely suppressed (paper: "very few mapping messages").
+func TestEqualSuppressesMappings(t *testing.T) {
+	requal, err := Run(quick(policy.Scoop, "equal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rreal, err := Run(quick(policy.Scoop, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requal.Breakdown.Mapping*5 > rreal.Breakdown.Mapping {
+		t.Fatalf("EQUAL mapping cost %.0f not far below REAL's %.0f",
+			requal.Breakdown.Mapping, rreal.Breakdown.Mapping)
+	}
+	if requal.Stats.IndexesSuppressed == 0 {
+		t.Fatal("EQUAL never suppressed an index regeneration")
+	}
+}
+
+// Comparator sanity: LOCAL sends no data or statistics traffic; BASE
+// sends nothing but data.
+func TestPolicyTrafficShapes(t *testing.T) {
+	rl, err := Run(quick(policy.Local, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Breakdown.Data != 0 || rl.Breakdown.Summary != 0 || rl.Breakdown.Mapping != 0 {
+		t.Fatalf("LOCAL sent non-query traffic: %+v", rl.Breakdown)
+	}
+	rb, err := Run(quick(policy.Base, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Breakdown.Query != 0 || rb.Breakdown.Reply != 0 ||
+		rb.Breakdown.Summary != 0 || rb.Breakdown.Mapping != 0 {
+		t.Fatalf("BASE sent non-data traffic: %+v", rb.Breakdown)
+	}
+}
+
+// The analytical HASH model produces data-dominated cost with
+// symmetric query/reply terms and no statistics traffic.
+func TestAnalyticalHash(t *testing.T) {
+	r, err := Run(quick(policy.Hash, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := r.Breakdown
+	if b.Data == 0 {
+		t.Fatal("hash has no data cost")
+	}
+	if b.Summary != 0 || b.Mapping != 0 {
+		t.Fatal("hash has statistics overhead")
+	}
+	if b.Query != b.Reply {
+		t.Fatalf("hash round trips not split evenly: %f vs %f", b.Query, b.Reply)
+	}
+}
+
+// The simulated HASH extension runs and stores data across the network.
+func TestSimulatedHash(t *testing.T) {
+	r, err := Run(quick(policy.HashSim, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Breakdown.Data == 0 {
+		t.Fatal("hashsim moved no data")
+	}
+	if r.Stats.StoredAtOwner == 0 {
+		t.Fatal("hashsim stored nothing at hash owners")
+	}
+}
+
+// Paper delivery bands, with slack for the harsher simulated radio:
+// the paper reports 93% data stored / 85% owner hit / 78% replies.
+func TestDeliveryBands(t *testing.T) {
+	r, err := Run(quick(policy.Scoop, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats.DataSuccessRate(); got < 0.75 {
+		t.Fatalf("data success %.2f below band", got)
+	}
+	if got := r.Stats.OwnerHitRate(); got < 0.6 {
+		t.Fatalf("owner hit rate %.2f below band", got)
+	}
+	if got := r.Stats.QuerySuccessRate(); got < 0.25 {
+		t.Fatalf("query success %.2f below band", got)
+	}
+}
+
+// Figure 4's two fixed points: LOCAL's cost is flat in the queried
+// fraction, and SCOOP beats BASE when few nodes are queried.
+func TestFigure4Endpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep")
+	}
+	lo := quick(policy.Scoop, "real")
+	lo.NodePct = 0.05
+	scoopLo := total(t, lo)
+
+	baseCfg := quick(policy.Base, "real")
+	baseCfg.NodePct = 0.05
+	baseTotal := total(t, baseCfg)
+
+	if scoopLo >= baseTotal {
+		t.Fatalf("SCOOP at 5%% (%.0f) not cheaper than BASE (%.0f)", scoopLo, baseTotal)
+	}
+
+	l1 := quick(policy.Local, "real")
+	l1.NodePct = 0.10
+	l2 := quick(policy.Local, "real")
+	l2.NodePct = 0.90
+	a, b := total(t, l1), total(t, l2)
+	ratio := a / b
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Fatalf("LOCAL cost varies %.2fx across queried fractions; should be flat", ratio)
+	}
+}
+
+// Figure 5's fixed point: LOCAL benefits most from a falling query
+// rate (it has no other cost).
+func TestFigure5LocalSlope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep")
+	}
+	fast := quick(policy.Local, "real")
+	fast.QueryInterval = 5 * netsim.Second
+	slow := quick(policy.Local, "real")
+	slow.QueryInterval = 45 * netsim.Second
+	f, s := total(t, fast), total(t, slow)
+	if s >= f {
+		t.Fatalf("LOCAL at 45s (%.0f) not cheaper than at 5s (%.0f)", s, f)
+	}
+	if f/s < 2 {
+		t.Fatalf("LOCAL only %.1fx cheaper at 9x lower query rate", f/s)
+	}
+}
+
+func TestScalesTo100Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large topology")
+	}
+	cfg := quick(policy.Scoop, "real")
+	cfg.N = 101
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.DataSuccessRate() < 0.6 {
+		t.Fatalf("data success %.2f at 100 nodes", r.Stats.DataSuccessRate())
+	}
+}
+
+func TestTrialsRunConcurrentlyAndMerge(t *testing.T) {
+	cfg := quick(policy.Scoop, "real")
+	cfg.Trials = 3
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerTrial) != 3 {
+		t.Fatalf("per-trial results: %d", len(r.PerTrial))
+	}
+	var sum float64
+	for _, tr := range r.PerTrial {
+		sum += tr.Breakdown.Total()
+	}
+	if diff := r.Breakdown.Total() - sum/3; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("mean mismatch: %.2f vs %.2f", r.Breakdown.Total(), sum/3)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	cfg := quick(policy.Scoop, "real")
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Breakdown.Total() != b.Breakdown.Total() {
+		t.Fatalf("same seed, different totals: %.0f vs %.0f",
+			a.Breakdown.Total(), b.Breakdown.Total())
+	}
+}
+
+func TestModifyHook(t *testing.T) {
+	cfg := quick(policy.Scoop, "real")
+	called := false
+	cfg.Modify = func(c *core.Config) {
+		called = true
+		c.BatchSize = 1
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("Modify hook not invoked")
+	}
+}
+
+func TestUnknownConfigsRejected(t *testing.T) {
+	cfg := quick(policy.Scoop, "nope")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	cfg = quick(policy.Scoop, "real")
+	cfg.Topology = "torus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	cfg = quick("teleport", "real")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRootSkewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full runs")
+	}
+	_, results := RootSkew(Quick, 1)
+	scoopR, baseR, localR := results[0], results[1], results[2]
+	// BASE: the root transmits almost nothing but receives everything.
+	if baseR.RootSent > baseR.RootRecv/5 {
+		t.Fatalf("BASE root sent %.0f vs received %.0f; should be receive-dominated",
+			baseR.RootSent, baseR.RootRecv)
+	}
+	// SCOOP's root sends mapping/query traffic, unlike BASE's.
+	if scoopR.RootSent == 0 {
+		t.Fatal("SCOOP root sent nothing")
+	}
+	_ = localR
+}
+
+// The paper's energy discussion (§6). Two parts are robustly
+// reproducible under a byte-accurate radio-energy model: the SCOOP
+// root's always-on radio drains its battery in about two weeks
+// ("the battery on the root in SCOOP would have to be replaced every
+// two weeks"), far ahead of duty-cycled nodes; and communication
+// dominates node energy ("up to 90% … due to communication"). The
+// paper's 3× node-lifetime gap between SCOOP and LOCAL does not
+// emerge from byte counts (LOCAL's replies are mostly empty and
+// small) — see EXPERIMENTS.md.
+func TestEnergyShape(t *testing.T) {
+	scoop, err := Run(quick(policy.Scoop, "real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := scoop.Energy
+	if e.RootDays < 10 || e.RootDays > 22 {
+		t.Fatalf("root lifetime %.1f days; paper says about two weeks", e.RootDays)
+	}
+	if e.RootDays*5 >= e.AvgNodeDays {
+		t.Fatalf("root (%.0f d) should drain far ahead of the average node (%.0f d)",
+			e.RootDays, e.AvgNodeDays)
+	}
+	if e.CommsFraction < 0.5 {
+		t.Fatalf("comms share %.2f; paper says communication dominates", e.CommsFraction)
+	}
+}

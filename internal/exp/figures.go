@@ -1,0 +1,347 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+)
+
+// Table is one reproduced figure/table: a title, column header and
+// formatted rows, printed the way the paper reports its results.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Scale shrinks experiments for fast test runs. Full reproduces the
+// paper's parameters; Quick runs one short trial per cell.
+type Scale int
+
+// Experiment scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+func (s Scale) apply(cfg *Config) {
+	if s == Quick {
+		cfg.Trials = 1
+		cfg.Duration = 22 * netsim.Minute
+		cfg.Warmup = 6 * netsim.Minute
+	}
+}
+
+func breakdownRow(label string, r Result) []string {
+	b := r.Breakdown
+	return []string{
+		label,
+		fmt.Sprintf("%.0f", b.Total()),
+		fmt.Sprintf("%.0f", b.Data),
+		fmt.Sprintf("%.0f", b.Summary),
+		fmt.Sprintf("%.0f", b.Mapping),
+		fmt.Sprintf("%.0f", b.Query),
+		fmt.Sprintf("%.0f", b.Reply),
+	}
+}
+
+var breakdownHeader = []string{"case", "total", "data", "summary", "mapping", "query", "reply"}
+
+// Figure3Left reproduces the paper's Figure 3 (left): per-policy
+// message breakdowns on the testbed topology — scoop/unique,
+// scoop/gaussian, local/gaussian, base/gaussian.
+func Figure3Left(scale Scale, seed int64) (Table, []Result) {
+	cells := []struct {
+		policy policy.Name
+		source string
+	}{
+		{policy.Scoop, "unique"},
+		{policy.Scoop, "gaussian"},
+		{policy.Local, "gaussian"},
+		{policy.Base, "gaussian"},
+	}
+	t := Table{
+		Title:  "Figure 3 (left): testbed message breakdown by storage method/data source",
+		Header: breakdownHeader,
+	}
+	var results []Result
+	for _, c := range cells {
+		cfg := Default()
+		cfg.Topology = "testbed"
+		cfg.Policy = c.policy
+		cfg.Source = c.source
+		cfg.Seed = seed
+		scale.apply(&cfg)
+		r := MustRun(cfg)
+		results = append(results, r)
+		t.Rows = append(t.Rows, breakdownRow(fmt.Sprintf("%s/%s", c.policy, c.source), r))
+	}
+	return t, results
+}
+
+// Figure3Middle reproduces Figure 3 (middle): SCOOP vs LOCAL vs HASH
+// vs BASE over the REAL trace in simulation.
+func Figure3Middle(scale Scale, seed int64) (Table, []Result) {
+	t := Table{
+		Title:  "Figure 3 (middle): simulation, REAL trace, by storage method",
+		Header: breakdownHeader,
+	}
+	var results []Result
+	for _, p := range policy.Names() {
+		cfg := Default()
+		cfg.Policy = p
+		cfg.Seed = seed
+		scale.apply(&cfg)
+		r := MustRun(cfg)
+		results = append(results, r)
+		t.Rows = append(t.Rows, breakdownRow(string(p), r))
+	}
+	return t, results
+}
+
+// Figure3Right reproduces Figure 3 (right): SCOOP over the five data
+// sources in simulation.
+func Figure3Right(scale Scale, seed int64) (Table, []Result) {
+	t := Table{
+		Title:  "Figure 3 (right): simulation, SCOOP by data source",
+		Header: breakdownHeader,
+	}
+	var results []Result
+	for _, src := range []string{"unique", "equal", "real", "gaussian", "random"} {
+		cfg := Default()
+		cfg.Source = src
+		cfg.Seed = seed
+		scale.apply(&cfg)
+		r := MustRun(cfg)
+		results = append(results, r)
+		t.Rows = append(t.Rows, breakdownRow(src, r))
+	}
+	return t, results
+}
+
+// Figure4 reproduces Figure 4: total cost vs percentage of nodes
+// queried for SCOOP, LOCAL and BASE over REAL data.
+func Figure4(scale Scale, seed int64) (Table, map[policy.Name][]Result) {
+	pcts := []float64{0.05, 0.10, 0.20, 0.40, 0.60, 0.80, 1.00}
+	t := Table{
+		Title:  "Figure 4: total messages vs % nodes queried (REAL, simulation)",
+		Header: []string{"% nodes", "SCOOP", "LOCAL", "BASE"},
+	}
+	byPolicy := make(map[policy.Name][]Result)
+	for _, pct := range pcts {
+		row := []string{fmt.Sprintf("%.0f%%", pct*100)}
+		for _, p := range []policy.Name{policy.Scoop, policy.Local, policy.Base} {
+			cfg := Default()
+			cfg.Policy = p
+			cfg.NodePct = pct
+			cfg.Seed = seed
+			scale.apply(&cfg)
+			r := MustRun(cfg)
+			byPolicy[p] = append(byPolicy[p], r)
+			row = append(row, fmt.Sprintf("%.0f", r.Breakdown.Total()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, byPolicy
+}
+
+// Figure5 reproduces Figure 5: total cost vs query interval for SCOOP,
+// LOCAL and BASE over REAL data.
+func Figure5(scale Scale, seed int64) (Table, map[policy.Name][]Result) {
+	intervals := []netsim.Time{5 * netsim.Second, 10 * netsim.Second, 15 * netsim.Second,
+		25 * netsim.Second, 45 * netsim.Second}
+	t := Table{
+		Title:  "Figure 5: total messages vs query interval (REAL, simulation)",
+		Header: []string{"interval", "SCOOP", "LOCAL", "BASE"},
+	}
+	byPolicy := make(map[policy.Name][]Result)
+	for _, iv := range intervals {
+		row := []string{fmt.Sprintf("%ds", iv/netsim.Second)}
+		for _, p := range []policy.Name{policy.Scoop, policy.Local, policy.Base} {
+			cfg := Default()
+			cfg.Policy = p
+			cfg.QueryInterval = iv
+			cfg.Seed = seed
+			scale.apply(&cfg)
+			r := MustRun(cfg)
+			byPolicy[p] = append(byPolicy[p], r)
+			row = append(row, fmt.Sprintf("%.0f", r.Breakdown.Total()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, byPolicy
+}
+
+// SampleIntervalSweep reproduces the paper's "other experiments" sweep:
+// SCOOP cost by data source as the sample interval grows; differences
+// between sources shrink as fixed costs dominate.
+func SampleIntervalSweep(scale Scale, seed int64) (Table, map[string][]Result) {
+	intervals := []netsim.Time{15 * netsim.Second, 30 * netsim.Second,
+		60 * netsim.Second, 120 * netsim.Second}
+	sources := []string{"unique", "real", "random"}
+	t := Table{
+		Title:  "Sample-interval sweep: SCOOP total messages by data source",
+		Header: append([]string{"interval"}, sources...),
+	}
+	bySource := make(map[string][]Result)
+	for _, iv := range intervals {
+		row := []string{fmt.Sprintf("%ds", iv/netsim.Second)}
+		for _, src := range sources {
+			cfg := Default()
+			cfg.Source = src
+			cfg.SampleInterval = iv
+			cfg.Seed = seed
+			scale.apply(&cfg)
+			r := MustRun(cfg)
+			bySource[src] = append(bySource[src], r)
+			row = append(row, fmt.Sprintf("%.0f", r.Breakdown.Total()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, bySource
+}
+
+// LossRates reproduces the paper's delivery measurements: ~93% of data
+// stored, ~78% of query results retrieved, ~85% of routed readings
+// reaching their owner, on the testbed.
+func LossRates(scale Scale, seed int64) (Table, Result) {
+	cfg := Default()
+	cfg.Topology = "testbed"
+	cfg.Seed = seed
+	scale.apply(&cfg)
+	r := MustRun(cfg)
+	t := Table{
+		Title:  "Loss rates (SCOOP, testbed)",
+		Header: []string{"metric", "measured", "paper"},
+		Rows: [][]string{
+			{"data stored", fmt.Sprintf("%.0f%%", 100*r.Stats.DataSuccessRate()), "93%"},
+			{"query results retrieved", fmt.Sprintf("%.0f%%", 100*r.Stats.QuerySuccessRate()), "78%"},
+			{"owner found (routed data)", fmt.Sprintf("%.0f%%", 100*r.Stats.OwnerHitRate()), "85%"},
+		},
+	}
+	return t, r
+}
+
+// RootSkew reproduces the root-load comparison: messages sent and
+// received by the root under SCOOP, BASE and LOCAL with the REAL
+// workload.
+func RootSkew(scale Scale, seed int64) (Table, []Result) {
+	t := Table{
+		Title:  "Root-node load (REAL, simulation)",
+		Header: []string{"policy", "root sent", "root received", "network total"},
+	}
+	var results []Result
+	for _, p := range []policy.Name{policy.Scoop, policy.Base, policy.Local} {
+		cfg := Default()
+		cfg.Policy = p
+		cfg.Seed = seed
+		scale.apply(&cfg)
+		r := MustRun(cfg)
+		results = append(results, r)
+		t.Rows = append(t.Rows, []string{
+			string(p),
+			fmt.Sprintf("%.0f", r.RootSent),
+			fmt.Sprintf("%.0f", r.RootRecv),
+			fmt.Sprintf("%.0f", r.Breakdown.Total()),
+		})
+	}
+	return t, results
+}
+
+// Scaling reproduces the network-size experiment: SCOOP scales to 100
+// nodes, with RANDOM more sensitive to size than localized sources.
+func Scaling(scale Scale, seed int64) (Table, map[string][]Result) {
+	sizes := []int{26, 63, 101}
+	sources := []string{"real", "random"}
+	t := Table{
+		Title:  "Scaling: SCOOP total messages by network size",
+		Header: []string{"nodes", "real", "random", "real/node", "random/node"},
+	}
+	bySource := make(map[string][]Result)
+	for _, n := range sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		var totals []float64
+		for _, src := range sources {
+			cfg := Default()
+			cfg.N = n
+			cfg.Source = src
+			cfg.Seed = seed
+			scale.apply(&cfg)
+			r := MustRun(cfg)
+			bySource[src] = append(bySource[src], r)
+			totals = append(totals, r.Breakdown.Total())
+			row = append(row, fmt.Sprintf("%.0f", r.Breakdown.Total()))
+		}
+		for _, tot := range totals {
+			row = append(row, fmt.Sprintf("%.0f", tot/float64(n)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, bySource
+}
+
+// EnergyTable reproduces the paper's energy comparison (§6): "if a
+// node running LOCAL can last for one month using a small battery, an
+// average SCOOP node would last for about three months, although the
+// battery on the root in SCOOP would have to be replaced every two
+// weeks." Lifetimes are extrapolated from measured radio traffic under
+// the Mica2-era energy model.
+func EnergyTable(scale Scale, seed int64) (Table, []Result) {
+	t := Table{
+		Title:  "Energy: extrapolated battery lifetimes (REAL, simulation)",
+		Header: []string{"policy", "avg node J", "avg node days", "root J", "root days", "comms share"},
+	}
+	var results []Result
+	for _, p := range []policy.Name{policy.Scoop, policy.Local, policy.Base} {
+		cfg := Default()
+		cfg.Policy = p
+		cfg.Seed = seed
+		scale.apply(&cfg)
+		r := MustRun(cfg)
+		results = append(results, r)
+		e := r.Energy
+		t.Rows = append(t.Rows, []string{
+			string(p),
+			fmt.Sprintf("%.1f", e.AvgNodeJ),
+			fmt.Sprintf("%.0f", e.AvgNodeDays),
+			fmt.Sprintf("%.1f", e.RootJ),
+			fmt.Sprintf("%.0f", e.RootDays),
+			fmt.Sprintf("%.0f%%", 100*e.CommsFraction),
+		})
+	}
+	return t, results
+}

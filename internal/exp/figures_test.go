@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := Table{
+		Title:  "T",
+		Header: []string{"case", "value"},
+		Rows:   [][]string{{"alpha", "1"}, {"b", "22222"}},
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + two rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "T" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// Columns align: the value column starts at the same offset in the
+	// header and every row ("alpha" is the widest first column).
+	off := strings.Index(lines[1], "value")
+	if off < 0 {
+		t.Fatal("header missing")
+	}
+	if len(lines[2]) <= off || lines[2][off] != '1' {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+	if len(lines[3]) <= off || lines[3][off] != '2' {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestScaleApply(t *testing.T) {
+	cfg := Default()
+	Quick.apply(&cfg)
+	if cfg.Trials != 1 || cfg.Duration >= Default().Duration {
+		t.Fatalf("quick scale not applied: %+v", cfg)
+	}
+	cfg = Default()
+	Full.apply(&cfg)
+	if cfg.Trials != 3 || cfg.Duration != Default().Duration {
+		t.Fatal("full scale must keep the paper's parameters")
+	}
+}
+
+func TestLossRatesDriver(t *testing.T) {
+	tb, r := LossRates(Quick, 2)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if r.Stats.Produced == 0 {
+		t.Fatal("driver ran nothing")
+	}
+	if !strings.Contains(tb.String(), "93%") {
+		t.Fatal("paper reference column missing")
+	}
+}
+
+func TestEnergyTableDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full runs")
+	}
+	tb, results := EnergyTable(Quick, 2)
+	if len(tb.Rows) != 3 || len(results) != 3 {
+		t.Fatalf("rows = %d results = %d", len(tb.Rows), len(results))
+	}
+	for _, r := range results {
+		if r.Energy.RootJ <= 0 || r.Energy.AvgNodeJ <= 0 {
+			t.Fatal("missing energy accounting")
+		}
+	}
+}
+
+func TestFigure3LeftDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full runs")
+	}
+	tb, results := Figure3Left(Quick, 2)
+	if len(tb.Rows) != 4 || len(results) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// scoop/unique must be the cheapest cell, as in the paper.
+	unique := results[0].Breakdown.Total()
+	for i, r := range results[1:] {
+		if unique >= r.Breakdown.Total() {
+			t.Fatalf("scoop/unique (%.0f) not below cell %d (%.0f)",
+				unique, i+1, r.Breakdown.Total())
+		}
+	}
+}

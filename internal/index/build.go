@@ -1,0 +1,192 @@
+package index
+
+import (
+	"scoop/internal/histogram"
+	"scoop/internal/netsim"
+)
+
+// NodeStat is the basestation's last-known statistics for one node:
+// the summary histogram over its recent readings and its data
+// production rate (paper §5.2). Nodes whose summaries were all lost
+// keep the zero value; the algorithm then knows nothing about what
+// they produce, exactly as in the paper.
+type NodeStat struct {
+	Hist histogram.Histogram
+	Rate float64 // readings produced per second
+}
+
+// QueryProfile models the query workload the basestation has observed:
+// the query rate and, per value, the probability that a query's range
+// covers that value (paper §5.5: "the basestation updates its
+// statistics that keep track of the query rate, and which attributes
+// and what value ranges get queried").
+type QueryProfile struct {
+	Rate     float64   // queries issued per second
+	MinValue int       // domain start for Prob
+	Prob     []float64 // Prob[v-MinValue] = P(user queries v)
+}
+
+// ProbOf returns P(user queries v).
+func (q QueryProfile) ProbOf(v int) float64 {
+	i := v - q.MinValue
+	if i < 0 || i >= len(q.Prob) {
+		return 0
+	}
+	return q.Prob[i]
+}
+
+// BuildInput carries everything the indexing algorithm consumes.
+type BuildInput struct {
+	N    int           // network size including base
+	Base netsim.NodeID // basestation (node 0 in Scoop)
+	// Nodes holds the last-known statistics, indexed by NodeID; a
+	// zero entry means no summary has arrived from that node. A dense
+	// slice (not a map) keeps cost summation order deterministic.
+	Nodes    []NodeStat
+	Query    QueryProfile
+	Xmits    [][]float64 // all-pairs expected transmissions (Graph.Xmits)
+	MinValue int         // attribute value domain, inclusive
+	MaxValue int
+}
+
+// domainSize returns the number of values under consideration.
+func (in BuildInput) domainSize() int { return in.MaxValue - in.MinValue + 1 }
+
+// Cost returns the expected number of messages per second if value v
+// is stored at owner o — the inner computation of the paper's Figure 2:
+//
+//	cost(o,v) = Σ_p P(p produces v)·rate_p·xmits(p→o)
+//	          + P(user queries v)·queryRate·xmits(base→o→base)
+func (in BuildInput) Cost(o netsim.NodeID, v int) float64 {
+	cost := 0.0
+	for p := range in.Nodes {
+		st := &in.Nodes[p]
+		prob := st.Hist.Prob(v)
+		if prob == 0 || st.Rate == 0 || netsim.NodeID(p) == o {
+			continue
+		}
+		x := in.Xmits[p][o]
+		if x >= Inf {
+			return Inf
+		}
+		cost += prob * st.Rate * x
+	}
+	if qp := in.Query.ProbOf(v); qp > 0 && in.Query.Rate > 0 && o != in.Base {
+		x := RoundTrip(in.Xmits, in.Base, o)
+		if x >= Inf {
+			return Inf
+		}
+		cost += qp * in.Query.Rate * x
+	}
+	return cost
+}
+
+// contiguityTolerance lets the previous value's owner keep the next
+// value when it is within this fraction of the optimum. Neighbouring
+// values usually have near-identical costs (the same nodes produce
+// them), and breaking those ties arbitrarily fragments the index into
+// many tiny ranges — defeating range compaction (paper §5.3), data
+// batching (§5.4) and single-owner range queries (§4, "range
+// extensions"). A small tolerance yields the compact contiguous
+// indices shown in the paper's Figure 1 at negligible cost.
+const contiguityTolerance = 0.08
+
+// BuildOwners runs the paper's indexing algorithm: for every value in
+// the domain, try every node (including the basestation) as owner and
+// keep the cheapest. Exact ties break toward the previous value's
+// owner, then toward the lower node ID, so results are deterministic
+// and compact.
+//
+// Complexity is O(V·n²) as in the paper (V values, n owners, n
+// producers), entirely affordable for V≈150, n≈128 — this runs on the
+// PC-class basestation.
+func BuildOwners(in BuildInput) []netsim.NodeID {
+	owners := make([]netsim.NodeID, in.domainSize())
+	prev := netsim.NodeID(0)
+	hasPrev := false
+	for i := range owners {
+		v := in.MinValue + i
+		best := in.Base
+		bestCost := in.Cost(in.Base, v)
+		for o := 0; o < in.N; o++ {
+			oid := netsim.NodeID(o)
+			if oid == in.Base {
+				continue
+			}
+			if c := in.Cost(oid, v); c < bestCost {
+				best, bestCost = oid, c
+			}
+		}
+		if hasPrev && prev != best {
+			if c := in.Cost(prev, v); c <= bestCost*(1+contiguityTolerance) {
+				best = prev
+			}
+		}
+		owners[i] = best
+		prev, hasPrev = best, true
+	}
+	return owners
+}
+
+// Build runs BuildOwners and compacts the result into an Index with
+// the given generation ID.
+func Build(id uint16, in BuildInput) *Index {
+	return New(id, in.MinValue, BuildOwners(in))
+}
+
+// EvaluateIndexCost returns the total expected messages per second of
+// an arbitrary (non-local) index under the observed statistics —
+// used to compare against the store-local alternative, to cost the
+// analytical HASH baseline, and in ablation benches.
+func EvaluateIndexCost(ix *Index, in BuildInput) float64 {
+	total := 0.0
+	for v := in.MinValue; v <= in.MaxValue; v++ {
+		o, ok := ix.Owner(v)
+		if !ok {
+			o = in.Base // unmapped values default to the base
+		}
+		c := in.Cost(o, v)
+		if c >= Inf {
+			return Inf
+		}
+		total += c
+	}
+	return total
+}
+
+// StoreLocalCost estimates the expected messages per second of the
+// degenerate "store-local" policy: data costs nothing, but every query
+// floods the network (≈ one broadcast per node under Trickle) and
+// every node sends a reply up the tree (paper §4 and §6, LOCAL).
+func StoreLocalCost(in BuildInput) float64 {
+	if in.Query.Rate == 0 {
+		return 0
+	}
+	flood := float64(in.N - 1) // every non-base node re-broadcasts once
+	replies := 0.0
+	for p := 0; p < in.N; p++ {
+		if netsim.NodeID(p) == in.Base {
+			continue
+		}
+		x := in.Xmits[p][in.Base]
+		if x >= Inf {
+			continue // unreachable nodes answer nothing
+		}
+		replies += x
+	}
+	return in.Query.Rate * (flood + replies)
+}
+
+// ChooseIndex builds the cost-optimal index and then compares it with
+// the store-local alternative, returning the cheaper of the two
+// (paper §4: "the basestation, therefore, also evaluates the expected
+// cost of a 'store-local' storage index and uses it if the expected
+// cost is lower"). Experiments that disable the fallback call Build
+// directly.
+func ChooseIndex(id uint16, in BuildInput) *Index {
+	ix := Build(id, in)
+	if StoreLocalCost(in) < EvaluateIndexCost(ix, in) {
+		return NewLocal(id)
+	}
+	return ix
+}

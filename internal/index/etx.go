@@ -1,0 +1,101 @@
+package index
+
+import (
+	"math"
+
+	"scoop/internal/netsim"
+)
+
+// Inf is the xmits value for unreachable pairs.
+const Inf = math.MaxFloat64 / 4
+
+// Graph holds the basestation's view of link qualities, built from the
+// topology section of summary messages (each node's best-connected
+// neighbors with estimated inbound quality) plus the origin/parent
+// fields in Scoop packet headers (paper §5.2). Quality[i][j] estimates
+// the delivery probability of one transmission i→j.
+type Graph struct {
+	N       int
+	Quality [][]float64
+}
+
+// NewGraph returns an n-node graph with no links.
+func NewGraph(n int) *Graph {
+	g := &Graph{N: n, Quality: make([][]float64, n)}
+	for i := range g.Quality {
+		g.Quality[i] = make([]float64, n)
+	}
+	return g
+}
+
+// Report records a link-quality observation: node `to` reported
+// hearing `from` with the given delivery probability. Newer reports
+// overwrite older ones (the basestation keeps the last summary per
+// node).
+func (g *Graph) Report(from, to netsim.NodeID, quality float64) {
+	if int(from) >= g.N || int(to) >= g.N || from == to {
+		return
+	}
+	if quality < 0 {
+		quality = 0
+	}
+	if quality > 1 {
+		quality = 1
+	}
+	g.Quality[from][to] = quality
+}
+
+// minUsableQuality guards the ETX metric against wildly expensive
+// links: links below this estimated quality are not considered usable
+// edges (they would imply >8 expected transmissions per hop).
+const minUsableQuality = 0.125
+
+// Xmits computes the all-pairs expected-transmission-count matrix
+// xmits(x→y) from the current link estimates, the quantity the
+// indexing algorithm in Figure 2 of the paper consumes. Edge cost is
+// the ETX of the hop, 1/quality; unusable pairs get Inf.
+//
+// The O(n³) Floyd–Warshall pass is the basestation's job in Scoop —
+// "the Scoop basestation requires more memory and CPU power than
+// current mote hardware can provide" — and is trivially affordable at
+// n ≤ 128.
+func (g *Graph) Xmits() [][]float64 {
+	n := g.N
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case g.Quality[i][j] >= minUsableQuality:
+				d[i][j] = 1.0 / g.Quality[i][j]
+			default:
+				d[i][j] = Inf
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := d[k]
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik >= Inf {
+				continue
+			}
+			di := d[i]
+			for j := 0; j < n; j++ {
+				if alt := dik + dk[j]; alt < di[j] {
+					di[j] = alt
+				}
+			}
+		}
+	}
+	return d
+}
+
+// RoundTrip returns xmits(base→o→base) given a precomputed matrix:
+// the cost of delivering a query to owner o and routing the reply
+// back (paper Figure 2).
+func RoundTrip(xmits [][]float64, base, o netsim.NodeID) float64 {
+	return xmits[base][o] + xmits[o][base]
+}

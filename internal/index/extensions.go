@@ -1,0 +1,172 @@
+package index
+
+import (
+	"sort"
+
+	"scoop/internal/netsim"
+)
+
+// This file implements the extensions sketched in §4 of the paper:
+//
+//   - Owner sets: "pick multiple owners, i.e., an owner set, per
+//     value, thus allowing nodes to pick one nearby node from multiple
+//     owner candidates to store their data … a more feasible approach
+//     is to consider only small owner sets." Producers store at their
+//     cheapest member; queries must visit every member.
+//   - Range placement: "modify the outer loop of the placement
+//     algorithm to consider a fixed set of ranges rather than a fixed
+//     set of values", trading per-value optimality for one-stop range
+//     queries and bounded index size.
+
+// OwnerSetCost returns the expected messages per second when value v
+// is replicated on the owner set: each producer routes to its cheapest
+// member, while a query must do a round trip to every member.
+func OwnerSetCost(in BuildInput, set []netsim.NodeID, v int) float64 {
+	if len(set) == 0 {
+		return Inf
+	}
+	cost := 0.0
+	for p := range in.Nodes {
+		st := &in.Nodes[p]
+		prob := st.Hist.Prob(v)
+		if prob == 0 || st.Rate == 0 {
+			continue
+		}
+		best := Inf
+		for _, o := range set {
+			if netsim.NodeID(p) == o {
+				best = 0
+				break
+			}
+			if x := in.Xmits[p][o]; x < best {
+				best = x
+			}
+		}
+		if best >= Inf {
+			return Inf
+		}
+		cost += prob * st.Rate * best
+	}
+	if qp := in.Query.ProbOf(v); qp > 0 && in.Query.Rate > 0 {
+		for _, o := range set {
+			if o == in.Base {
+				continue
+			}
+			x := RoundTrip(in.Xmits, in.Base, o)
+			if x >= Inf {
+				return Inf
+			}
+			cost += qp * in.Query.Rate * x
+		}
+	}
+	return cost
+}
+
+// BuildOwnerSets runs the owner-set extension: for every value, start
+// from the single cost-optimal owner and greedily add owners (up to
+// maxOwners) while each addition strictly reduces the expected cost.
+// Complexity O(V·n²·k) — the "small owner sets" restriction that keeps
+// the naive exponential search tractable.
+func BuildOwnerSets(in BuildInput, maxOwners int) [][]netsim.NodeID {
+	if maxOwners < 1 {
+		maxOwners = 1
+	}
+	owners := BuildOwners(in)
+	sets := make([][]netsim.NodeID, len(owners))
+	for i, first := range owners {
+		v := in.MinValue + i
+		set := []netsim.NodeID{first}
+		cost := OwnerSetCost(in, set, v)
+		for len(set) < maxOwners {
+			bestCost := cost
+			var bestAdd netsim.NodeID
+			found := false
+			for o := 0; o < in.N; o++ {
+				oid := netsim.NodeID(o)
+				if contains(set, oid) {
+					continue
+				}
+				if c := OwnerSetCost(in, append(append([]netsim.NodeID(nil), set...), oid), v); c < bestCost {
+					bestCost, bestAdd, found = c, oid, true
+				}
+			}
+			if !found {
+				break
+			}
+			set = append(set, bestAdd)
+			cost = bestCost
+		}
+		sort.Slice(set, func(a, b int) bool { return set[a] < set[b] })
+		sets[i] = set
+	}
+	return sets
+}
+
+// OwnerSetsTotalCost sums the expected cost over the domain for a
+// BuildOwnerSets result, for comparison against the single-owner plan.
+func OwnerSetsTotalCost(in BuildInput, sets [][]netsim.NodeID) float64 {
+	total := 0.0
+	for i, set := range sets {
+		c := OwnerSetCost(in, set, in.MinValue+i)
+		if c >= Inf {
+			return Inf
+		}
+		total += c
+	}
+	return total
+}
+
+func contains(set []netsim.NodeID, id netsim.NodeID) bool {
+	for _, s := range set {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildRangeOwners runs the range-placement extension: the domain is
+// cut into fixed-width segments and each segment gets the single owner
+// minimising the segment's summed cost. The result is an index with at
+// most ⌈V/width⌉ entries, so any query narrower than width touches at
+// most two nodes — at the price of concentrating a whole range's
+// storage burden on one node (the trade-off §4 calls out).
+func BuildRangeOwners(id uint16, in BuildInput, width int) *Index {
+	if width < 1 {
+		width = 1
+	}
+	owners := make([]netsim.NodeID, in.domainSize())
+	for lo := 0; lo < len(owners); lo += width {
+		hi := lo + width
+		if hi > len(owners) {
+			hi = len(owners)
+		}
+		best := in.Base
+		bestCost := rangeCost(in, in.Base, lo, hi)
+		for o := 0; o < in.N; o++ {
+			oid := netsim.NodeID(o)
+			if oid == in.Base {
+				continue
+			}
+			if c := rangeCost(in, oid, lo, hi); c < bestCost {
+				best, bestCost = oid, c
+			}
+		}
+		for i := lo; i < hi; i++ {
+			owners[i] = best
+		}
+	}
+	return New(id, in.MinValue, owners)
+}
+
+func rangeCost(in BuildInput, o netsim.NodeID, lo, hi int) float64 {
+	c := 0.0
+	for i := lo; i < hi; i++ {
+		vc := in.Cost(o, in.MinValue+i)
+		if vc >= Inf {
+			return Inf
+		}
+		c += vc
+	}
+	return c
+}

@@ -1,0 +1,168 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scoop/internal/histogram"
+	"scoop/internal/netsim"
+)
+
+// twoRegionInput models the case the owner-set extension targets:
+// "multiple regions in the network exhibit similar data distributions".
+// Nodes 1 and 3 sit at opposite ends of a chain and both produce the
+// same values; replicating ownership at both ends should beat any
+// single owner when queries are rare.
+func twoRegionInput(qRate float64) BuildInput {
+	h := histogram.Build([]int{5, 5, 6, 6, 7}, 5)
+	nodes := make([]NodeStat, 4)
+	nodes[1] = NodeStat{Hist: h, Rate: 2}
+	nodes[3] = NodeStat{Hist: h, Rate: 2}
+	return BuildInput{
+		N: 4, Base: 0,
+		Nodes:    nodes,
+		Query:    QueryProfile{Rate: qRate, MinValue: 0, Prob: uniformProb(10)},
+		Xmits:    chainGraph(0.8).Xmits(),
+		MinValue: 0, MaxValue: 9,
+	}
+}
+
+func TestOwnerSetsReplicateAcrossRegions(t *testing.T) {
+	in := twoRegionInput(0.001)
+	sets := BuildOwnerSets(in, 2)
+	// Value 5 is produced equally at both ends; the 2-owner set should
+	// contain both producers.
+	set := sets[5]
+	if len(set) != 2 || set[0] != 1 || set[1] != 3 {
+		t.Fatalf("owner set for value 5 = %v, want [1 3]", set)
+	}
+	// And the replicated plan must be cheaper than the single-owner one.
+	single := Build(1, in)
+	singleCost := EvaluateIndexCost(single, in)
+	setCost := OwnerSetsTotalCost(in, sets)
+	if setCost >= singleCost {
+		t.Fatalf("owner sets cost %.3f not below single-owner %.3f", setCost, singleCost)
+	}
+}
+
+func TestOwnerSetsCollapseUnderHeavyQueries(t *testing.T) {
+	// With frequent queries, each extra owner adds a query round trip;
+	// the greedy search must stop at one owner.
+	in := twoRegionInput(50)
+	sets := BuildOwnerSets(in, 3)
+	for v, set := range sets {
+		if len(set) != 1 {
+			t.Fatalf("value %d replicated to %v despite heavy queries", v, set)
+		}
+	}
+}
+
+func TestOwnerSetsRespectMax(t *testing.T) {
+	in := twoRegionInput(0)
+	for _, k := range []int{0, 1, 2} {
+		sets := BuildOwnerSets(in, k)
+		want := k
+		if want < 1 {
+			want = 1
+		}
+		for _, set := range sets {
+			if len(set) > want {
+				t.Fatalf("set %v exceeds max %d", set, want)
+			}
+		}
+	}
+}
+
+// Property: adding owners via the greedy search never increases cost
+// versus the single-owner optimum.
+func TestOwnerSetsNeverWorseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newRand(seed)
+		n := 5
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && r.Float64() < 0.7 {
+					g.Report(netsim.NodeID(i), netsim.NodeID(j), 0.3+0.7*r.Float64())
+				}
+			}
+		}
+		nodes := make([]NodeStat, n)
+		for i := 1; i < n; i++ {
+			vals := make([]int, 6)
+			for k := range vals {
+				vals[k] = r.Intn(12)
+			}
+			nodes[i] = NodeStat{Hist: histogram.Build(vals, 4), Rate: r.Float64()}
+		}
+		in := BuildInput{
+			N: n, Base: 0, Nodes: nodes,
+			Query:    QueryProfile{Rate: r.Float64() * 0.1, MinValue: 0, Prob: uniformProb(12)},
+			Xmits:    g.Xmits(),
+			MinValue: 0, MaxValue: 11,
+		}
+		single := EvaluateIndexCost(Build(1, in), in)
+		sets := OwnerSetsTotalCost(in, BuildOwnerSets(in, 3))
+		if single >= Inf {
+			return true
+		}
+		// Allow the contiguity tolerance plus float slack.
+		return sets <= single*(1+contiguityTolerance)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangePlacementBoundsEntries(t *testing.T) {
+	in := buildInput(3, 1, 1)
+	ix := BuildRangeOwners(1, in, 10)
+	if len(ix.Entries) > 3 { // 30 values / width 10
+		t.Fatalf("range placement produced %d entries, want ≤3", len(ix.Entries))
+	}
+	// Every 10-wide aligned range maps to a single owner.
+	for lo := 0; lo < 30; lo += 10 {
+		owners := ix.Owners(lo, lo+9)
+		if len(owners) != 1 {
+			t.Fatalf("range [%d,%d] has owners %v, want exactly one", lo, lo+9, owners)
+		}
+	}
+}
+
+func TestRangePlacementCostWithinFactorOfPerValue(t *testing.T) {
+	in := buildInput(3, 1, 1)
+	perValue := EvaluateIndexCost(Build(1, in), in)
+	ranged := EvaluateIndexCost(BuildRangeOwners(2, in, 10), in)
+	if ranged < perValue-1e-9 {
+		t.Fatalf("range placement cheaper (%.4f) than per-value optimum (%.4f)?", ranged, perValue)
+	}
+	if ranged > perValue*3 {
+		t.Fatalf("range placement cost %.4f blows up vs per-value %.4f", ranged, perValue)
+	}
+}
+
+func TestRangePlacementWidthOne(t *testing.T) {
+	// Width 1 degenerates to the per-value algorithm without the
+	// contiguity preference.
+	in := buildInput(3, 1, 1)
+	ix := BuildRangeOwners(1, in, 1)
+	for v := 0; v <= 29; v++ {
+		o, ok := ix.Owner(v)
+		if !ok {
+			t.Fatalf("value %d unmapped", v)
+		}
+		c := in.Cost(o, v)
+		for alt := 0; alt < in.N; alt++ {
+			if in.Cost(netsim.NodeID(alt), v) < c-1e-12 {
+				t.Fatalf("width-1 range placement suboptimal at %d", v)
+			}
+		}
+	}
+}
+
+func TestOwnerSetCostEmptySet(t *testing.T) {
+	in := twoRegionInput(1)
+	if OwnerSetCost(in, nil, 5) < Inf {
+		t.Fatal("empty owner set has finite cost")
+	}
+}

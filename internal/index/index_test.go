@@ -1,0 +1,283 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scoop/internal/netsim"
+)
+
+func TestNewCompaction(t *testing.T) {
+	owners := []netsim.NodeID{2, 2, 2, 1, 5, 5, 2}
+	ix := New(7, 20, owners)
+	if len(ix.Entries) != 4 {
+		t.Fatalf("entries = %d, want 4 (compaction)", len(ix.Entries))
+	}
+	want := []Entry{{20, 22, 2}, {23, 23, 1}, {24, 25, 5}, {26, 26, 2}}
+	for i, e := range want {
+		if ix.Entries[i] != e {
+			t.Fatalf("entry %d = %+v, want %+v", i, ix.Entries[i], e)
+		}
+	}
+	if ix.MinValue != 20 || ix.MaxValue != 26 {
+		t.Fatalf("domain [%d,%d]", ix.MinValue, ix.MaxValue)
+	}
+}
+
+func TestOwnerLookup(t *testing.T) {
+	ix := New(1, 0, []netsim.NodeID{3, 3, 7, 7, 7, 1})
+	cases := []struct {
+		v    int
+		want netsim.NodeID
+		ok   bool
+	}{
+		{0, 3, true}, {1, 3, true}, {2, 7, true}, {4, 7, true}, {5, 1, true},
+		{-1, 0, false}, {6, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ix.Owner(c.v)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("Owner(%d) = %d,%v, want %d,%v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// Property: compaction round-trips — Owner(v) equals the dense
+// assignment for every v, for arbitrary assignments.
+func TestCompactionRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8, minSeed int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		minV := int(minSeed)
+		owners := make([]netsim.NodeID, len(raw))
+		for i, r := range raw {
+			owners[i] = netsim.NodeID(r % 16)
+		}
+		ix := New(1, minV, owners)
+		for i, want := range owners {
+			got, ok := ix.Owner(minV + i)
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := ix.Owner(minV - 1)
+		_, ok2 := ix.Owner(minV + len(owners))
+		return !ok && !ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: entries are sorted, non-overlapping and cover the domain.
+func TestEntriesCoverDomainProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		owners := make([]netsim.NodeID, len(raw))
+		for i, r := range raw {
+			owners[i] = netsim.NodeID(r % 8)
+		}
+		ix := New(1, 0, owners)
+		next := 0
+		for _, e := range ix.Entries {
+			if e.Lo != next || e.Hi < e.Lo {
+				return false
+			}
+			next = e.Hi + 1
+		}
+		return next == len(owners)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnersRange(t *testing.T) {
+	ix := New(1, 0, []netsim.NodeID{3, 3, 7, 7, 1, 3})
+	got := ix.Owners(1, 4)
+	want := []netsim.NodeID{1, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("owners = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("owners = %v, want %v", got, want)
+		}
+	}
+	if got := ix.Owners(100, 200); len(got) != 0 {
+		t.Fatalf("out-of-domain owners = %v", got)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	a := New(1, 0, []netsim.NodeID{1, 1, 2, 2})
+	b := New(2, 0, []netsim.NodeID{1, 1, 2, 3})
+	if s := Similarity(a, b); s != 0.75 {
+		t.Fatalf("similarity = %f, want 0.75", s)
+	}
+	if s := Similarity(a, a); s != 1 {
+		t.Fatalf("self similarity = %f", s)
+	}
+	if Similarity(a, nil) != 0 {
+		t.Fatal("nil similarity nonzero")
+	}
+	if Similarity(NewLocal(1), NewLocal(2)) != 1 {
+		t.Fatal("two local indices must be identical")
+	}
+	if Similarity(a, NewLocal(3)) != 0 {
+		t.Fatal("local vs range index must differ")
+	}
+}
+
+func TestChunksRoundTrip(t *testing.T) {
+	owners := make([]netsim.NodeID, 150)
+	r := rand.New(rand.NewSource(1))
+	for i := range owners {
+		owners[i] = netsim.NodeID(r.Intn(10))
+	}
+	ix := New(42, 0, owners)
+	chunks := ix.Chunks(MaxEntriesPerChunk)
+	if len(chunks) < 2 {
+		t.Fatalf("expected multiple chunks, got %d", len(chunks))
+	}
+	// Deliver in a shuffled order with duplicates.
+	asm := NewAssembler()
+	order := r.Perm(len(chunks))
+	var got *Index
+	for _, i := range order {
+		if g := asm.Offer(chunks[i]); g != nil {
+			got = g
+		}
+		asm.Offer(chunks[i]) // duplicate must be harmless
+	}
+	if got == nil {
+		t.Fatal("assembly never completed")
+	}
+	if got.ID != 42 || got.MinValue != ix.MinValue || got.MaxValue != ix.MaxValue {
+		t.Fatalf("assembled header mismatch: %v vs %v", got, ix)
+	}
+	for v := 0; v < 150; v++ {
+		a, _ := ix.Owner(v)
+		b, ok := got.Owner(v)
+		if !ok || a != b {
+			t.Fatalf("assembled index differs at %d: %d vs %d", v, a, b)
+		}
+	}
+}
+
+// Property: chunk/assemble round-trips for arbitrary assignments and
+// chunk sizes, regardless of delivery order.
+func TestChunkAssembleProperty(t *testing.T) {
+	f := func(raw []uint8, perChunkSeed uint8, permSeed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		owners := make([]netsim.NodeID, len(raw))
+		for i, r := range raw {
+			owners[i] = netsim.NodeID(r % 5)
+		}
+		ix := New(9, 0, owners)
+		per := int(perChunkSeed%6) + 1
+		chunks := ix.Chunks(per)
+		asm := NewAssembler()
+		r := rand.New(rand.NewSource(permSeed))
+		var got *Index
+		for _, i := range r.Perm(len(chunks)) {
+			if g := asm.Offer(chunks[i]); g != nil {
+				got = g
+			}
+		}
+		if got == nil {
+			return false
+		}
+		for v := 0; v < len(owners); v++ {
+			a, _ := ix.Owner(v)
+			b, ok := got.Owner(v)
+			if !ok || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssemblerIncomplete(t *testing.T) {
+	ix := New(3, 0, make([]netsim.NodeID, 40)) // 40 values → 1 entry... force more
+	owners := make([]netsim.NodeID, 40)
+	for i := range owners {
+		owners[i] = netsim.NodeID(i % 7)
+	}
+	ix = New(3, 0, owners)
+	chunks := ix.Chunks(2)
+	asm := NewAssembler()
+	for _, c := range chunks[:len(chunks)-1] {
+		if asm.Offer(c) != nil {
+			t.Fatal("completed without all chunks")
+		}
+	}
+	if asm.Pending() != 1 {
+		t.Fatalf("pending = %d", asm.Pending())
+	}
+	if !asm.HasChunk(3, 0) {
+		t.Fatal("HasChunk lost a chunk")
+	}
+	if asm.HasChunk(3, chunks[len(chunks)-1].Num) {
+		t.Fatal("HasChunk invented the missing chunk")
+	}
+}
+
+func TestAssemblerDropsStaleGenerations(t *testing.T) {
+	old := New(5, 0, []netsim.NodeID{1, 2, 1, 2, 1, 2, 1, 2})
+	cur := New(6, 0, []netsim.NodeID{3, 4, 3, 4, 3, 4, 3, 4})
+	asm := NewAssembler()
+	// Partial old generation...
+	asm.Offer(old.Chunks(2)[0])
+	// ...then the new generation completes.
+	for _, c := range cur.Chunks(2) {
+		asm.Offer(c)
+	}
+	if asm.Pending() != 0 {
+		t.Fatalf("stale partial generation retained (pending=%d)", asm.Pending())
+	}
+}
+
+func TestLocalIndexChunks(t *testing.T) {
+	ix := NewLocal(9)
+	chunks := ix.Chunks(4)
+	if len(chunks) != 1 || !chunks[0].Local {
+		t.Fatalf("local chunks = %+v", chunks)
+	}
+	asm := NewAssembler()
+	got := asm.Offer(chunks[0])
+	if got == nil || !got.Local || got.ID != 9 {
+		t.Fatalf("assembled local = %+v", got)
+	}
+	if _, ok := got.Owner(5); ok {
+		t.Fatal("local index resolved an owner")
+	}
+}
+
+func TestChunksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 0, []netsim.NodeID{1}).Chunks(0)
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 0, nil)
+}

@@ -1,0 +1,319 @@
+// Package metrics provides message accounting for sensor-network
+// simulations. The Scoop paper's cost metric is the total number of
+// messages nodes collectively send, broken down by message class
+// (data, summary, mapping, query, reply, beacon), so every transmission
+// in the simulator is recorded here.
+//
+// Counters are plain in-memory tallies owned by a single simulation run;
+// they are not safe for concurrent use. Experiment harnesses that run
+// trials in parallel give each trial its own Counters and merge afterwards.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class identifies the protocol role of a message, mirroring the
+// breakdown in Figure 3 of the paper.
+type Class uint8
+
+// Message classes. Beacon traffic (tree maintenance) exists in all
+// storage policies and is reported separately, as the paper's counts
+// exclude routing-tree heartbeats from the per-policy comparison.
+const (
+	Data Class = iota
+	Summary
+	Mapping
+	Query
+	Reply
+	Beacon
+	numClasses
+)
+
+// String returns the lower-case class name used in reports.
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case Summary:
+		return "summary"
+	case Mapping:
+		return "mapping"
+	case Query:
+		return "query"
+	case Reply:
+		return "reply"
+	case Beacon:
+		return "beacon"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classes lists all message classes in display order.
+func Classes() []Class {
+	return []Class{Data, Summary, Mapping, Query, Reply, Beacon}
+}
+
+// Counters accumulates per-class and per-node message counts for one
+// simulation run.
+type Counters struct {
+	sent     [numClasses]int64 // transmissions, including retries
+	received [numClasses]int64 // link-layer deliveries to the addressee
+	sentBy   map[uint16]*[numClasses]int64
+	recvBy   map[uint16]*[numClasses]int64
+
+	// Byte tallies feed the energy model (radio cost is per bit).
+	// Snooped bytes are frames overheard by non-addressees — they cost
+	// the same reception energy, and in dense networks dominate it.
+	sentBytes    int64
+	recvBytes    int64
+	snoopBytes   int64
+	sentBytesBy  map[uint16]int64
+	recvBytesBy  map[uint16]int64
+	snoopBytesBy map[uint16]int64
+
+	// Delivery bookkeeping for loss-rate experiments.
+	dropped map[string]int64
+}
+
+// NewCounters returns empty counters ready for use.
+func NewCounters() *Counters {
+	return &Counters{
+		sentBy:       make(map[uint16]*[numClasses]int64),
+		recvBy:       make(map[uint16]*[numClasses]int64),
+		sentBytesBy:  make(map[uint16]int64),
+		recvBytesBy:  make(map[uint16]int64),
+		snoopBytesBy: make(map[uint16]int64),
+		dropped:      make(map[string]int64),
+	}
+}
+
+// CountSend records one transmission of class c and the given frame
+// size by node id.
+func (m *Counters) CountSend(id uint16, c Class, bytes int) {
+	m.sent[c]++
+	row, ok := m.sentBy[id]
+	if !ok {
+		row = new([numClasses]int64)
+		m.sentBy[id] = row
+	}
+	row[c]++
+	m.sentBytes += int64(bytes)
+	m.sentBytesBy[id] += int64(bytes)
+}
+
+// CountReceive records one successful delivery of class c and frame
+// size to node id.
+func (m *Counters) CountReceive(id uint16, c Class, bytes int) {
+	m.received[c]++
+	row, ok := m.recvBy[id]
+	if !ok {
+		row = new([numClasses]int64)
+		m.recvBy[id] = row
+	}
+	row[c]++
+	m.recvBytes += int64(bytes)
+	m.recvBytesBy[id] += int64(bytes)
+}
+
+// CountSnoop records bytes a non-addressee overheard.
+func (m *Counters) CountSnoop(id uint16, bytes int) {
+	m.snoopBytes += int64(bytes)
+	m.snoopBytesBy[id] += int64(bytes)
+}
+
+// SnoopedBytes returns the total bytes overheard by non-addressees.
+func (m *Counters) SnoopedBytes() int64 { return m.snoopBytes }
+
+// SnoopedBytesBy returns the bytes node id overheard.
+func (m *Counters) SnoopedBytesBy(id uint16) int64 { return m.snoopBytesBy[id] }
+
+// SentBytes returns the total bytes transmitted (all nodes).
+func (m *Counters) SentBytes() int64 { return m.sentBytes }
+
+// ReceivedBytes returns the total bytes delivered to addressees.
+func (m *Counters) ReceivedBytes() int64 { return m.recvBytes }
+
+// SentBytesBy returns the bytes node id transmitted.
+func (m *Counters) SentBytesBy(id uint16) int64 { return m.sentBytesBy[id] }
+
+// ReceivedBytesBy returns the bytes delivered to node id.
+func (m *Counters) ReceivedBytesBy(id uint16) int64 { return m.recvBytesBy[id] }
+
+// CountDrop records a lost packet with a free-form cause
+// ("loss", "collision", "retries", "dead", ...).
+func (m *Counters) CountDrop(cause string) { m.dropped[cause]++ }
+
+// Sent returns the number of transmissions of class c across all nodes.
+func (m *Counters) Sent(c Class) int64 { return m.sent[c] }
+
+// Received returns the number of deliveries of class c across all nodes.
+func (m *Counters) Received(c Class) int64 { return m.received[c] }
+
+// SentBy returns the number of transmissions of class c by node id.
+func (m *Counters) SentBy(id uint16, c Class) int64 {
+	if row, ok := m.sentBy[id]; ok {
+		return row[c]
+	}
+	return 0
+}
+
+// ReceivedBy returns the number of deliveries of class c to node id.
+func (m *Counters) ReceivedBy(id uint16, c Class) int64 {
+	if row, ok := m.recvBy[id]; ok {
+		return row[c]
+	}
+	return 0
+}
+
+// TotalSentBy returns all transmissions by node id, excluding beacons.
+func (m *Counters) TotalSentBy(id uint16) int64 {
+	var t int64
+	for c := Class(0); c < numClasses; c++ {
+		if c == Beacon {
+			continue
+		}
+		t += m.SentBy(id, c)
+	}
+	return t
+}
+
+// Total returns all transmissions excluding beacon (tree-maintenance)
+// traffic: the paper's comparison metric.
+func (m *Counters) Total() int64 {
+	var t int64
+	for c := Class(0); c < numClasses; c++ {
+		if c == Beacon {
+			continue
+		}
+		t += m.sent[c]
+	}
+	return t
+}
+
+// TotalWithBeacons returns all transmissions including beacons.
+func (m *Counters) TotalWithBeacons() int64 {
+	var t int64
+	for c := Class(0); c < numClasses; c++ {
+		t += m.sent[c]
+	}
+	return t
+}
+
+// Drops returns the drop count recorded under the given cause.
+func (m *Counters) Drops(cause string) int64 { return m.dropped[cause] }
+
+// DropCauses returns all causes with nonzero drops, sorted.
+func (m *Counters) DropCauses() []string {
+	causes := make([]string, 0, len(m.dropped))
+	for k := range m.dropped {
+		causes = append(causes, k)
+	}
+	sort.Strings(causes)
+	return causes
+}
+
+// Merge adds other's counts into m. Useful when averaging trials.
+func (m *Counters) Merge(other *Counters) {
+	for c := Class(0); c < numClasses; c++ {
+		m.sent[c] += other.sent[c]
+		m.received[c] += other.received[c]
+	}
+	for id, row := range other.sentBy {
+		dst, ok := m.sentBy[id]
+		if !ok {
+			dst = new([numClasses]int64)
+			m.sentBy[id] = dst
+		}
+		for c := range row {
+			dst[c] += row[c]
+		}
+	}
+	for id, row := range other.recvBy {
+		dst, ok := m.recvBy[id]
+		if !ok {
+			dst = new([numClasses]int64)
+			m.recvBy[id] = dst
+		}
+		for c := range row {
+			dst[c] += row[c]
+		}
+	}
+	m.sentBytes += other.sentBytes
+	m.recvBytes += other.recvBytes
+	m.snoopBytes += other.snoopBytes
+	for id, v := range other.sentBytesBy {
+		m.sentBytesBy[id] += v
+	}
+	for id, v := range other.recvBytesBy {
+		m.recvBytesBy[id] += v
+	}
+	for id, v := range other.snoopBytesBy {
+		m.snoopBytesBy[id] += v
+	}
+	for k, v := range other.dropped {
+		m.dropped[k] += v
+	}
+}
+
+// Breakdown is a fixed snapshot of per-class transmission counts, the
+// unit the figures in the paper plot.
+type Breakdown struct {
+	Data    float64
+	Summary float64
+	Mapping float64
+	Query   float64
+	Reply   float64
+	Beacon  float64
+}
+
+// Snapshot extracts a Breakdown from the counters.
+func (m *Counters) Snapshot() Breakdown {
+	return Breakdown{
+		Data:    float64(m.sent[Data]),
+		Summary: float64(m.sent[Summary]),
+		Mapping: float64(m.sent[Mapping]),
+		Query:   float64(m.sent[Query]),
+		Reply:   float64(m.sent[Reply]),
+		Beacon:  float64(m.sent[Beacon]),
+	}
+}
+
+// Total returns the comparison-metric total (beacons excluded).
+func (b Breakdown) Total() float64 {
+	return b.Data + b.Summary + b.Mapping + b.Query + b.Reply
+}
+
+// Add returns the element-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Data:    b.Data + o.Data,
+		Summary: b.Summary + o.Summary,
+		Mapping: b.Mapping + o.Mapping,
+		Query:   b.Query + o.Query,
+		Reply:   b.Reply + o.Reply,
+		Beacon:  b.Beacon + o.Beacon,
+	}
+}
+
+// Scale returns the breakdown multiplied by f (e.g. 1/trials).
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Data:    b.Data * f,
+		Summary: b.Summary * f,
+		Mapping: b.Mapping * f,
+		Query:   b.Query * f,
+		Reply:   b.Reply * f,
+		Beacon:  b.Beacon * f,
+	}
+}
+
+// String renders the breakdown as a compact single-line report.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total=%.0f data=%.0f summary=%.0f mapping=%.0f query=%.0f reply=%.0f",
+		b.Total(), b.Data, b.Summary, b.Mapping, b.Query, b.Reply)
+	return sb.String()
+}

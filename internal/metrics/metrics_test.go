@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersSendReceive(t *testing.T) {
+	m := NewCounters()
+	m.CountSend(1, Data, 10)
+	m.CountSend(1, Data, 10)
+	m.CountSend(2, Query, 10)
+	m.CountReceive(0, Data, 10)
+	if m.Sent(Data) != 2 || m.Sent(Query) != 1 || m.Sent(Reply) != 0 {
+		t.Fatalf("sent counts wrong: %d %d", m.Sent(Data), m.Sent(Query))
+	}
+	if m.Received(Data) != 1 {
+		t.Fatalf("received = %d", m.Received(Data))
+	}
+	if m.SentBy(1, Data) != 2 || m.SentBy(2, Query) != 1 || m.SentBy(3, Data) != 0 {
+		t.Fatal("per-node sends wrong")
+	}
+	if m.ReceivedBy(0, Data) != 1 || m.ReceivedBy(1, Data) != 0 {
+		t.Fatal("per-node receives wrong")
+	}
+}
+
+func TestTotalExcludesBeacons(t *testing.T) {
+	m := NewCounters()
+	m.CountSend(1, Data, 10)
+	m.CountSend(1, Beacon, 10)
+	m.CountSend(1, Beacon, 10)
+	if m.Total() != 1 {
+		t.Fatalf("total = %d, want beacons excluded", m.Total())
+	}
+	if m.TotalWithBeacons() != 3 {
+		t.Fatalf("total with beacons = %d", m.TotalWithBeacons())
+	}
+	if m.TotalSentBy(1) != 1 {
+		t.Fatalf("per-node total = %d", m.TotalSentBy(1))
+	}
+}
+
+func TestDrops(t *testing.T) {
+	m := NewCounters()
+	m.CountDrop("collision")
+	m.CountDrop("collision")
+	m.CountDrop("queue")
+	if m.Drops("collision") != 2 || m.Drops("queue") != 1 || m.Drops("none") != 0 {
+		t.Fatal("drop counts wrong")
+	}
+	causes := m.DropCauses()
+	if len(causes) != 2 || causes[0] != "collision" || causes[1] != "queue" {
+		t.Fatalf("causes = %v", causes)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.CountSend(1, Data, 10)
+	b.CountSend(1, Data, 10)
+	b.CountSend(2, Summary, 10)
+	b.CountReceive(0, Summary, 10)
+	b.CountDrop("queue")
+	a.Merge(b)
+	if a.Sent(Data) != 2 || a.Sent(Summary) != 1 {
+		t.Fatal("merged sends wrong")
+	}
+	if a.SentBy(1, Data) != 2 || a.SentBy(2, Summary) != 1 {
+		t.Fatal("merged per-node sends wrong")
+	}
+	if a.Received(Summary) != 1 || a.Drops("queue") != 1 {
+		t.Fatal("merged receives/drops wrong")
+	}
+}
+
+func TestSnapshotAndBreakdown(t *testing.T) {
+	m := NewCounters()
+	for i := 0; i < 3; i++ {
+		m.CountSend(1, Data, 10)
+	}
+	m.CountSend(1, Reply, 10)
+	m.CountSend(1, Beacon, 10)
+	b := m.Snapshot()
+	if b.Data != 3 || b.Reply != 1 || b.Beacon != 1 {
+		t.Fatalf("snapshot = %+v", b)
+	}
+	if b.Total() != 4 {
+		t.Fatalf("breakdown total = %f", b.Total())
+	}
+	sum := b.Add(b)
+	if sum.Data != 6 || sum.Total() != 8 {
+		t.Fatalf("add = %+v", sum)
+	}
+	half := b.Scale(0.5)
+	if half.Data != 1.5 {
+		t.Fatalf("scale = %+v", half)
+	}
+	if !strings.Contains(b.String(), "data=3") {
+		t.Fatalf("string = %q", b.String())
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	names := map[Class]string{
+		Data: "data", Summary: "summary", Mapping: "mapping",
+		Query: "query", Reply: "reply", Beacon: "beacon",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%v.String() = %q", uint8(c), c.String())
+		}
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class has empty name")
+	}
+	if len(Classes()) != 6 {
+		t.Fatalf("classes = %v", Classes())
+	}
+}
+
+// Property: Merge is equivalent to counting everything on one counter.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	f := func(events []uint16) bool {
+		single, a, b := NewCounters(), NewCounters(), NewCounters()
+		for i, e := range events {
+			node := uint16(e % 8)
+			class := Class(e % uint16(numClasses))
+			single.CountSend(node, class, 10)
+			if i%2 == 0 {
+				a.CountSend(node, class, 10)
+			} else {
+				b.CountSend(node, class, 10)
+			}
+		}
+		a.Merge(b)
+		for c := Class(0); c < numClasses; c++ {
+			if single.Sent(c) != a.Sent(c) {
+				return false
+			}
+		}
+		return single.TotalWithBeacons() == a.TotalWithBeacons()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,475 @@
+package netsim
+
+import (
+	"fmt"
+
+	"scoop/internal/metrics"
+)
+
+// App is the protocol logic running on one simulated node. All methods
+// are invoked from the simulator's event loop (never concurrently).
+type App interface {
+	// Init is called once before the simulation starts.
+	Init(api *NodeAPI)
+	// Receive is called when a packet addressed to this node (or to
+	// Broadcast) is successfully delivered.
+	Receive(p *Packet)
+	// Snoop is called when this node overhears a packet addressed to
+	// someone else, the mechanism Scoop uses to estimate link quality.
+	Snoop(p *Packet)
+	// Timer is called when a timer set via NodeAPI.SetTimer fires.
+	Timer(id int)
+}
+
+// Params tunes the MAC and radio model. The zero value is not usable;
+// start from DefaultParams.
+type Params struct {
+	// MaxAttempts bounds unicast transmissions per packet, including
+	// the first (Woo-style link-layer retransmission).
+	MaxAttempts int
+	// AckQualityBonus scales the reverse-link probability when
+	// modelling acknowledgements (short ack frames survive better
+	// than full packets).
+	AckQualityBonus float64
+	// BackoffMin/BackoffMax bound the random CSMA delay before each
+	// transmission attempt.
+	BackoffMin, BackoffMax Time
+	// RetryDelayMin/Max bound the delay before a retransmission.
+	RetryDelayMin, RetryDelayMax Time
+	// BitsPerMs is the raw channel bit rate (Mica2 CC1000: 38.6 kbps).
+	// Channel-acquisition and header overheads are modelled separately
+	// via TxOverhead and the CSMA backoff, which together yield the
+	// paper's ~10 kbps usable application throughput.
+	BitsPerMs float64
+	// TxOverhead is fixed per-packet airtime (preamble, channel
+	// acquisition).
+	TxOverhead Time
+	// Collisions enables the overlapping-transmission collision model.
+	Collisions bool
+	// CarrierSense enables CSMA deferral when the channel is audibly
+	// busy at the sender.
+	CarrierSense bool
+	// MaxDefers bounds consecutive carrier-sense deferrals; after that
+	// the node transmits anyway (real CSMA gives up too).
+	MaxDefers int
+	// QueueCap bounds each node's outstanding outgoing packets. New
+	// sends are dropped when the queue is full, modelling the small
+	// TinyOS send queue — this is what the paper means by "the network
+	// may become saturated …, resulting in high loss".
+	QueueCap int
+}
+
+// DefaultParams returns the parameters used in all paper-reproduction
+// experiments.
+func DefaultParams() Params {
+	return Params{
+		MaxAttempts:     6,
+		AckQualityBonus: 1.4,
+		BackoffMin:      5 * Millisecond,
+		BackoffMax:      80 * Millisecond,
+		RetryDelayMin:   60 * Millisecond,
+		RetryDelayMax:   250 * Millisecond,
+		BitsPerMs:       38.6,
+		TxOverhead:      8 * Millisecond,
+		Collisions:      true,
+		CarrierSense:    true,
+		MaxDefers:       10,
+		QueueCap:        32,
+	}
+}
+
+// transmission records an in-flight frame for the collision model.
+type transmission struct {
+	src        NodeID
+	start, end Time
+}
+
+// Network binds a topology, a simulator, per-node applications and the
+// message counters into one runnable radio network.
+type Network struct {
+	Sim      *Simulator
+	Topo     *Topology
+	Counters *metrics.Counters
+	Params   Params
+
+	apps      []App
+	api       []*NodeAPI
+	dead      []bool
+	linkScale [][]float64
+	active    []transmission
+	txSeq     []uint32
+	started   bool
+}
+
+// NewNetwork creates a network over topo driven by sim. counters may be
+// shared with other observers but must only be used from this
+// simulation's goroutine.
+func NewNetwork(sim *Simulator, topo *Topology, counters *metrics.Counters, params Params) *Network {
+	n := &Network{
+		Sim:      sim,
+		Topo:     topo,
+		Counters: counters,
+		Params:   params,
+		apps:     make([]App, topo.N),
+		api:      make([]*NodeAPI, topo.N),
+		dead:     make([]bool, topo.N),
+		txSeq:    make([]uint32, topo.N),
+	}
+	n.linkScale = make([][]float64, topo.N)
+	for i := range n.linkScale {
+		n.linkScale[i] = make([]float64, topo.N)
+		for j := range n.linkScale[i] {
+			n.linkScale[i][j] = 1
+		}
+	}
+	return n
+}
+
+// Attach installs app on node id. Must be called before Start.
+func (n *Network) Attach(id NodeID, app App) {
+	if n.started {
+		panic("netsim: Attach after Start")
+	}
+	n.apps[id] = app
+	n.api[id] = &NodeAPI{net: n, id: id, timerGen: make(map[int]uint64)}
+}
+
+// App returns the application attached to id (nil if none).
+func (n *Network) App(id NodeID) App { return n.apps[id] }
+
+// Start initialises all attached applications. Nodes without an app
+// are inert (they neither send nor receive).
+func (n *Network) Start() {
+	if n.started {
+		panic("netsim: double Start")
+	}
+	n.started = true
+	for i, app := range n.apps {
+		if app != nil {
+			app.Init(n.api[i])
+		}
+	}
+}
+
+// Kill marks a node dead: it stops sending, receiving and firing
+// timers. Used for failure-injection experiments.
+func (n *Network) Kill(id NodeID) { n.dead[id] = true }
+
+// Revive brings a dead node back (its protocol state is whatever the
+// app retained).
+func (n *Network) Revive(id NodeID) { n.dead[id] = false }
+
+// Dead reports whether id is currently dead.
+func (n *Network) Dead(id NodeID) bool { return n.dead[id] }
+
+// ScaleLink multiplies the delivery probability of the directed link
+// src→dst by f (clamped to [0,1] at use). Used to inject interference.
+func (n *Network) ScaleLink(src, dst NodeID, f float64) { n.linkScale[src][dst] = f }
+
+// ScaleAllLinks applies ScaleLink to every directed link, modelling a
+// network-wide interference epoch.
+func (n *Network) ScaleAllLinks(f float64) {
+	for i := range n.linkScale {
+		for j := range n.linkScale[i] {
+			n.linkScale[i][j] = f
+		}
+	}
+}
+
+// quality returns the effective delivery probability src→dst now.
+func (n *Network) quality(src, dst NodeID) float64 {
+	q := n.Topo.Quality[src][dst] * n.linkScale[src][dst]
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+func (n *Network) txDuration(size int) Time {
+	d := n.Params.TxOverhead + Time(float64(size*8)/n.Params.BitsPerMs)
+	if d < Millisecond {
+		d = Millisecond
+	}
+	return d
+}
+
+// channelBusyAt reports whether any in-flight transmission is audible
+// at node id right now (for carrier sense). The sense threshold is
+// deliberately lower than the interference threshold: radios detect
+// energy from transmissions too weak to decode.
+func (n *Network) channelBusyAt(id NodeID, now Time) bool {
+	for _, tx := range n.active {
+		if tx.end > now && tx.src != id && n.quality(tx.src, id) > 0.08 {
+			return true
+		}
+	}
+	return false
+}
+
+// collided reports whether a frame from src spanning [start,end) is
+// destroyed at receiver dst by another overlapping audible frame.
+// Destruction is probabilistic, scaled by the interferer's signal at
+// the receiver, with a capture effect: a clearly stronger frame
+// survives interference from a much weaker one, as real narrow-band
+// radios do.
+func (n *Network) collided(src, dst NodeID, start, end Time) bool {
+	if !n.Params.Collisions {
+		return false
+	}
+	qs := n.quality(src, dst)
+	rng := n.Sim.Rand()
+	for _, tx := range n.active {
+		if tx.src == src || tx.src == dst {
+			continue
+		}
+		if tx.start >= end || tx.end <= start {
+			continue
+		}
+		qi := n.quality(tx.src, dst)
+		if qi <= 0.1 || qs >= 2*qi {
+			continue // captured: interferer too weak to matter
+		}
+		if rng.Float64() < 0.7*qi {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Network) pruneActive(now Time) {
+	kept := n.active[:0]
+	for _, tx := range n.active {
+		if tx.end > now {
+			kept = append(kept, tx)
+		}
+	}
+	n.active = kept
+}
+
+// transmit puts one frame on the air from src and returns whether dst
+// received it (for unicast ack modelling). It fans the frame out to
+// every audible neighbour, invoking Receive or Snoop as appropriate.
+func (n *Network) transmit(p *Packet, requireAck bool) bool {
+	src := p.Src
+	n.txSeq[src]++
+	p.Seq = n.txSeq[src]
+	now := n.Sim.Now()
+	n.pruneActive(now)
+	dur := n.txDuration(p.Size)
+	tx := transmission{src: src, start: now, end: now + dur}
+
+	n.Counters.CountSend(uint16(src), p.Class, p.Size)
+
+	delivered := false
+	rng := n.Sim.Rand()
+	for j := 0; j < n.Topo.N; j++ {
+		dst := NodeID(j)
+		if dst == src || n.dead[j] || n.apps[j] == nil {
+			continue
+		}
+		q := n.quality(src, dst)
+		if q <= 0 || rng.Float64() >= q {
+			continue
+		}
+		if n.collided(src, dst, tx.start, tx.end) {
+			n.Counters.CountDrop("collision")
+			continue
+		}
+		cp := p.clone()
+		isAddressee := p.Dst == Broadcast || p.Dst == dst
+		// Deliver at end of airtime; a node that dies mid-air misses it.
+		n.Sim.At(tx.end, func() {
+			if n.dead[dst] {
+				return
+			}
+			if isAddressee {
+				n.Counters.CountReceive(uint16(dst), cp.Class, cp.Size)
+				n.apps[dst].Receive(cp)
+			} else {
+				n.Counters.CountSnoop(uint16(dst), cp.Size)
+				n.apps[dst].Snoop(cp)
+			}
+		})
+		if isAddressee && p.Dst == dst {
+			// Model the link-layer ack on the reverse link; ack frames
+			// are short and more robust than data frames.
+			aq := n.quality(dst, src) * n.Params.AckQualityBonus
+			if aq > 1 {
+				aq = 1
+			}
+			if !requireAck || rng.Float64() < aq {
+				delivered = true
+			}
+		}
+		if isAddressee && p.Dst == Broadcast {
+			delivered = true
+		}
+	}
+	n.active = append(n.active, tx)
+	return delivered
+}
+
+// sendJob is one queued outgoing frame.
+type sendJob struct {
+	p          *Packet
+	requireAck bool
+	done       func(bool)
+}
+
+// NodeAPI is the interface a node application uses to interact with
+// the radio and the virtual clock. One NodeAPI exists per node.
+//
+// Outgoing packets pass through a bounded FIFO send queue and are
+// transmitted strictly one at a time, like a mote's single radio and
+// small TinyOS message queue: the node backs off (CSMA), transmits,
+// waits for the ack, retries up to MaxAttempts, then moves to the next
+// queued frame. A full queue drops new sends — the saturation loss the
+// paper describes.
+type NodeAPI struct {
+	net      *Network
+	id       NodeID
+	timerGen map[int]uint64
+	queue    []sendJob
+	busy     bool
+	jobGen   uint64 // invalidates in-flight attempt events on job change
+}
+
+// ID returns this node's identifier.
+func (a *NodeAPI) ID() NodeID { return a.id }
+
+// N returns the network size (including the basestation).
+func (a *NodeAPI) N() int { return a.net.Topo.N }
+
+// Now returns the current virtual time.
+func (a *NodeAPI) Now() Time { return a.net.Sim.Now() }
+
+// Rand exposes the simulation's deterministic random stream.
+func (a *NodeAPI) Rand() func() float64 { return a.net.Sim.Rand().Float64 }
+
+// RandIntn returns a deterministic uniform int in [0,n).
+func (a *NodeAPI) RandIntn(n int) int { return a.net.Sim.Rand().Intn(n) }
+
+// Send enqueues p for unicast to p.Dst with CSMA backoff, link-layer
+// acks and bounded retransmission. Every transmission attempt is
+// counted as one message of p.Class (the paper's cost metric counts
+// transmissions). The done callback, if non-nil, reports eventual
+// link-layer success.
+func (a *NodeAPI) Send(p *Packet, done func(ok bool)) {
+	if p.Dst == Broadcast {
+		panic("netsim: Send with broadcast destination; use Broadcast")
+	}
+	p.Src = a.id
+	a.enqueue(sendJob{p: p, requireAck: true, done: done})
+}
+
+// Broadcast enqueues p for a single transmission to every audible
+// neighbour, with CSMA backoff but no acknowledgement or retry.
+func (a *NodeAPI) Broadcast(p *Packet) {
+	p.Src = a.id
+	p.Dst = Broadcast
+	a.enqueue(sendJob{p: p, requireAck: false})
+}
+
+func (a *NodeAPI) enqueue(j sendJob) {
+	if len(a.queue) >= a.net.Params.QueueCap {
+		a.net.Counters.CountDrop("queue")
+		if j.done != nil {
+			j.done(false)
+		}
+		return
+	}
+	a.queue = append(a.queue, j)
+	if !a.busy {
+		a.busy = true
+		a.attempt(1, 0)
+	}
+}
+
+// jobDone completes the head-of-queue job and starts the next one.
+func (a *NodeAPI) jobDone(ok bool) {
+	j := a.queue[0]
+	a.queue = a.queue[1:]
+	a.jobGen++
+	if len(a.queue) == 0 {
+		a.busy = false
+	} else {
+		a.attempt(1, 0)
+	}
+	if j.done != nil {
+		j.done(ok)
+	}
+}
+
+// attempt drives the head-of-queue job through backoff, carrier sense,
+// transmission and retries. Scheduled steps carry the job generation
+// so a drained or completed job's stale events are inert.
+func (a *NodeAPI) attempt(try, defers int) {
+	net := a.net
+	gen := a.jobGen
+	backoff := a.randBetween(net.Params.BackoffMin, net.Params.BackoffMax)
+	net.Sim.After(backoff, func() { a.step(gen, try, defers) })
+}
+
+func (a *NodeAPI) step(gen uint64, try, defers int) {
+	net := a.net
+	if gen != a.jobGen || len(a.queue) == 0 {
+		return
+	}
+	if net.dead[a.id] {
+		// Drain the whole queue: a dead mote delivers nothing.
+		for len(a.queue) > 0 {
+			a.jobDone(false)
+		}
+		return
+	}
+	j := a.queue[0]
+	if net.Params.CarrierSense && defers < net.Params.MaxDefers &&
+		net.channelBusyAt(a.id, net.Sim.Now()) {
+		// Channel busy: defer without spending a transmission.
+		net.Sim.After(a.randBetween(net.Params.BackoffMin, net.Params.BackoffMax), func() {
+			a.step(gen, try, defers+1)
+		})
+		return
+	}
+	ok := net.transmit(j.p, j.requireAck)
+	if !j.requireAck || ok {
+		a.jobDone(true)
+		return
+	}
+	if try >= net.Params.MaxAttempts {
+		net.Counters.CountDrop("retries")
+		a.jobDone(false)
+		return
+	}
+	delay := a.randBetween(net.Params.RetryDelayMin, net.Params.RetryDelayMax)
+	net.Sim.After(delay, func() { a.step(gen, try+1, defers) })
+}
+
+// SetTimer schedules Timer(id) to fire after d, replacing any pending
+// timer with the same id.
+func (a *NodeAPI) SetTimer(id int, d Time) {
+	a.timerGen[id]++
+	gen := a.timerGen[id]
+	net := a.net
+	net.Sim.After(d, func() {
+		if a.timerGen[id] != gen || net.dead[a.id] {
+			return
+		}
+		net.apps[a.id].Timer(id)
+	})
+}
+
+// CancelTimer drops any pending timer with the given id.
+func (a *NodeAPI) CancelTimer(id int) { a.timerGen[id]++ }
+
+func (a *NodeAPI) randBetween(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(a.net.Sim.Rand().Int63n(int64(hi-lo)))
+}
+
+func (a *NodeAPI) String() string { return fmt.Sprintf("node(%d)", a.id) }

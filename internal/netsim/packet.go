@@ -1,0 +1,49 @@
+package netsim
+
+import "scoop/internal/metrics"
+
+// NodeID identifies a node. The basestation is always node 0, matching
+// the paper's single-basestation deployments. The query bitmap in the
+// Scoop header bounds networks to 128 nodes; the simulator enforces the
+// same limit.
+type NodeID uint16
+
+// Broadcast is the link-layer broadcast address.
+const Broadcast NodeID = 0xFFFF
+
+// NoNode marks an unset NodeID field (e.g. "no parent yet").
+const NoNode NodeID = 0xFFFE
+
+// MaxNodes is the largest supported network size, bounded by the
+// 128-bit query bitmap in Scoop's query packets (paper §5.5).
+const MaxNodes = 128
+
+// Packet is a link-layer frame. Protocol layers attach their content
+// as Payload; Size approximates the on-air byte count so the MAC can
+// model airtime and collisions.
+//
+// Every outgoing packet carries Scoop's custom header fields: Origin
+// (the node that created the packet) and OriginParent (that node's
+// routing-tree parent), which the basestation uses to learn the tree
+// (paper §5.2), plus a per-sender monotonically increasing sequence
+// number that neighbours use to estimate link quality by counting gaps
+// (paper §5.2, "snooping").
+type Packet struct {
+	Class metrics.Class // message class for accounting
+	Src   NodeID        // link-layer sender of this transmission
+	Dst   NodeID        // link-layer destination, or Broadcast
+
+	Origin       NodeID // node that created the packet
+	OriginParent NodeID // Origin's routing-tree parent at creation time
+	Seq          uint32 // Src's link-layer sequence number (set by the MAC)
+
+	Size    int // approximate bytes on air, including headers
+	Payload interface{}
+}
+
+// clone returns a shallow copy, so each receiver gets an independent
+// header (payloads are treated as immutable by convention).
+func (p *Packet) clone() *Packet {
+	q := *p
+	return &q
+}

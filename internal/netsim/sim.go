@@ -1,0 +1,127 @@
+// Package netsim is a deterministic, packet-level discrete-event
+// simulator for multihop wireless sensor networks. It stands in for the
+// TOSSIM simulator and the 62-node mote testbed used in the Scoop paper:
+// it models lossy asymmetric links, CSMA-style random backoff, collisions,
+// link-layer acknowledgements with retransmission, and overhearing
+// (snooping), and it accounts every transmission by message class so
+// experiments can reproduce the paper's message-count figures.
+//
+// The simulator is single-threaded and fully deterministic for a given
+// seed: all node logic runs as callbacks on one virtual clock. Experiment
+// harnesses achieve parallelism by running independent trials (each with
+// its own Simulator) on separate goroutines.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is virtual simulation time in milliseconds.
+type Time int64
+
+// Convenient duration units in virtual milliseconds.
+const (
+	Millisecond Time = 1
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// Seconds converts a floating-point second count to virtual Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is not usable; use NewSimulator.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	halted bool
+}
+
+// NewSimulator returns a simulator whose random stream is seeded with
+// seed. Two simulators with the same seed and the same schedule of
+// callbacks produce identical runs.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random stream.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Events scheduled
+// in the past run immediately at the current time (never before it).
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d milliseconds from now.
+func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events in time order until the clock reaches `until`
+// or the queue drains. Events scheduled exactly at `until` still run.
+func (s *Simulator) Run(until Time) {
+	for len(s.events) > 0 && !s.halted {
+		e := s.events[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Step runs the single earliest pending event, returning false if the
+// queue is empty. Mainly useful in tests.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 || s.halted {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Halt stops the event loop after the current event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Pending reports the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }

@@ -1,0 +1,238 @@
+// Package routing implements the multihop routing-tree substrate Scoop
+// runs on (paper §2.2 and §5.1): a spanning tree rooted at the
+// basestation built from periodic beacons, Woo-style snoop-based link
+// quality estimation, a bounded neighbor table, and a bounded
+// descendants list used to route packets down the tree.
+package routing
+
+import (
+	"sort"
+
+	"scoop/internal/netsim"
+)
+
+// NeighborInfo is one entry of a node's neighbor table, and also the
+// per-neighbor record shipped to the basestation inside summary
+// messages ("a list of the node's n best connected neighbors, sorted
+// by link-quality", paper §5.2).
+type NeighborInfo struct {
+	ID      netsim.NodeID
+	Quality float64 // estimated delivery probability neighbor→me
+}
+
+type neighborState struct {
+	lastSeq   uint32
+	received  int
+	missed    int
+	lastHeard netsim.Time
+}
+
+// quality returns the received/(received+missed) estimate the paper
+// describes: neighbours put a monotonically increasing number in every
+// packet header, and gaps count as losses. A small pessimistic prior
+// keeps one lucky reception from reading as a perfect link — routing
+// over such phantom links is how congestion hubs form.
+func (s *neighborState) quality() float64 {
+	total := s.received + s.missed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.received) / float64(total+2)
+}
+
+// NeighborTable tracks the nodes a mote can hear, estimating per-link
+// quality from sequence-number gaps. Capacity is bounded (32 in the
+// paper's experiments); the stalest entry is evicted when full, and
+// entries not heard from for evictAfter are dropped, "thus adapting to
+// changes in network connectivity".
+type NeighborTable struct {
+	cap        int
+	evictAfter netsim.Time
+	entries    map[netsim.NodeID]*neighborState
+}
+
+// NewNeighborTable returns a table bounded to capacity entries.
+func NewNeighborTable(capacity int, evictAfter netsim.Time) *NeighborTable {
+	if capacity <= 0 {
+		panic("routing: non-positive neighbor table capacity")
+	}
+	return &NeighborTable{
+		cap:        capacity,
+		evictAfter: evictAfter,
+		entries:    make(map[netsim.NodeID]*neighborState),
+	}
+}
+
+// Observe records that a packet with sequence number seq was heard from
+// id at time now.
+func (t *NeighborTable) Observe(id netsim.NodeID, seq uint32, now netsim.Time) {
+	s, ok := t.entries[id]
+	if !ok {
+		if len(t.entries) >= t.cap {
+			t.evictStalest(now)
+			if len(t.entries) >= t.cap {
+				return // table still full of fresher entries
+			}
+		}
+		s = &neighborState{lastSeq: seq, received: 1, lastHeard: now}
+		t.entries[id] = s
+		return
+	}
+	if seq > s.lastSeq {
+		miss := int(seq-s.lastSeq) - 1
+		if miss > 16 {
+			miss = 16 // a long silence is staleness, not 100 losses
+		}
+		s.missed += miss
+		s.lastSeq = seq
+		s.received++
+	} else {
+		// Reordered or duplicate frame: count the reception, no gap.
+		s.received++
+	}
+	s.lastHeard = now
+	// Window the counters so the estimate tracks current conditions.
+	if s.received+s.missed > 64 {
+		s.received = (s.received + 1) / 2
+		s.missed = s.missed / 2
+	}
+}
+
+func (t *NeighborTable) evictStalest(now netsim.Time) {
+	var victim netsim.NodeID
+	oldest := netsim.Time(1<<62 - 1)
+	found := false
+	for id, s := range t.entries {
+		if s.lastHeard < oldest {
+			oldest, victim, found = s.lastHeard, id, true
+		}
+	}
+	if found && (t.evictAfter == 0 || now-oldest >= 0) {
+		delete(t.entries, victim)
+	}
+}
+
+// Expire drops entries not heard from within the eviction window.
+func (t *NeighborTable) Expire(now netsim.Time) {
+	if t.evictAfter <= 0 {
+		return
+	}
+	for id, s := range t.entries {
+		if now-s.lastHeard > t.evictAfter {
+			delete(t.entries, id)
+		}
+	}
+}
+
+// Quality returns the current link-quality estimate for id (0 when
+// unknown).
+func (t *NeighborTable) Quality(id netsim.NodeID) float64 {
+	if s, ok := t.entries[id]; ok {
+		return s.quality()
+	}
+	return 0
+}
+
+// Contains reports whether id is currently tracked.
+func (t *NeighborTable) Contains(id netsim.NodeID) bool {
+	_, ok := t.entries[id]
+	return ok
+}
+
+// Len reports the number of tracked neighbors.
+func (t *NeighborTable) Len() int { return len(t.entries) }
+
+// Best returns up to n entries sorted by descending quality, the list
+// shipped in summary messages (12 in the paper's experiments).
+func (t *NeighborTable) Best(n int) []NeighborInfo {
+	all := make([]NeighborInfo, 0, len(t.entries))
+	for id, s := range t.entries {
+		all = append(all, NeighborInfo{ID: id, Quality: s.quality()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Quality != all[j].Quality {
+			return all[i].Quality > all[j].Quality
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// IDs returns all tracked neighbor IDs in ascending order.
+func (t *NeighborTable) IDs() []netsim.NodeID {
+	ids := make([]netsim.NodeID, 0, len(t.entries))
+	for id := range t.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// DescendantSet maps descendants to the child branch they are reached
+// through, learned by tracking the origin of packets routed up the
+// tree (paper §5.1). Bounded capacity (32 in the experiments) with
+// stalest-entry eviction; overflow merely degrades routing, it never
+// breaks it (packets fall back to the parent path).
+type DescendantSet struct {
+	cap     int
+	via     map[netsim.NodeID]netsim.NodeID
+	touched map[netsim.NodeID]netsim.Time
+}
+
+// NewDescendantSet returns a set bounded to capacity entries.
+func NewDescendantSet(capacity int) *DescendantSet {
+	if capacity <= 0 {
+		panic("routing: non-positive descendant set capacity")
+	}
+	return &DescendantSet{
+		cap:     capacity,
+		via:     make(map[netsim.NodeID]netsim.NodeID),
+		touched: make(map[netsim.NodeID]netsim.Time),
+	}
+}
+
+// Record notes that packets from origin arrive via child, i.e. origin
+// is in child's subtree.
+func (d *DescendantSet) Record(origin, child netsim.NodeID, now netsim.Time) {
+	if _, ok := d.via[origin]; !ok && len(d.via) >= d.cap {
+		var victim netsim.NodeID
+		oldest := netsim.Time(1<<62 - 1)
+		for id, t := range d.touched {
+			if t < oldest {
+				oldest, victim = t, id
+			}
+		}
+		delete(d.via, victim)
+		delete(d.touched, victim)
+	}
+	d.via[origin] = child
+	d.touched[origin] = now
+}
+
+// NextHop returns the child branch leading to dst, if known.
+func (d *DescendantSet) NextHop(dst netsim.NodeID) (netsim.NodeID, bool) {
+	c, ok := d.via[dst]
+	return c, ok
+}
+
+// Forget drops a descendant (e.g. when delivery via its branch fails).
+func (d *DescendantSet) Forget(dst netsim.NodeID) {
+	delete(d.via, dst)
+	delete(d.touched, dst)
+}
+
+// Len reports the number of tracked descendants.
+func (d *DescendantSet) Len() int { return len(d.via) }
+
+// IDs returns all descendants in ascending order.
+func (d *DescendantSet) IDs() []netsim.NodeID {
+	ids := make([]netsim.NodeID, 0, len(d.via))
+	for id := range d.via {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

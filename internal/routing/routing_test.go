@@ -1,0 +1,340 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scoop/internal/metrics"
+	"scoop/internal/netsim"
+)
+
+func TestNeighborTableQualityFromGaps(t *testing.T) {
+	nt := NewNeighborTable(8, 0)
+	// Hear seq 1,2,4,5: one gap of one → 4 received, 1 missed.
+	for _, s := range []uint32{1, 2, 4, 5} {
+		nt.Observe(3, s, 0)
+	}
+	// 4 received, 1 missed, +2 pessimistic prior → 4/7.
+	q := nt.Quality(3)
+	if q < 0.570 || q > 0.572 {
+		t.Fatalf("quality = %f, want 4/7", q)
+	}
+}
+
+func TestNeighborTableReorderTolerated(t *testing.T) {
+	nt := NewNeighborTable(8, 0)
+	for _, s := range []uint32{1, 3, 2, 4} {
+		nt.Observe(3, s, 0)
+	}
+	// Gap 1→3 counts one miss; the late 2 still counts as received:
+	// 4 received, 1 missed, +2 prior → 4/7.
+	q := nt.Quality(3)
+	if q < 0.570 || q > 0.572 {
+		t.Fatalf("quality = %f, want 4/7", q)
+	}
+}
+
+func TestNeighborTableCapacityEviction(t *testing.T) {
+	nt := NewNeighborTable(4, 0)
+	for i := 0; i < 6; i++ {
+		nt.Observe(netsim.NodeID(i), 1, netsim.Time(i))
+	}
+	if nt.Len() > 4 {
+		t.Fatalf("table grew to %d, cap 4", nt.Len())
+	}
+	// The stalest (earliest-heard) entries should have been evicted.
+	if nt.Contains(0) {
+		t.Fatal("stalest entry not evicted")
+	}
+	if !nt.Contains(5) {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestNeighborTableExpire(t *testing.T) {
+	nt := NewNeighborTable(8, 100)
+	nt.Observe(1, 1, 0)
+	nt.Observe(2, 1, 90)
+	nt.Expire(150)
+	if nt.Contains(1) {
+		t.Fatal("stale neighbor not expired")
+	}
+	if !nt.Contains(2) {
+		t.Fatal("fresh neighbor expired")
+	}
+}
+
+func TestNeighborTableBestSorted(t *testing.T) {
+	nt := NewNeighborTable(8, 0)
+	// Node 1: perfect. Node 2: 50%.
+	for s := uint32(1); s <= 10; s++ {
+		nt.Observe(1, s, 0)
+	}
+	for _, s := range []uint32{2, 4, 6, 8, 10} {
+		nt.Observe(2, s, 0)
+	}
+	best := nt.Best(12)
+	if len(best) != 2 || best[0].ID != 1 || best[1].ID != 2 {
+		t.Fatalf("best = %+v", best)
+	}
+	if best[0].Quality <= best[1].Quality {
+		t.Fatal("best not sorted by quality")
+	}
+	if got := nt.Best(1); len(got) != 1 {
+		t.Fatalf("Best(1) returned %d entries", len(got))
+	}
+}
+
+func TestNeighborTableWindowing(t *testing.T) {
+	nt := NewNeighborTable(4, 0)
+	// Long perfect run, then a bad patch: quality must drop below a
+	// pure all-time average.
+	for s := uint32(1); s <= 60; s++ {
+		nt.Observe(7, s, 0)
+	}
+	// Now lose 3 of every 4.
+	for s := uint32(64); s <= 160; s += 4 {
+		nt.Observe(7, s, 0)
+	}
+	q := nt.Quality(7)
+	if q > 0.6 {
+		t.Fatalf("quality = %f; windowing should track the bad patch", q)
+	}
+}
+
+func TestDescendantSetRecordAndNextHop(t *testing.T) {
+	d := NewDescendantSet(8)
+	d.Record(9, 3, 0)
+	d.Record(10, 3, 1)
+	d.Record(11, 4, 2)
+	if hop, ok := d.NextHop(10); !ok || hop != 3 {
+		t.Fatalf("NextHop(10) = %d,%v", hop, ok)
+	}
+	if _, ok := d.NextHop(99); ok {
+		t.Fatal("unknown descendant resolved")
+	}
+	d.Forget(10)
+	if _, ok := d.NextHop(10); ok {
+		t.Fatal("forgotten descendant still resolves")
+	}
+}
+
+func TestDescendantSetBounded(t *testing.T) {
+	d := NewDescendantSet(3)
+	for i := 0; i < 10; i++ {
+		d.Record(netsim.NodeID(i), 1, netsim.Time(i))
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d, want 3", d.Len())
+	}
+	// Most recent three survive.
+	for _, id := range []netsim.NodeID{7, 8, 9} {
+		if _, ok := d.NextHop(id); !ok {
+			t.Fatalf("recent descendant %d evicted", id)
+		}
+	}
+}
+
+// Property: the descendant set never exceeds its capacity and always
+// resolves the most recently recorded origin.
+func TestDescendantSetCapacityProperty(t *testing.T) {
+	f := func(origins []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		d := NewDescendantSet(capacity)
+		for i, o := range origins {
+			d.Record(netsim.NodeID(o), 1, netsim.Time(i))
+			if d.Len() > capacity {
+				return false
+			}
+			if _, ok := d.NextHop(netsim.NodeID(o)); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// treeApp wires a Tree directly to the simulator for protocol tests.
+type treeApp struct {
+	tree *Tree
+	base bool
+}
+
+const beaconTimer = 1
+
+func (a *treeApp) Init(api *netsim.NodeAPI) {
+	a.tree = NewTree(api, a.base, DefaultConfig())
+	a.tree.Start(beaconTimer)
+}
+func (a *treeApp) Receive(p *netsim.Packet) { a.tree.Observe(p) }
+func (a *treeApp) Snoop(p *netsim.Packet)   { a.tree.Observe(p) }
+func (a *treeApp) Timer(id int) {
+	if id == beaconTimer {
+		a.tree.OnTimer()
+	}
+}
+
+func buildTreeNetwork(topo *netsim.Topology, seed int64) ([]*treeApp, *netsim.Simulator) {
+	sim := netsim.NewSimulator(seed)
+	net := netsim.NewNetwork(sim, topo, metrics.NewCounters(), netsim.DefaultParams())
+	apps := make([]*treeApp, topo.N)
+	for i := range apps {
+		apps[i] = &treeApp{base: i == 0}
+		net.Attach(netsim.NodeID(i), apps[i])
+	}
+	net.Start()
+	return apps, sim
+}
+
+func TestTreeFormsOnRealTopology(t *testing.T) {
+	topo := netsim.UniformTopology(30, 6, 3.2, 21)
+	apps, sim := buildTreeNetwork(topo, 21)
+	sim.Run(5 * netsim.Minute)
+	joined := 0
+	for i := 1; i < topo.N; i++ {
+		if apps[i].tree.HasRoute() {
+			joined++
+		}
+	}
+	if joined < topo.N-3 {
+		t.Fatalf("only %d/%d nodes joined the tree", joined, topo.N-1)
+	}
+}
+
+func TestTreeAcyclicAndRooted(t *testing.T) {
+	topo := netsim.UniformTopology(40, 7, 3.2, 22)
+	apps, sim := buildTreeNetwork(topo, 22)
+	sim.Run(5 * netsim.Minute)
+	// Follow parent pointers from each node; must reach the base
+	// without revisiting a node.
+	for i := 1; i < topo.N; i++ {
+		if !apps[i].tree.HasRoute() {
+			continue
+		}
+		seen := map[netsim.NodeID]bool{}
+		cur := netsim.NodeID(i)
+		for cur != 0 {
+			if seen[cur] {
+				t.Fatalf("cycle through node %d", cur)
+			}
+			seen[cur] = true
+			cur = apps[cur].tree.Parent()
+			if cur == netsim.NoNode {
+				t.Fatalf("node %d path dead-ends", i)
+			}
+		}
+	}
+}
+
+func TestTreeIsMultihop(t *testing.T) {
+	// On a 40-node topology with limited radio range the tree must be
+	// genuinely multihop, not a star.
+	topo := netsim.UniformTopology(40, 7, 3.2, 23)
+	apps, sim := buildTreeNetwork(topo, 23)
+	sim.Run(5 * netsim.Minute)
+	deep := 0
+	for i := 1; i < topo.N; i++ {
+		tr := apps[i].tree
+		if tr.HasRoute() && tr.Parent() != 0 {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Fatal("tree collapsed to a star; expected multihop paths")
+	}
+}
+
+func TestTreePathsTerminateAtBase(t *testing.T) {
+	// Parent estimates drift between beacons, so strict per-edge
+	// monotonicity is not an invariant; bounded-length termination of
+	// every parent path is.
+	topo := netsim.UniformTopology(40, 7, 3.2, 24)
+	apps, sim := buildTreeNetwork(topo, 24)
+	sim.Run(5 * netsim.Minute)
+	for i := 1; i < topo.N; i++ {
+		tr := apps[i].tree
+		if !tr.HasRoute() {
+			continue
+		}
+		if tr.ETX() < 1 {
+			t.Fatalf("node %d ETX %f below one hop", i, tr.ETX())
+		}
+		cur, steps := netsim.NodeID(i), 0
+		for cur != 0 {
+			cur = apps[cur].tree.Parent()
+			steps++
+			if cur == netsim.NoNode || steps > topo.N {
+				t.Fatalf("node %d parent path does not reach base (steps=%d)", i, steps)
+			}
+		}
+	}
+}
+
+func TestTreeReformsAfterParentDeath(t *testing.T) {
+	// A 4-node diamond: 0-1, 0-2, 1-3, 2-3. Kill 3's parent; after a
+	// few beacon rounds 3 must re-parent through the other branch.
+	topo := netsim.NewTopology(4)
+	topo.Pos = make([]netsim.Point, 4)
+	set := func(i, j int, q float64) {
+		topo.Quality[i][j], topo.Quality[j][i] = q, q
+	}
+	set(0, 1, 0.7)
+	set(0, 2, 0.6)
+	set(1, 3, 0.7)
+	set(2, 3, 0.6)
+	sim := netsim.NewSimulator(7)
+	net := netsim.NewNetwork(sim, topo, metrics.NewCounters(), netsim.DefaultParams())
+	apps := make([]*treeApp, 4)
+	for i := range apps {
+		apps[i] = &treeApp{base: i == 0}
+		net.Attach(netsim.NodeID(i), apps[i])
+	}
+	net.Start()
+	sim.Run(3 * netsim.Minute)
+	first := apps[3].tree.Parent()
+	if first == netsim.NoNode {
+		t.Fatal("node 3 never joined")
+	}
+	net.Kill(first)
+	sim.Run(sim.Now() + 6*netsim.Minute)
+	second := apps[3].tree.Parent()
+	if second == first {
+		t.Fatalf("node 3 still routes via dead parent %d", first)
+	}
+	if second == netsim.NoNode {
+		t.Fatal("node 3 lost its route entirely")
+	}
+}
+
+func TestBaseNeverPicksParent(t *testing.T) {
+	topo := netsim.UniformTopology(10, 4, 3.2, 25)
+	apps, sim := buildTreeNetwork(topo, 25)
+	sim.Run(2 * netsim.Minute)
+	if apps[0].tree.Parent() != netsim.NoNode {
+		t.Fatal("basestation picked a parent")
+	}
+	if apps[0].tree.ETX() != 0 {
+		t.Fatalf("base ETX = %f", apps[0].tree.ETX())
+	}
+}
+
+func TestNewNeighborTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNeighborTable(0, 0)
+}
+
+func TestNewDescendantSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDescendantSet(0)
+}

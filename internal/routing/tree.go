@@ -1,0 +1,242 @@
+package routing
+
+import (
+	"scoop/internal/metrics"
+	"scoop/internal/netsim"
+)
+
+// Beacon is the payload of tree-join messages "repeatedly broadcast
+// from the root down the tree" (paper §2.2). ETX advertises the
+// sender's expected transmission count to reach the basestation, the
+// path metric of De Couto et al. that Woo-style trees use.
+//
+// Estimates carries the sender's inbound link-quality estimates for
+// its best neighbors. Radios only measure how well they *hear* a
+// neighbor; to route data the sender needs the reverse direction —
+// how well the neighbor hears *it* — so estimates are exchanged in
+// beacons, exactly as Woo et al.'s link estimator and CTP do.
+type Beacon struct {
+	Round     uint32  // dissemination round, incremented by the base
+	Hops      uint8   // sender's tree depth
+	ETX       float64 // sender's expected transmissions to the base
+	Estimates []NeighborInfo
+}
+
+// Config tunes the tree protocol. Zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	BeaconInterval netsim.Time // base's beacon period
+	NeighborCap    int         // neighbor table bound (paper: 32)
+	DescendantCap  int         // descendants list bound (paper: 32)
+	EvictAfter     netsim.Time // neighbor staleness bound
+	MinQuality     float64     // links below this are not parent candidates
+}
+
+// DefaultConfig returns the parameters used in the paper's experiments.
+func DefaultConfig() Config {
+	return Config{
+		BeaconInterval: 10 * netsim.Second,
+		NeighborCap:    32,
+		DescendantCap:  32,
+		EvictAfter:     90 * netsim.Second,
+		MinQuality:     0.25,
+	}
+}
+
+// Tree is the per-node routing-tree state machine. It is composed into
+// a node application: the application forwards heard beacons and timer
+// ticks, and consults the tree for parent/descendant/neighbor routing
+// decisions.
+type Tree struct {
+	api    *netsim.NodeAPI
+	cfg    Config
+	isBase bool
+
+	Neighbors   *NeighborTable
+	Descendants *DescendantSet
+
+	parent    netsim.NodeID
+	hops      uint8
+	etx       float64
+	round     uint32 // highest round seen (base: last round sent)
+	rebroadct uint32 // last round this node re-broadcast
+	timerID   int
+
+	// outEst[k] is how well k hears us (our outbound delivery
+	// probability to k), learned from k's beacon estimate exchange.
+	outEst map[netsim.NodeID]float64
+}
+
+// NewTree creates the routing state for one node. isBase marks the
+// tree root (node 0 in Scoop).
+func NewTree(api *netsim.NodeAPI, isBase bool, cfg Config) *Tree {
+	t := &Tree{
+		api:         api,
+		cfg:         cfg,
+		isBase:      isBase,
+		Neighbors:   NewNeighborTable(cfg.NeighborCap, cfg.EvictAfter),
+		Descendants: NewDescendantSet(cfg.DescendantCap),
+		parent:      netsim.NoNode,
+		outEst:      make(map[netsim.NodeID]float64),
+	}
+	if isBase {
+		t.etx = 0
+		t.hops = 0
+	} else {
+		t.etx = 1e9
+		t.hops = 0xFF
+	}
+	return t
+}
+
+// Start arms the tree timer. The composing application must call
+// OnTimer when the timer with timerID fires.
+func (t *Tree) Start(timerID int) {
+	t.timerID = timerID
+	if t.isBase {
+		// Early first beacon so trees form during the warm-up period.
+		t.api.SetTimer(timerID, netsim.Time(1+t.api.RandIntn(200)))
+	} else {
+		t.api.SetTimer(timerID, t.cfg.BeaconInterval+netsim.Time(t.api.RandIntn(2000)))
+	}
+}
+
+// OnTimer runs periodic tree maintenance. The base starts a new beacon
+// round; other nodes expire stale neighbors, abandon parents they have
+// not heard from, and re-broadcast the current round's beacon at most
+// once (the fast path is scheduled by onBeacon when a new round
+// arrives, so the wave propagates quickly).
+func (t *Tree) OnTimer() {
+	if t.isBase {
+		t.round++
+		t.broadcastBeacon()
+		t.api.SetTimer(t.timerID, t.cfg.BeaconInterval)
+		return
+	}
+	t.Neighbors.Expire(t.api.Now())
+	if t.parent != netsim.NoNode && !t.Neighbors.Contains(t.parent) {
+		// Parent fell silent: detach and wait for the next beacon wave.
+		t.parent = netsim.NoNode
+		t.etx = 1e9
+		t.hops = 0xFF
+	}
+	if t.HasRoute() && t.rebroadct < t.round {
+		t.rebroadct = t.round
+		t.broadcastBeacon()
+	}
+	t.api.SetTimer(t.timerID, t.cfg.BeaconInterval+netsim.Time(t.api.RandIntn(2000)))
+}
+
+func (t *Tree) broadcastBeacon() {
+	est := t.Neighbors.Best(8)
+	t.api.Broadcast(&netsim.Packet{
+		Class:        metrics.Beacon,
+		Origin:       t.api.ID(),
+		OriginParent: t.parent,
+		Size:         12 + 3*len(est),
+		Payload:      Beacon{Round: t.round, Hops: t.hops, ETX: t.etx, Estimates: est},
+	})
+}
+
+// Observe must be called for every packet heard (received or snooped),
+// so link qualities stay current and beacons drive parent selection.
+func (t *Tree) Observe(p *netsim.Packet) {
+	t.Neighbors.Observe(p.Src, p.Seq, t.api.Now())
+	if !t.isBase && p.Src == t.parent && p.OriginParent == t.api.ID() &&
+		t.api.ID() > p.Src {
+		// Our parent believes we are *its* parent: a two-node routing
+		// cycle born from stale advertisements. The higher ID detaches
+		// and rejoins on the next beacon wave.
+		t.parent = netsim.NoNode
+		t.etx = 1e9
+		t.hops = 0xFF
+	}
+	if b, ok := p.Payload.(Beacon); ok && p.Class == metrics.Beacon {
+		t.onBeacon(p.Src, b)
+	}
+}
+
+// onBeacon runs parent selection: pick the neighbor minimising
+// advertised ETX plus the local inbound-link ETX. Ties and loops are
+// avoided by requiring strictly better cost and a shallower advertised
+// round path.
+func (t *Tree) onBeacon(from netsim.NodeID, b Beacon) {
+	// Harvest the estimate exchange: if the sender reports hearing us
+	// with quality q, that is our outbound delivery probability to it.
+	me := t.api.ID()
+	for _, e := range b.Estimates {
+		if e.ID == me {
+			t.outEst[from] = e.Quality
+		}
+	}
+	if t.isBase {
+		return
+	}
+	if b.Round > t.round {
+		t.round = b.Round
+	}
+	q := t.OutQuality(from)
+	if q < t.cfg.MinQuality {
+		return
+	}
+	cand := b.ETX + 1.0/q
+	refresh := from == t.parent
+	// Hysteresis: switching to a different parent requires a clearly
+	// better path, or oscillating estimates create transient parent
+	// cycles that amplify forwarded traffic.
+	better := cand < t.etx*0.85
+	if t.parent == netsim.NoNode {
+		better = cand < t.etx
+	}
+	if better || refresh {
+		if refresh {
+			// Track our parent's current cost, better or worse.
+			t.etx = cand
+			t.hops = b.Hops + 1
+		} else {
+			t.parent = from
+			t.etx = cand
+			t.hops = b.Hops + 1
+		}
+		// Schedule our own (once-per-round) re-broadcast with generous
+		// jitter so the wave propagates down the tree without a
+		// synchronised collision storm every beacon round.
+		if t.rebroadct < t.round {
+			t.api.SetTimer(t.timerID, netsim.Time(50+t.api.RandIntn(5000)))
+		}
+	}
+}
+
+// OutQuality estimates this node's outbound delivery probability to
+// neighbor id: the neighbor's advertised estimate when available,
+// otherwise the inbound estimate discounted for asymmetry.
+func (t *Tree) OutQuality(id netsim.NodeID) float64 {
+	if q, ok := t.outEst[id]; ok {
+		return q
+	}
+	return t.Neighbors.Quality(id) * 0.8
+}
+
+// HasRoute reports whether this node has joined the tree.
+func (t *Tree) HasRoute() bool { return t.isBase || t.parent != netsim.NoNode }
+
+// Parent returns the current parent (NoNode before joining).
+func (t *Tree) Parent() netsim.NodeID { return t.parent }
+
+// Hops returns the node's tree depth estimate.
+func (t *Tree) Hops() uint8 { return t.hops }
+
+// ETX returns the node's expected-transmissions-to-base estimate.
+func (t *Tree) ETX() float64 { return t.etx }
+
+// Round returns the latest beacon round seen.
+func (t *Tree) Round() uint32 { return t.round }
+
+// RecordUpstream notes that a packet from origin was routed through us
+// by child, updating the descendants list.
+func (t *Tree) RecordUpstream(origin, child netsim.NodeID) {
+	if origin == t.api.ID() {
+		return
+	}
+	t.Descendants.Record(origin, child, t.api.Now())
+}

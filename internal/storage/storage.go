@@ -1,0 +1,151 @@
+// Package storage models a sensor node's Flash storage as the Scoop
+// paper uses it: a fixed-capacity circular buffer of stored readings
+// (the "data buffer", scanned linearly at query time) and a small
+// round-robin buffer of the node's own most recent readings (the
+// "recent-readings buffer", size 30 in the paper) from which summary
+// histograms are built.
+//
+// A reading records who produced it and when, so time-ranged queries
+// and owner re-assignment across storage-index generations both work.
+package storage
+
+// Reading is one stored sensor sample.
+type Reading struct {
+	Producer uint16 // node that sampled the value
+	Value    int    // attribute value (paper: 12-bit readings)
+	Time     int64  // virtual ms timestamp of the sample
+}
+
+// DataBuffer is the node's circular Flash data buffer. When full, new
+// writes overwrite the oldest entries, like the paper's round-robin
+// Flash log. The zero value is unusable; use NewDataBuffer.
+type DataBuffer struct {
+	buf   []Reading
+	next  int
+	count int
+	wraps int64
+}
+
+// NewDataBuffer returns a buffer holding at most capacity readings.
+func NewDataBuffer(capacity int) *DataBuffer {
+	if capacity <= 0 {
+		panic("storage: non-positive capacity")
+	}
+	return &DataBuffer{buf: make([]Reading, capacity)}
+}
+
+// Store appends r, overwriting the oldest reading when full.
+func (b *DataBuffer) Store(r Reading) {
+	if b.count == len(b.buf) {
+		b.wraps++
+	}
+	b.buf[b.next] = r
+	b.next = (b.next + 1) % len(b.buf)
+	if b.count < len(b.buf) {
+		b.count++
+	}
+}
+
+// Len reports the number of readings currently stored.
+func (b *DataBuffer) Len() int { return b.count }
+
+// Cap reports the buffer capacity.
+func (b *DataBuffer) Cap() int { return len(b.buf) }
+
+// Overwritten reports how many readings have been lost to wrap-around,
+// for storage-burden experiments.
+func (b *DataBuffer) Overwritten() int64 { return b.wraps }
+
+// Scan linearly visits all stored readings oldest-first, calling fn for
+// each; fn returning false stops the scan. This mirrors the paper's
+// linear Flash scan at query time.
+func (b *DataBuffer) Scan(fn func(Reading) bool) {
+	start := 0
+	if b.count == len(b.buf) {
+		start = b.next
+	}
+	for i := 0; i < b.count; i++ {
+		if !fn(b.buf[(start+i)%len(b.buf)]) {
+			return
+		}
+	}
+}
+
+// Select returns the stored readings with Value in [vmin,vmax] and
+// Time in [tmin,tmax] (inclusive bounds).
+func (b *DataBuffer) Select(vmin, vmax int, tmin, tmax int64) []Reading {
+	var out []Reading
+	b.Scan(func(r Reading) bool {
+		if r.Value >= vmin && r.Value <= vmax && r.Time >= tmin && r.Time <= tmax {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// RecentBuffer is the fixed-size round-robin buffer of a node's own
+// most recent readings (paper §5.2, size 30), the input to summary
+// histograms.
+type RecentBuffer struct {
+	buf   []int
+	next  int
+	count int
+}
+
+// NewRecentBuffer returns a recent-readings buffer of the given size.
+func NewRecentBuffer(size int) *RecentBuffer {
+	if size <= 0 {
+		panic("storage: non-positive recent-buffer size")
+	}
+	return &RecentBuffer{buf: make([]int, size)}
+}
+
+// Add records one reading, evicting the oldest when full.
+func (b *RecentBuffer) Add(v int) {
+	b.buf[b.next] = v
+	b.next = (b.next + 1) % len(b.buf)
+	if b.count < len(b.buf) {
+		b.count++
+	}
+}
+
+// Len reports how many readings are buffered.
+func (b *RecentBuffer) Len() int { return b.count }
+
+// Values returns the buffered readings oldest-first.
+func (b *RecentBuffer) Values() []int {
+	out := make([]int, 0, b.count)
+	start := 0
+	if b.count == len(b.buf) {
+		start = b.next
+	}
+	for i := 0; i < b.count; i++ {
+		out = append(out, b.buf[(start+i)%len(b.buf)])
+	}
+	return out
+}
+
+// MinMaxSum returns the smallest and largest buffered value and the sum
+// of all buffered values — the extra summary-message fields the paper
+// sends alongside the histogram. ok is false when the buffer is empty.
+func (b *RecentBuffer) MinMaxSum() (min, max, sum int, ok bool) {
+	if b.count == 0 {
+		return 0, 0, 0, false
+	}
+	first := true
+	for _, v := range b.Values() {
+		if first {
+			min, max = v, v
+			first = false
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, sum, true
+}

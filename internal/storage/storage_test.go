@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDataBufferStoreAndScan(t *testing.T) {
+	b := NewDataBuffer(4)
+	for i := 0; i < 3; i++ {
+		b.Store(Reading{Producer: 1, Value: i, Time: int64(i)})
+	}
+	if b.Len() != 3 || b.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", b.Len(), b.Cap())
+	}
+	var got []int
+	b.Scan(func(r Reading) bool { got = append(got, r.Value); return true })
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDataBufferWrapAround(t *testing.T) {
+	b := NewDataBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Store(Reading{Value: i, Time: int64(i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d after wrap, want 3", b.Len())
+	}
+	if b.Overwritten() != 2 {
+		t.Fatalf("overwritten = %d, want 2", b.Overwritten())
+	}
+	var got []int
+	b.Scan(func(r Reading) bool { got = append(got, r.Value); return true })
+	want := []int{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-wrap scan %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDataBufferScanEarlyStop(t *testing.T) {
+	b := NewDataBuffer(10)
+	for i := 0; i < 10; i++ {
+		b.Store(Reading{Value: i})
+	}
+	n := 0
+	b.Scan(func(r Reading) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("visited %d, want 4", n)
+	}
+}
+
+func TestDataBufferSelect(t *testing.T) {
+	b := NewDataBuffer(100)
+	for i := 0; i < 50; i++ {
+		b.Store(Reading{Producer: uint16(i % 3), Value: i % 10, Time: int64(i * 100)})
+	}
+	got := b.Select(3, 5, 1000, 3000)
+	for _, r := range got {
+		if r.Value < 3 || r.Value > 5 {
+			t.Fatalf("value %d outside range", r.Value)
+		}
+		if r.Time < 1000 || r.Time > 3000 {
+			t.Fatalf("time %d outside range", r.Time)
+		}
+	}
+	// Count expected matches directly.
+	want := 0
+	for i := 0; i < 50; i++ {
+		v, tm := i%10, int64(i*100)
+		if v >= 3 && v <= 5 && tm >= 1000 && tm <= 3000 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("select returned %d readings, want %d", len(got), want)
+	}
+}
+
+func TestDataBufferSelectEmpty(t *testing.T) {
+	b := NewDataBuffer(5)
+	if got := b.Select(0, 100, 0, 100); len(got) != 0 {
+		t.Fatalf("select on empty buffer returned %d readings", len(got))
+	}
+}
+
+func TestNewDataBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDataBuffer(0)
+}
+
+// Property: after any sequence of stores, Scan yields exactly the last
+// min(n, cap) values in insertion order.
+func TestDataBufferWindowProperty(t *testing.T) {
+	f := func(vals []int16, capSeed uint8) bool {
+		capacity := int(capSeed%20) + 1
+		b := NewDataBuffer(capacity)
+		for i, v := range vals {
+			b.Store(Reading{Value: int(v), Time: int64(i)})
+		}
+		var got []int
+		b.Scan(func(r Reading) bool { got = append(got, r.Value); return true })
+		start := 0
+		if len(vals) > capacity {
+			start = len(vals) - capacity
+		}
+		want := vals[start:]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != int(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecentBufferRoundRobin(t *testing.T) {
+	b := NewRecentBuffer(3)
+	for i := 1; i <= 5; i++ {
+		b.Add(i * 10)
+	}
+	vals := b.Values()
+	want := []int{30, 40, 50}
+	if len(vals) != 3 {
+		t.Fatalf("len = %d", len(vals))
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("values %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestRecentBufferMinMaxSum(t *testing.T) {
+	b := NewRecentBuffer(10)
+	if _, _, _, ok := b.MinMaxSum(); ok {
+		t.Fatal("MinMaxSum on empty buffer reported ok")
+	}
+	for _, v := range []int{5, 2, 9, 2} {
+		b.Add(v)
+	}
+	min, max, sum, ok := b.MinMaxSum()
+	if !ok || min != 2 || max != 9 || sum != 18 {
+		t.Fatalf("min=%d max=%d sum=%d ok=%v", min, max, sum, ok)
+	}
+}
+
+func TestRecentBufferPartialFill(t *testing.T) {
+	b := NewRecentBuffer(30)
+	b.Add(7)
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if vals := b.Values(); len(vals) != 1 || vals[0] != 7 {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestNewRecentBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRecentBuffer(-1)
+}
+
+// Property: MinMaxSum agrees with a direct computation over Values().
+func TestRecentBufferMinMaxSumProperty(t *testing.T) {
+	f := func(vals []int16, size uint8) bool {
+		n := int(size%30) + 1
+		b := NewRecentBuffer(n)
+		for _, v := range vals {
+			b.Add(int(v))
+		}
+		min, max, sum, ok := b.MinMaxSum()
+		vv := b.Values()
+		if len(vv) == 0 {
+			return !ok
+		}
+		wmin, wmax, wsum := vv[0], vv[0], 0
+		for _, v := range vv {
+			if v < wmin {
+				wmin = v
+			}
+			if v > wmax {
+				wmax = v
+			}
+			wsum += v
+		}
+		return ok && min == wmin && max == wmax && sum == wsum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+
+	"scoop/internal/netsim"
+)
+
+// Query is one user request issued at the basestation (paper §5.5):
+// either a value range over the indexed attribute, or an explicit list
+// of nodes, always with a time range of interest.
+type Query struct {
+	// Value range (used when Nodes is empty).
+	ValueLo, ValueHi int
+	// Node-list alternative ("a user can query values from one or
+	// more specific nodes").
+	Nodes []netsim.NodeID
+	// Time range of interest, virtual ms.
+	TimeLo, TimeHi netsim.Time
+}
+
+// IsNodeQuery reports whether the query targets explicit nodes rather
+// than a value range.
+func (q Query) IsNodeQuery() bool { return len(q.Nodes) > 0 }
+
+// Generator produces the query stream for a run.
+type Generator interface {
+	// Next returns the query issued at time now.
+	Next(now netsim.Time) Query
+}
+
+// RangeGen issues value-range queries of random width between WidthLo
+// and WidthHi fractions of the attribute domain (paper default: 1–5%),
+// placed uniformly at random, over the trailing HistoryWindow of time.
+type RangeGen struct {
+	rng              *rand.Rand
+	domainLo         int
+	domainHi         int
+	WidthLo, WidthHi float64
+	HistoryWindow    netsim.Time
+}
+
+// NewRangeGen returns the paper's default query generator over the
+// given value domain.
+func NewRangeGen(domainLo, domainHi int, seed int64) *RangeGen {
+	return &RangeGen{
+		rng:           rand.New(rand.NewSource(seed)),
+		domainLo:      domainLo,
+		domainHi:      domainHi,
+		WidthLo:       0.01,
+		WidthHi:       0.05,
+		HistoryWindow: 2 * netsim.Minute,
+	}
+}
+
+// Next implements Generator.
+func (g *RangeGen) Next(now netsim.Time) Query {
+	domain := g.domainHi - g.domainLo + 1
+	wf := g.WidthLo + g.rng.Float64()*(g.WidthHi-g.WidthLo)
+	width := int(float64(domain) * wf)
+	if width < 1 {
+		width = 1
+	}
+	lo := g.domainLo + g.rng.Intn(domain-width+1)
+	tlo := now - g.HistoryWindow
+	if tlo < 0 {
+		tlo = 0
+	}
+	return Query{ValueLo: lo, ValueHi: lo + width - 1, TimeLo: tlo, TimeHi: now}
+}
+
+// NodePctGen issues node-list queries covering a fixed percentage of
+// the non-base nodes, drawn at random per query — the Figure 4 sweep.
+type NodePctGen struct {
+	rng           *rand.Rand
+	n             int // network size including base
+	Pct           float64
+	HistoryWindow netsim.Time
+}
+
+// NewNodePctGen returns a generator querying pct (0..1) of the n-1
+// non-base nodes each time.
+func NewNodePctGen(n int, pct float64, seed int64) *NodePctGen {
+	return &NodePctGen{
+		rng:           rand.New(rand.NewSource(seed)),
+		n:             n,
+		Pct:           pct,
+		HistoryWindow: 5 * netsim.Minute,
+	}
+}
+
+// Next implements Generator.
+func (g *NodePctGen) Next(now netsim.Time) Query {
+	count := int(float64(g.n-1)*g.Pct + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > g.n-1 {
+		count = g.n - 1
+	}
+	perm := g.rng.Perm(g.n - 1)
+	nodes := make([]netsim.NodeID, count)
+	for i := 0; i < count; i++ {
+		nodes[i] = netsim.NodeID(perm[i] + 1) // skip the base (node 0)
+	}
+	tlo := now - g.HistoryWindow
+	if tlo < 0 {
+		tlo = 0
+	}
+	return Query{Nodes: nodes, TimeLo: tlo, TimeHi: now}
+}

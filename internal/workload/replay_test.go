@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scoop/internal/netsim"
+)
+
+func TestReplayPlaysBackInOrder(t *testing.T) {
+	r := NewReplay("t", [][]int{{}, {10, 20, 30}, {5}})
+	got := []int{
+		r.Next(1, 0), r.Next(1, 0), r.Next(1, 0), r.Next(1, 0),
+	}
+	want := []int{10, 20, 30, 10} // wraps around
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+	if v := r.Next(2, 0); v != 5 {
+		t.Fatalf("node 2 read %d", v)
+	}
+}
+
+func TestReplayDomain(t *testing.T) {
+	r := NewReplay("t", [][]int{{}, {10, 20}, {3, 99}})
+	lo, hi := r.Domain()
+	if lo != 3 || hi != 99 {
+		t.Fatalf("domain [%d,%d]", lo, hi)
+	}
+	if r.Name() != "t" {
+		t.Fatalf("name %q", r.Name())
+	}
+}
+
+func TestReplayPanicsOnMissingSeries(t *testing.T) {
+	r := NewReplay("t", [][]int{{}, {1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Next(0, 0)
+}
+
+func TestParseReplayRoundTrip(t *testing.T) {
+	src := "\n10 20 30\n5 5\n"
+	r, err := ParseReplay("f", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Next(1, 0); v != 10 {
+		t.Fatalf("first read %d", v)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ParseReplay("f2", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if a, b := r.Next(2, 0), r2.Next(2, 0); a != b {
+			t.Fatalf("round trip diverged: %d vs %d", a, b)
+		}
+	}
+}
+
+func TestParseReplayErrors(t *testing.T) {
+	if _, err := ParseReplay("e", strings.NewReader("1 x 3\n")); err == nil {
+		t.Fatal("accepted non-numeric trace")
+	}
+	if _, err := ParseReplay("e", strings.NewReader("")); err == nil {
+		t.Fatal("accepted empty trace")
+	}
+}
+
+func TestRecordFreezesSource(t *testing.T) {
+	a := Record(NewReal(10, 42), 10, 50)
+	b := Record(NewReal(10, 42), 10, 50)
+	for id := netsim.NodeID(1); id < 10; id++ {
+		for k := 0; k < 50; k++ {
+			va, vb := a.Next(id, 0), b.Next(id, 0)
+			if va != vb {
+				t.Fatal("recordings of identical sources differ")
+			}
+		}
+	}
+	lo, hi := a.Domain()
+	if lo < 0 || hi > RealMax {
+		t.Fatalf("recorded domain [%d,%d] escapes source domain", lo, hi)
+	}
+}

@@ -1,0 +1,208 @@
+package scoop
+
+import (
+	"testing"
+	"time"
+)
+
+func quickExperiment() ExperimentConfig {
+	cfg := DefaultExperiment()
+	cfg.Duration = 20 * time.Minute
+	cfg.Warmup = 6 * time.Minute
+	cfg.Trials = 1
+	return cfg
+}
+
+func TestRunExperimentScoop(t *testing.T) {
+	res, err := RunExperiment(quickExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Total() == 0 {
+		t.Fatal("no messages counted")
+	}
+	if res.Produced == 0 || res.StoredUnique == 0 {
+		t.Fatal("no data produced/stored")
+	}
+	if res.DataSuccess < 0.7 {
+		t.Fatalf("data success %.2f too low", res.DataSuccess)
+	}
+	if res.IndexesBuilt == 0 {
+		t.Fatal("no indexes built")
+	}
+}
+
+func TestRunExperimentPolicies(t *testing.T) {
+	for _, p := range []Policy{PolicyLocal, PolicyBase, PolicyHash} {
+		cfg := quickExperiment()
+		cfg.Policy = p
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Breakdown.Total() == 0 {
+			t.Fatalf("%s produced no traffic", p)
+		}
+	}
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	cfg := quickExperiment()
+	cfg.Nodes = 1
+	if _, err := RunExperiment(cfg); err == nil {
+		t.Fatal("accepted 1-node network")
+	}
+	cfg = quickExperiment()
+	cfg.Nodes = 300
+	if _, err := RunExperiment(cfg); err == nil {
+		t.Fatal("accepted oversized network")
+	}
+	cfg = quickExperiment()
+	cfg.Warmup = cfg.Duration
+	if _, err := RunExperiment(cfg); err == nil {
+		t.Fatal("accepted warmup >= duration")
+	}
+	cfg = quickExperiment()
+	cfg.Source = "bogus"
+	if _, err := RunExperiment(cfg); err == nil {
+		t.Fatal("accepted unknown source")
+	}
+}
+
+func TestSimulationLifecycle(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{
+		Nodes:  20,
+		Seed:   7,
+		Warmup: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Nodes() != 20 {
+		t.Fatalf("nodes = %d", sim.Nodes())
+	}
+	sim.Run(12 * time.Minute)
+	if sim.Elapsed() != 12*time.Minute {
+		t.Fatalf("elapsed = %v", sim.Elapsed())
+	}
+	st := sim.Stats()
+	if st.Produced == 0 {
+		t.Fatal("no samples taken")
+	}
+	if len(sim.IndexRanges()) == 0 {
+		t.Fatal("no index ranges after 12 minutes")
+	}
+	res := sim.QueryValues(0, 150, 5*time.Minute, time.Minute)
+	if res.Targets == 0 {
+		t.Fatal("full-domain query targeted nobody")
+	}
+	if res.Tuples == 0 {
+		t.Fatal("no tuples returned")
+	}
+	if len(res.Readings) == 0 {
+		t.Fatal("no readings carried back")
+	}
+	for _, r := range res.Readings {
+		if r.Value < 0 || r.Value > 150 {
+			t.Fatalf("reading value %d outside domain", r.Value)
+		}
+		if r.Node < 0 || r.Node >= 20 {
+			t.Fatalf("reading from unknown node %d", r.Node)
+		}
+	}
+}
+
+func TestSimulationNodeQuery(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{Nodes: 12, Seed: 9, Warmup: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(10 * time.Minute)
+	res := sim.QueryNodes([]int{3, 4}, 5*time.Minute, time.Minute)
+	if res.Targets != 2 {
+		t.Fatalf("targets = %d", res.Targets)
+	}
+	// Queried nodes scan their own buffers (paper §5.5), which may
+	// hold readings they store on behalf of other producers — so the
+	// producer set is unconstrained, but values must be in-domain.
+	for _, r := range res.Readings {
+		if r.Value < 0 || r.Value > 150 {
+			t.Fatalf("reading value %d outside domain", r.Value)
+		}
+	}
+}
+
+func TestSimulationQueryMax(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{Nodes: 12, Seed: 11, Warmup: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(10 * time.Minute)
+	before := sim.Messages().Total()
+	max, ok := sim.QueryMax(8 * time.Minute)
+	if !ok {
+		t.Fatal("QueryMax failed")
+	}
+	if max <= 0 || max > 150 {
+		t.Fatalf("max = %d outside REAL domain", max)
+	}
+	if sim.Messages().Total() != before {
+		t.Fatal("summary-based query cost messages")
+	}
+}
+
+func TestSimulationCustomSampler(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{
+		Nodes:  10,
+		Seed:   13,
+		Warmup: 2 * time.Minute,
+		Sampler: func(node int, _ time.Duration) int {
+			return node * 2
+		},
+		DomainLo: 0,
+		DomainHi: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(10 * time.Minute)
+	res := sim.QueryValues(0, 20, 5*time.Minute, time.Minute)
+	for _, r := range res.Readings {
+		if r.Value != r.Node*2 {
+			t.Fatalf("node %d reported %d, want %d", r.Node, r.Value, r.Node*2)
+		}
+	}
+}
+
+func TestSimulationCustomSamplerNeedsDomain(t *testing.T) {
+	_, err := NewSimulation(SimulationConfig{
+		Nodes:   10,
+		Sampler: func(int, time.Duration) int { return 1 },
+	})
+	if err == nil {
+		t.Fatal("accepted sampler without domain")
+	}
+}
+
+func TestSimulationKillRevive(t *testing.T) {
+	sim, err := NewSimulation(SimulationConfig{Nodes: 15, Seed: 17, Warmup: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(6 * time.Minute)
+	sim.KillNode(5)
+	sim.Run(6 * time.Minute)
+	st := sim.Stats()
+	if st.DataSuccess < 0.5 {
+		t.Fatalf("network collapsed after one failure: %.2f", st.DataSuccess)
+	}
+	sim.ReviveNode(5)
+	sim.Run(4 * time.Minute)
+}
+
+func TestBreakdownTotalExcludesBeacons(t *testing.T) {
+	b := Breakdown{Data: 1, Summary: 2, Mapping: 3, Query: 4, Reply: 5, Beacon: 100}
+	if b.Total() != 15 {
+		t.Fatalf("total = %f", b.Total())
+	}
+}
