@@ -13,8 +13,10 @@ import (
 
 	"scoop/internal/core"
 	"scoop/internal/exp"
+	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
+	"scoop/internal/sweep"
 )
 
 // reportTotals attaches per-case message totals to the benchmark.
@@ -251,6 +253,120 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// ---- Sweep benches: the netsim event-loop hot paths the parameter
+// sweep engine spends its time in, plus the sweep layer itself. ----
+
+// BenchmarkSweepEventLoop measures the raw simulator event loop —
+// heap scheduling plus callback dispatch — the innermost hot path of
+// every sweep cell. Reported as events/op via b.N.
+func BenchmarkSweepEventLoop(b *testing.B) {
+	sim := netsim.NewSimulator(1)
+	// A self-rescheduling callback per virtual "node" keeps a realistic
+	// heap depth (64 pending events) instead of a degenerate single
+	// chain.
+	var tick func()
+	pending := 0
+	tick = func() {
+		pending--
+		if pending < 64 {
+			pending++
+			sim.After(netsim.Time(1+pending%7), tick)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		pending++
+		sim.After(netsim.Time(i%13), tick)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sim.Step() {
+			b.Fatal("event queue drained")
+		}
+	}
+}
+
+// chatterApp broadcasts a frame per timer tick: the MAC/radio fan-out
+// path (CSMA backoff, collision checks, per-neighbour delivery) that
+// dominates sweep cell wall time.
+type chatterApp struct {
+	api    *netsim.NodeAPI
+	period netsim.Time
+}
+
+func (a *chatterApp) Init(api *netsim.NodeAPI) {
+	a.api = api
+	api.SetTimer(0, a.period+netsim.Time(api.ID()))
+}
+
+func (a *chatterApp) Receive(*netsim.Packet) {}
+func (a *chatterApp) Snoop(*netsim.Packet)   {}
+
+func (a *chatterApp) Timer(int) {
+	a.api.Broadcast(&netsim.Packet{Class: metrics.Data, Size: 36})
+	a.api.SetTimer(0, a.period)
+}
+
+// BenchmarkSweepTransmitHotPath measures one virtual second of a
+// 25-node broadcast-saturated network per iteration: the transmit /
+// collision / snoop fan-out inner loop.
+func BenchmarkSweepTransmitHotPath(b *testing.B) {
+	const n = 25
+	sim := netsim.NewSimulator(1)
+	topo := netsim.UniformTopology(n, 5, 3.5, 1)
+	net := netsim.NewNetwork(sim, topo, metrics.NewCounters(), netsim.DefaultParams())
+	for i := 0; i < n; i++ {
+		net.Attach(netsim.NodeID(i), &chatterApp{period: 50 * netsim.Millisecond})
+	}
+	net.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(sim.Now() + netsim.Second)
+	}
+	b.ReportMetric(float64(net.Counters.TotalWithBeacons())/float64(b.N), "msgs/op")
+}
+
+// BenchmarkSweepCell measures one full sweep cell (topology build,
+// protocol stack, simulation, metric capture) end to end.
+func BenchmarkSweepCell(b *testing.B) {
+	g := sweep.Default()
+	g.Policies = []policy.Name{policy.Scoop}
+	g.Sizes = []int{24}
+	g.LossRates = []float64{0.1}
+	g.Duration = 8 * netsim.Minute
+	g.Warmup = 2 * netsim.Minute
+	for i := 0; i < b.N; i++ {
+		g.Seed = int64(i) + 1
+		rep, err := sweep.Run(g, sweep.Options{Parallel: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Cells[0].Msgs, "msgs_cell")
+	}
+}
+
+// BenchmarkSweepGrid8 measures an 8-cell grid on the worker pool —
+// the sweep engine's parallel throughput, cells racing on all cores.
+func BenchmarkSweepGrid8(b *testing.B) {
+	g := sweep.Default()
+	g.Policies = []policy.Name{policy.Scoop, policy.Base}
+	g.Sizes = []int{16, 24}
+	g.LossRates = []float64{0, 0.2}
+	g.Duration = 6 * netsim.Minute
+	g.Warmup = 2 * netsim.Minute
+	for i := 0; i < b.N; i++ {
+		g.Seed = int64(i) + 1
+		rep, err := sweep.Run(g, sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total float64
+		for _, c := range rep.Cells {
+			total += c.Msgs
+		}
+		b.ReportMetric(total, "msgs_grid")
+	}
 }
 
 // BenchmarkEnergy regenerates the lifetime comparison (§6's "one

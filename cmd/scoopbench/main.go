@@ -22,6 +22,23 @@ type figure struct {
 	run      func(exp.Scale, int64)
 }
 
+// figures is the registry of runnable figures, one per table/figure of
+// the paper's evaluation (§6).
+func figures() []figure {
+	return []figure{
+		{"3l", "Figure 3 (left)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Left(s, sd); fmt.Println(t) }},
+		{"3m", "Figure 3 (middle)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Middle(s, sd); fmt.Println(t) }},
+		{"3r", "Figure 3 (right)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Right(s, sd); fmt.Println(t) }},
+		{"4", "Figure 4", func(s exp.Scale, sd int64) { t, _ := exp.Figure4(s, sd); fmt.Println(t) }},
+		{"5", "Figure 5", func(s exp.Scale, sd int64) { t, _ := exp.Figure5(s, sd); fmt.Println(t) }},
+		{"sample", "Sample-interval sweep", func(s exp.Scale, sd int64) { t, _ := exp.SampleIntervalSweep(s, sd); fmt.Println(t) }},
+		{"loss", "Loss rates", func(s exp.Scale, sd int64) { t, _ := exp.LossRates(s, sd); fmt.Println(t) }},
+		{"root", "Root skew", func(s exp.Scale, sd int64) { t, _ := exp.RootSkew(s, sd); fmt.Println(t) }},
+		{"scale", "Scaling", func(s exp.Scale, sd int64) { t, _ := exp.Scaling(s, sd); fmt.Println(t) }},
+		{"energy", "Energy / lifetimes", func(s exp.Scale, sd int64) { t, _ := exp.EnergyTable(s, sd); fmt.Println(t) }},
+	}
+}
+
 func main() {
 	var figs multiFlag
 	flag.Var(&figs, "fig", "figure to run: 3l, 3m, 3r, 4, 5, sample, loss, root, scale, energy (repeatable; default all)")
@@ -39,18 +56,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	all := []figure{
-		{"3l", "Figure 3 (left)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Left(s, sd); fmt.Println(t) }},
-		{"3m", "Figure 3 (middle)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Middle(s, sd); fmt.Println(t) }},
-		{"3r", "Figure 3 (right)", func(s exp.Scale, sd int64) { t, _ := exp.Figure3Right(s, sd); fmt.Println(t) }},
-		{"4", "Figure 4", func(s exp.Scale, sd int64) { t, _ := exp.Figure4(s, sd); fmt.Println(t) }},
-		{"5", "Figure 5", func(s exp.Scale, sd int64) { t, _ := exp.Figure5(s, sd); fmt.Println(t) }},
-		{"sample", "Sample-interval sweep", func(s exp.Scale, sd int64) { t, _ := exp.SampleIntervalSweep(s, sd); fmt.Println(t) }},
-		{"loss", "Loss rates", func(s exp.Scale, sd int64) { t, _ := exp.LossRates(s, sd); fmt.Println(t) }},
-		{"root", "Root skew", func(s exp.Scale, sd int64) { t, _ := exp.RootSkew(s, sd); fmt.Println(t) }},
-		{"scale", "Scaling", func(s exp.Scale, sd int64) { t, _ := exp.Scaling(s, sd); fmt.Println(t) }},
-		{"energy", "Energy / lifetimes", func(s exp.Scale, sd int64) { t, _ := exp.EnergyTable(s, sd); fmt.Println(t) }},
-	}
+	all := figures()
 
 	want := map[string]bool{}
 	for _, f := range figs {

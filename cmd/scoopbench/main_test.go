@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// The -fig help text and the registry must agree: every id advertised
+// in the flag description exists, and no registered figure is missing
+// from it.
+func TestFigureRegistryComplete(t *testing.T) {
+	wantIDs := []string{"3l", "3m", "3r", "4", "5", "sample", "loss", "root", "scale", "energy"}
+	figs := figures()
+	if len(figs) != len(wantIDs) {
+		t.Fatalf("registry has %d figures, help text names %d", len(figs), len(wantIDs))
+	}
+	byID := map[string]figure{}
+	for _, f := range figs {
+		if f.run == nil {
+			t.Fatalf("figure %q has no runner", f.id)
+		}
+		if f.name == "" {
+			t.Fatalf("figure %q has no display name", f.id)
+		}
+		if _, dup := byID[f.id]; dup {
+			t.Fatalf("duplicate figure id %q", f.id)
+		}
+		byID[f.id] = f
+	}
+	for _, id := range wantIDs {
+		if _, ok := byID[id]; !ok {
+			t.Fatalf("figure id %q advertised but not registered", id)
+		}
+	}
+}
+
+func TestMultiFlagAccumulates(t *testing.T) {
+	var m multiFlag
+	for _, v := range []string{"3l", "4", "energy"} {
+		if err := m.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.String(); got != "3l,4,energy" {
+		t.Fatalf("multiFlag = %q", got)
+	}
+}

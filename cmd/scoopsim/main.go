@@ -19,23 +19,27 @@ import (
 	"scoop"
 )
 
-func main() {
+// parseFlags builds the experiment configuration from argv (without
+// the program name). Separate from main so tests can drive it.
+func parseFlags(args []string) (scoop.ExperimentConfig, error) {
+	fs := flag.NewFlagSet("scoopsim", flag.ContinueOnError)
 	var (
-		policyF  = flag.String("policy", "scoop", "storage policy: scoop, local, base, hash, hashsim")
-		source   = flag.String("source", "real", "data source: real, unique, equal, random, gaussian")
-		topology = flag.String("topology", "uniform", "topology: uniform, testbed, grid")
-		nodes    = flag.Int("nodes", 63, "network size including the basestation")
-		duration = flag.Duration("duration", 40*time.Minute, "virtual run time")
-		warmup   = flag.Duration("warmup", 10*time.Minute, "tree-stabilisation period")
-		sample   = flag.Duration("sample", 15*time.Second, "sensor sampling interval")
-		query    = flag.Duration("query", 15*time.Second, "query interval (0 disables)")
-		nodePct  = flag.Float64("nodepct", -1, "node-list queries over this fraction of nodes (<0: value-range queries)")
-		trials   = flag.Int("trials", 3, "independent trials to average")
-		seed     = flag.Int64("seed", 1, "random seed")
+		policyF  = fs.String("policy", "scoop", "storage policy: scoop, local, base, hash, hashsim")
+		source   = fs.String("source", "real", "data source: real, unique, equal, random, gaussian")
+		topology = fs.String("topology", "uniform", "topology: uniform, testbed, grid")
+		nodes    = fs.Int("nodes", 63, "network size including the basestation")
+		duration = fs.Duration("duration", 40*time.Minute, "virtual run time")
+		warmup   = fs.Duration("warmup", 10*time.Minute, "tree-stabilisation period")
+		sample   = fs.Duration("sample", 15*time.Second, "sensor sampling interval")
+		query    = fs.Duration("query", 15*time.Second, "query interval (0 disables)")
+		nodePct  = fs.Float64("nodepct", -1, "node-list queries over this fraction of nodes (<0: value-range queries)")
+		trials   = fs.Int("trials", 3, "independent trials to average")
+		seed     = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
-
-	cfg := scoop.ExperimentConfig{
+	if err := fs.Parse(args); err != nil {
+		return scoop.ExperimentConfig{}, err
+	}
+	return scoop.ExperimentConfig{
 		Policy:         scoop.Policy(*policyF),
 		Source:         scoop.Source(*source),
 		Topology:       scoop.Topology(*topology),
@@ -47,6 +51,16 @@ func main() {
 		NodePercent:    *nodePct,
 		Trials:         *trials,
 		Seed:           *seed,
+	}, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(2)
 	}
 	res, err := scoop.RunExperiment(cfg)
 	if err != nil {

@@ -1,0 +1,197 @@
+// Command scoopsweep runs a parameter-sweep grid — the cross-product
+// of storage policy × topology × network size × link-loss rate ×
+// workload source — in parallel on a bounded worker pool, writes a
+// deterministic JSON artifact, and optionally gates the results
+// against a committed baseline.
+//
+//	scoopsweep                                # default 24-cell grid
+//	scoopsweep -parallel 8 -out sweep.json    # explicit artifact path
+//	scoopsweep -baseline testdata/sweep-ci-baseline.json   # CI gate
+//	scoopsweep -policies scoop,base -sizes 32,63,101 -loss 0,0.2
+//
+// The same -seed always produces byte-identical artifacts, whatever
+// -parallel is, so committed sweeps are diffable performance records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+	"scoop/internal/sweep"
+)
+
+// cli holds everything parsed from the command line.
+type cli struct {
+	grid     sweep.Grid
+	parallel int
+	out      string
+	baseline string
+	tol      float64
+}
+
+// parseArgs builds the sweep configuration from argv (without the
+// program name). Usage and error text go to errw. Kept separate from
+// main so tests can drive it.
+func parseArgs(args []string, errw io.Writer) (cli, error) {
+	fs := flag.NewFlagSet("scoopsweep", flag.ContinueOnError)
+	fs.SetOutput(errw)
+
+	name := fs.String("name", "default", "sweep name; also names the artifact sweep-<name>.json")
+	policies := fs.String("policies", "scoop,local,hash,base", "comma-separated storage policies")
+	topos := fs.String("topos", "uniform", "comma-separated topologies: uniform, testbed, grid")
+	sizes := fs.String("sizes", "32,63", "comma-separated network sizes (incl. basestation)")
+	loss := fs.String("loss", "0,0.1,0.2", "comma-separated link-loss rates in [0,1)")
+	sources := fs.String("sources", "real", "comma-separated workload sources")
+	duration := fs.Duration("duration", 22*time.Minute, "virtual run length per cell")
+	warmup := fs.Duration("warmup", 6*time.Minute, "virtual warm-up per cell")
+	trials := fs.Int("trials", 1, "trials per cell")
+	seed := fs.Int64("seed", 1, "base seed; per-cell seeds are derived from it")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "max cells running concurrently")
+	out := fs.String("out", "", "artifact path (default sweep-<name>.json; \"-\" for none)")
+	baseline := fs.String("baseline", "", "baseline artifact to gate against (empty: no gate)")
+	tol := fs.Float64("tol", sweep.DefaultTolerance, "gate tolerance (relative regression; 0 gates strictly)")
+
+	if err := fs.Parse(args); err != nil {
+		return cli{}, err
+	}
+	if fs.NArg() > 0 {
+		return cli{}, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	g := sweep.Default()
+	g.Name = *name
+	g.Duration = netsim.Time(duration.Milliseconds())
+	g.Warmup = netsim.Time(warmup.Milliseconds())
+	g.Trials = *trials
+	g.Seed = *seed
+
+	g.Policies = nil
+	for _, p := range splitList(*policies) {
+		g.Policies = append(g.Policies, policy.Name(p))
+	}
+	g.Topologies = splitList(*topos)
+	g.Sources = splitList(*sources)
+
+	var err error
+	if g.Sizes, err = parseInts(*sizes); err != nil {
+		return cli{}, fmt.Errorf("-sizes: %w", err)
+	}
+	if g.LossRates, err = parseFloats(*loss); err != nil {
+		return cli{}, fmt.Errorf("-loss: %w", err)
+	}
+	for _, l := range g.LossRates {
+		if l < 0 || l >= 1 {
+			return cli{}, fmt.Errorf("-loss: rate %g outside [0,1)", l)
+		}
+	}
+	if g.Duration <= g.Warmup {
+		return cli{}, fmt.Errorf("-duration %v must exceed -warmup %v", *duration, *warmup)
+	}
+	if *tol < 0 {
+		return cli{}, fmt.Errorf("-tol: tolerance %g must be >= 0", *tol)
+	}
+
+	path := *out
+	if path == "" {
+		path = "sweep-" + g.Name + ".json"
+	}
+	return cli{grid: g, parallel: *parallel, out: path, baseline: *baseline, tol: *tol}, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// run executes the sweep and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseArgs(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintln(stderr, "scoopsweep:", err)
+		return 2
+	}
+
+	cells := c.grid.Cells()
+	fmt.Fprintf(stderr, "scoopsweep: %d cells, %d workers, seed %d\n",
+		len(cells), c.parallel, c.grid.Seed)
+	start := time.Now()
+	rep, err := sweep.Run(c.grid, sweep.Options{
+		Parallel: c.parallel,
+		Progress: func(r sweep.CellResult) {
+			fmt.Fprintf(stderr, "  [%3d/%d] %-40s msgs=%8.0f data=%.2f wall=%.0fms\n",
+				r.Index+1, len(cells), r.Key(), r.Msgs, r.DataSuccess, r.WallMS)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "scoopsweep:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "scoopsweep: grid done in %.1fs\n", time.Since(start).Seconds())
+
+	if c.out != "-" {
+		if err := sweep.WriteFile(c.out, rep); err != nil {
+			fmt.Fprintln(stderr, "scoopsweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d cells)\n", c.out, len(rep.Cells))
+	}
+
+	if c.baseline != "" {
+		base, err := sweep.ReadFile(c.baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "scoopsweep:", err)
+			return 1
+		}
+		if err := sweep.GateError(sweep.Gate(rep, base, c.tol)); err != nil {
+			fmt.Fprintln(stderr, "scoopsweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "gate passed against %s (tolerance %.0f%%)\n",
+			c.baseline, 100*c.tol)
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

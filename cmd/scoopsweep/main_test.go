@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scoop/internal/policy"
+	"scoop/internal/sweep"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	c, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.grid.Cells()); got < 24 {
+		t.Fatalf("default grid has %d cells; want >= 24", got)
+	}
+	wantPolicies := []policy.Name{policy.Scoop, policy.Local, policy.Hash, policy.Base}
+	if len(c.grid.Policies) != len(wantPolicies) {
+		t.Fatalf("default policies: %v", c.grid.Policies)
+	}
+	for i, p := range wantPolicies {
+		if c.grid.Policies[i] != p {
+			t.Fatalf("default policies: %v", c.grid.Policies)
+		}
+	}
+	if c.out != "sweep-default.json" {
+		t.Fatalf("default artifact path %q", c.out)
+	}
+	if c.tol != sweep.DefaultTolerance {
+		t.Fatalf("default tolerance %v", c.tol)
+	}
+}
+
+func TestParseArgsGridSpec(t *testing.T) {
+	c, err := parseArgs([]string{
+		"-name", "ci", "-policies", "scoop,base", "-topos", "uniform,grid",
+		"-sizes", "12,24", "-loss", "0,0.25", "-sources", "real,unique",
+		"-duration", "8m", "-warmup", "2m", "-trials", "2",
+		"-seed", "99", "-parallel", "3",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.grid
+	if len(g.Cells()) != 2*2*2*2*2 {
+		t.Fatalf("grid expands to %d cells", len(g.Cells()))
+	}
+	if g.Seed != 99 || g.Trials != 2 || c.parallel != 3 {
+		t.Fatalf("parsed grid: %+v parallel=%d", g, c.parallel)
+	}
+	if c.out != "sweep-ci.json" {
+		t.Fatalf("artifact path %q", c.out)
+	}
+}
+
+func TestParseArgsRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-sizes", "twelve"},
+		{"-loss", "0.1,nope"},
+		{"-loss", "1.0"},
+		{"-loss", "-0.2"},
+		{"-tol", "-0.1"},
+		{"-duration", "5m", "-warmup", "10m"},
+		{"-no-such-flag"},
+		{"stray-positional"},
+	}
+	for _, args := range cases {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// End-to-end smoke test: a 1-cell sweep runs, writes its artifact, and
+// gates cleanly against itself; a doctored baseline trips the gate.
+func TestRunWritesArtifactAndGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation cell")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sweep-smoke.json")
+	args := []string{
+		"-policies", "scoop", "-sizes", "12", "-loss", "0", "-sources", "real",
+		"-duration", "4m", "-warmup", "1m", "-out", out, "-parallel", "1",
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	rep, err := sweep.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Msgs <= 0 {
+		t.Fatalf("artifact: %+v", rep)
+	}
+
+	// Gate against itself: must pass.
+	stdout.Reset()
+	if code := run(append(args, "-baseline", out), &stdout, &stderr); code != 0 {
+		t.Fatalf("self-gate failed (%d): %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gate passed") {
+		t.Fatalf("no gate confirmation in output: %q", stdout.String())
+	}
+
+	// Gate against a baseline demanding 20% fewer messages: must fail.
+	rep.Cells[0].Msgs *= 0.8
+	doctored := filepath.Join(dir, "sweep-doctored.json")
+	if err := sweep.WriteFile(doctored, rep); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run(append(args, "-baseline", doctored), &stdout, &stderr); code == 0 {
+		t.Fatal("gate passed against a 20 percent tighter baseline")
+	}
+	if !strings.Contains(stderr.String(), "regression") {
+		t.Fatalf("no regression report: %q", stderr.String())
+	}
+}
+
+func TestRunRejectsMissingBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation cell")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-policies", "scoop", "-sizes", "12", "-loss", "0",
+		"-duration", "4m", "-warmup", "1m", "-out", "-", "-parallel", "1",
+		"-baseline", filepath.Join(t.TempDir(), "absent.json"),
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("missing baseline accepted")
+	}
+	if _, err := os.Stat("sweep-default.json"); err == nil {
+		t.Fatal("-out - still wrote an artifact in the working directory")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scoop/internal/workload"
+)
+
+// Generate a trace the way main does, then inspect it the way
+// -inspect does: the full round trip through the replay format.
+func TestGenerateInspectRoundTrip(t *testing.T) {
+	src, err := workload.NewSource("real", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := workload.Record(src, 8, 20)
+
+	path := filepath.Join(t.TempDir(), "real.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := inspectTrace(path); err != nil {
+		t.Fatalf("inspectTrace: %v", err)
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := inspectTrace(filepath.Join(t.TempDir(), "absent.trace")); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}

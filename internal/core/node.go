@@ -182,7 +182,7 @@ func (n *Node) learnDescendant(p *netsim.Packet) {
 }
 
 // forwardUp relays a summary or reply one hop toward the basestation.
-func (n *Node) forwardUp(p *netsim.Packet, payload interface{}, class metrics.Class, size int) {
+func (n *Node) forwardUp(p *netsim.Packet, payload any, class metrics.Class, size int) {
 	if !n.tree.HasRoute() {
 		return // nowhere to go; the message is lost
 	}

@@ -34,6 +34,12 @@ type Config struct {
 	// queries of 1–5% of the domain (the paper's default).
 	NodePct float64
 
+	// LinkLoss, in [0,1), degrades every directed link's delivery
+	// probability by this fraction for the whole run, modelling a
+	// network-wide interference floor on top of the topology's
+	// per-link qualities. 0 is the paper's radio model.
+	LinkLoss float64
+
 	Trials int
 	Seed   int64
 
@@ -148,9 +154,15 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	if err != nil {
 		return TrialResult{}, err
 	}
+	if cfg.LinkLoss < 0 || cfg.LinkLoss >= 1 {
+		return TrialResult{}, fmt.Errorf("exp: link loss %v outside [0,1)", cfg.LinkLoss)
+	}
 	sim := netsim.NewSimulator(seed ^ 0x53c00b)
 	ctr := metrics.NewCounters()
 	net := netsim.NewNetwork(sim, topo, ctr, netsim.DefaultParams())
+	if cfg.LinkLoss > 0 {
+		net.ScaleAllLinks(1 - cfg.LinkLoss)
+	}
 
 	src, err := workload.NewSource(cfg.Source, cfg.N, seed+13)
 	if err != nil {

@@ -8,12 +8,19 @@ import (
 	"scoop/internal/policy"
 )
 
-// quick returns a shortened single-trial configuration.
+// quick returns a shortened single-trial configuration. Under -short
+// the runs shrink further (the full suite simulates ~18s of wall
+// time), keeping only warm-up plus enough active time for the
+// cross-policy assertions to stay robust.
 func quick(p policy.Name, source string) Config {
 	cfg := Default()
 	cfg.Policy = p
 	cfg.Source = source
 	Quick.apply(&cfg)
+	if testing.Short() {
+		cfg.Duration = 12 * netsim.Minute
+		cfg.Warmup = 4 * netsim.Minute
+	}
 	return cfg
 }
 

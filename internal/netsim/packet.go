@@ -38,7 +38,7 @@ type Packet struct {
 	Seq          uint32 // Src's link-layer sequence number (set by the MAC)
 
 	Size    int // approximate bytes on air, including headers
-	Payload interface{}
+	Payload any
 }
 
 // clone returns a shallow copy, so each receiver gets an independent

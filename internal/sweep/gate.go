@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// DefaultTolerance is the relative regression Gate permits before
+// failing: a cell may cost up to 10% more messages (or deliver 10%
+// worse) than its committed baseline.
+const DefaultTolerance = 0.10
+
+// WriteFile persists the report as an indented JSON artifact
+// (conventionally sweep-<name>.json). For a fixed base seed the bytes
+// are identical across runs and parallelism levels, so artifacts can
+// be committed and diffed.
+func WriteFile(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report previously written by WriteFile.
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("sweep: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Violation is one gate failure: a cell that regressed past the
+// tolerance, or a baseline cell the current sweep no longer covers.
+type Violation struct {
+	Cell     string // cell key
+	Metric   string // "msgs", "dataSuccess", or "missing"
+	Baseline float64
+	Current  float64
+	Delta    float64 // relative change, signed (+ = worse for msgs)
+}
+
+func (v Violation) String() string {
+	if v.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline but not in current sweep", v.Cell)
+	}
+	return fmt.Sprintf("%s: %s %.1f -> %.1f (%+.1f%%)",
+		v.Cell, v.Metric, v.Baseline, v.Current, 100*v.Delta)
+}
+
+// Gate compares a fresh sweep against a committed baseline and returns
+// every regression beyond tol (relative). A cell regresses when its
+// message cost rises more than tol above the baseline, or its data
+// delivery rate falls more than tol below it; improvements pass.
+// Baseline cells absent from the current report are violations too —
+// shrinking the grid must not silently retire a gate. tol == 0 gates
+// strictly (any regression fails); tol < 0 uses DefaultTolerance.
+func Gate(current, baseline Report, tol float64) []Violation {
+	if tol < 0 {
+		tol = DefaultTolerance
+	}
+	byKey := make(map[string]CellResult, len(current.Cells))
+	for _, c := range current.Cells {
+		byKey[c.Key()] = c
+	}
+	var out []Violation
+	for _, base := range baseline.Cells {
+		key := base.Key()
+		cur, ok := byKey[key]
+		if !ok {
+			out = append(out, Violation{Cell: key, Metric: "missing"})
+			continue
+		}
+		if base.Msgs > 0 && cur.Msgs > base.Msgs*(1+tol) {
+			out = append(out, Violation{
+				Cell: key, Metric: "msgs",
+				Baseline: base.Msgs, Current: cur.Msgs,
+				Delta: cur.Msgs/base.Msgs - 1,
+			})
+		}
+		if base.DataSuccess > 0 && cur.DataSuccess < base.DataSuccess*(1-tol) {
+			out = append(out, Violation{
+				Cell: key, Metric: "dataSuccess",
+				Baseline: base.DataSuccess, Current: cur.DataSuccess,
+				Delta: cur.DataSuccess/base.DataSuccess - 1,
+			})
+		}
+	}
+	return out
+}
+
+// GateError folds violations into a single error (nil when the gate
+// passes), for callers that just need pass/fail.
+func GateError(violations []Violation) error {
+	if len(violations) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(violations))
+	for i, v := range violations {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("sweep gate: %d regression(s):\n  %s",
+		len(violations), strings.Join(msgs, "\n  "))
+}

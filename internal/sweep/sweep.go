@@ -1,0 +1,298 @@
+// Package sweep turns the one-figure-at-a-time experiment harness into
+// a grid engine: it expands the full cross-product of storage policy ×
+// topology × network size × link-loss rate × workload source into
+// independent cells, runs them on a bounded worker pool, and captures
+// per-cell message counts, delivery rates and wall-clock timing.
+//
+// Every cell derives its own seed from (base seed, cell index), so a
+// sweep is reproducible regardless of how many workers run it or in
+// which order cells are scheduled: the same base seed always yields a
+// byte-identical JSON artifact. Committed artifacts double as
+// performance baselines — Gate compares a fresh sweep against one and
+// fails on >tolerance regressions, giving the repo a CI-enforced
+// performance trajectory.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"scoop/internal/exp"
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+)
+
+// Grid declares a parameter sweep: the axes whose cross-product forms
+// the cells, plus the run parameters every cell shares. The zero value
+// is unusable; start from Default.
+type Grid struct {
+	Name string // artifact label ("ci", "nightly", ...)
+
+	// Axes. Cells are enumerated with Policies outermost and Sources
+	// innermost; an empty axis means "the single default value".
+	Policies   []policy.Name
+	Topologies []string
+	Sizes      []int     // network sizes including the basestation
+	LossRates  []float64 // network-wide link degradation, each in [0,1)
+	Sources    []string  // workload skews ("unique", "real", "random", ...)
+
+	// Shared per-cell run parameters (see exp.Config).
+	Duration       netsim.Time
+	Warmup         netsim.Time
+	SampleInterval netsim.Time
+	QueryInterval  netsim.Time
+	Trials         int
+
+	// Seed is the base seed; each cell runs with a seed mixed from it
+	// and the cell's index.
+	Seed int64
+}
+
+// Default returns a 24-cell quick-scale grid: the paper's four
+// policies × two network sizes × three loss rates over the REAL
+// workload on the uniform topology.
+func Default() Grid {
+	return Grid{
+		Name:           "default",
+		Policies:       policy.Names(),
+		Topologies:     []string{"uniform"},
+		Sizes:          []int{32, 63},
+		LossRates:      []float64{0, 0.1, 0.2},
+		Sources:        []string{"real"},
+		Duration:       22 * netsim.Minute,
+		Warmup:         6 * netsim.Minute,
+		SampleInterval: 15 * netsim.Second,
+		QueryInterval:  15 * netsim.Second,
+		Trials:         1,
+		Seed:           1,
+	}
+}
+
+// Cell is one grid point.
+type Cell struct {
+	Index    int
+	Policy   policy.Name
+	Topology string
+	N        int
+	Loss     float64
+	Source   string
+}
+
+// Key returns the cell's stable identity, independent of its index —
+// the join key Gate matches baseline cells on.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/n%d/loss%g/%s", c.Policy, c.Topology, c.N, c.Loss, c.Source)
+}
+
+func orDefault[T any](axis []T, def T) []T {
+	if len(axis) == 0 {
+		return []T{def}
+	}
+	return axis
+}
+
+// Cells expands the grid's cross-product in deterministic order
+// (Policies outermost, Sources innermost).
+func (g Grid) Cells() []Cell {
+	policies := orDefault(g.Policies, policy.Scoop)
+	topos := orDefault(g.Topologies, "uniform")
+	sizes := orDefault(g.Sizes, 63)
+	losses := orDefault(g.LossRates, 0)
+	sources := orDefault(g.Sources, "real")
+	cells := make([]Cell, 0, len(policies)*len(topos)*len(sizes)*len(losses)*len(sources))
+	for _, p := range policies {
+		for _, topo := range topos {
+			for _, n := range sizes {
+				for _, loss := range losses {
+					for _, src := range sources {
+						cells = append(cells, Cell{
+							Index: len(cells), Policy: p, Topology: topo,
+							N: n, Loss: loss, Source: src,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// CellSeed derives the seed for cell index from the base seed with a
+// splitmix64 finalizer, so neighbouring cells get decorrelated RNG
+// streams and the mapping is independent of scheduling order.
+func CellSeed(base int64, index int) int64 {
+	z := uint64(base) + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	// Keep seeds positive: the trial-seed arithmetic in exp assumes
+	// nothing, but readable artifacts do.
+	return int64(z &^ (1 << 63))
+}
+
+// config assembles the exp.Config for one cell.
+func (g Grid) config(c Cell) exp.Config {
+	cfg := exp.Default()
+	cfg.Policy = c.Policy
+	cfg.Topology = c.Topology
+	cfg.N = c.N
+	cfg.LinkLoss = c.Loss
+	cfg.Source = c.Source
+	if g.Duration > 0 {
+		cfg.Duration = g.Duration
+	}
+	if g.Warmup > 0 {
+		cfg.Warmup = g.Warmup
+	}
+	if g.SampleInterval > 0 {
+		cfg.SampleInterval = g.SampleInterval
+	}
+	cfg.QueryInterval = g.QueryInterval
+	if g.Trials > 0 {
+		cfg.Trials = g.Trials
+	} else {
+		cfg.Trials = 1
+	}
+	cfg.Seed = CellSeed(g.Seed, c.Index)
+	return cfg
+}
+
+// CellResult captures one finished cell. All fields serialised to JSON
+// are deterministic for a given base seed; wall-clock timing is
+// captured for operator visibility but excluded from artifacts so
+// committed baselines stay byte-stable.
+type CellResult struct {
+	Index    int     `json:"index"`
+	Policy   string  `json:"policy"`
+	Topology string  `json:"topology"`
+	N        int     `json:"n"`
+	Loss     float64 `json:"loss"`
+	Source   string  `json:"source"`
+	Seed     int64   `json:"seed"`
+
+	// Message counts (mean per trial, beacons excluded from Msgs), the
+	// paper's cost metric and the gate's headline number.
+	Msgs    float64 `json:"msgs"`
+	Data    float64 `json:"data"`
+	Summary float64 `json:"summary"`
+	Mapping float64 `json:"mapping"`
+	Query   float64 `json:"query"`
+	Reply   float64 `json:"reply"`
+	Beacon  float64 `json:"beacon"`
+
+	// Delivery quality.
+	DataSuccess  float64 `json:"dataSuccess"`
+	QuerySuccess float64 `json:"querySuccess"`
+	OwnerHit     float64 `json:"ownerHit"`
+
+	// WallMS is the cell's wall-clock run time in milliseconds. It is
+	// scheduling- and machine-dependent, so it never enters the JSON
+	// artifact.
+	WallMS float64 `json:"-"`
+}
+
+// Key returns the cell identity key (see Cell.Key).
+func (r CellResult) Key() string {
+	return Cell{Policy: policy.Name(r.Policy), Topology: r.Topology,
+		N: r.N, Loss: r.Loss, Source: r.Source}.Key()
+}
+
+// Report is a finished sweep: the artifact WriteFile persists and Gate
+// consumes.
+type Report struct {
+	Name  string       `json:"name"`
+	Seed  int64        `json:"seed"`
+	Cells []CellResult `json:"cells"`
+}
+
+// Options tunes Run.
+type Options struct {
+	// Parallel bounds concurrently running cells; <=0 means NumCPU.
+	// Note each cell may itself run Trials goroutines (exp.Run).
+	Parallel int
+	// Progress, when non-nil, is called once per finished cell, from
+	// the worker goroutine that ran it.
+	Progress func(CellResult)
+}
+
+// Run executes every cell of the grid on a bounded worker pool and
+// returns the results ordered by cell index. The report is identical
+// whatever Parallel is: each cell's seed depends only on (base seed,
+// index), and cells share no mutable state.
+func Run(g Grid, opts Options) (Report, error) {
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cells := g.Cells()
+	if len(cells) == 0 {
+		return Report{}, fmt.Errorf("sweep: empty grid")
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]CellResult, len(cells))
+	errs := make([]error, len(cells))
+	work := make(chan Cell)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				results[c.Index], errs[c.Index] = runCell(g, c)
+				if errs[c.Index] == nil && opts.Progress != nil {
+					opts.Progress(results[c.Index])
+				}
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return Report{}, fmt.Errorf("sweep: cell %d (%s): %w", i, cells[i].Key(), err)
+		}
+	}
+	return Report{Name: g.Name, Seed: g.Seed, Cells: results}, nil
+}
+
+func runCell(g Grid, c Cell) (CellResult, error) {
+	cfg := g.config(c)
+	start := time.Now()
+	res, err := exp.Run(cfg)
+	if err != nil {
+		return CellResult{}, err
+	}
+	b := res.Breakdown
+	return CellResult{
+		Index:    c.Index,
+		Policy:   string(c.Policy),
+		Topology: c.Topology,
+		N:        c.N,
+		Loss:     c.Loss,
+		Source:   c.Source,
+		Seed:     cfg.Seed,
+
+		Msgs:    b.Total(),
+		Data:    b.Data,
+		Summary: b.Summary,
+		Mapping: b.Mapping,
+		Query:   b.Query,
+		Reply:   b.Reply,
+		Beacon:  b.Beacon,
+
+		DataSuccess:  res.Stats.DataSuccessRate(),
+		QuerySuccess: res.Stats.QuerySuccessRate(),
+		OwnerHit:     res.Stats.OwnerHitRate(),
+
+		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}

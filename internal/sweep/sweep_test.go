@@ -1,0 +1,251 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+)
+
+// tinyGrid is a fast 8-cell grid for unit tests: short runs over small
+// networks, two policies × two sizes × two loss rates.
+func tinyGrid() Grid {
+	g := Default()
+	g.Name = "tiny"
+	g.Policies = []policy.Name{policy.Scoop, policy.Base}
+	g.Sizes = []int{12, 16}
+	g.LossRates = []float64{0, 0.15}
+	g.Duration = 6 * netsim.Minute
+	g.Warmup = 2 * netsim.Minute
+	g.Seed = 7
+	return g
+}
+
+func TestCellsCrossProduct(t *testing.T) {
+	g := Default()
+	cells := g.Cells()
+	want := len(g.Policies) * len(g.Topologies) * len(g.Sizes) * len(g.LossRates) * len(g.Sources)
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	if want < 24 {
+		t.Fatalf("default grid has %d cells; the policy×N×loss grid must cover >=24", want)
+	}
+	seen := map[string]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d", i, c.Index)
+		}
+		if seen[c.Key()] {
+			t.Fatalf("duplicate cell %s", c.Key())
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestEmptyAxesGetDefaults(t *testing.T) {
+	cells := Grid{}.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("zero grid expands to %d cells, want 1", len(cells))
+	}
+	if cells[0].Policy != policy.Scoop || cells[0].N != 63 {
+		t.Fatalf("unexpected default cell: %+v", cells[0])
+	}
+}
+
+func TestCellSeedsDistinctAndStable(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := CellSeed(1, i)
+		if s < 0 {
+			t.Fatalf("cell %d: negative seed %d", i, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("cells %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if CellSeed(1, 0) == CellSeed(2, 0) {
+		t.Fatal("different base seeds map cell 0 to the same seed")
+	}
+	if CellSeed(1, 5) != CellSeed(1, 5) {
+		t.Fatal("CellSeed is not a pure function")
+	}
+}
+
+// The acceptance property: the artifact bytes depend only on the grid
+// and base seed, never on worker count or scheduling order.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	g := tinyGrid()
+	serial, err := Run(g, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(g, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.MarshalIndent(serial, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(parallel, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("serial and 8-way sweeps differ:\n%s\n----\n%s", a, b)
+	}
+	for _, c := range serial.Cells {
+		if c.Msgs <= 0 {
+			t.Fatalf("cell %s ran but moved no messages", c.Key())
+		}
+		if c.WallMS <= 0 {
+			t.Fatalf("cell %s captured no timing", c.Key())
+		}
+	}
+}
+
+// Loss is not a no-op: degraded links must change the simulated
+// outcome (more retries, fewer deliveries).
+func TestLossAxisAffectsResults(t *testing.T) {
+	g := tinyGrid()
+	g.Policies = []policy.Name{policy.Scoop}
+	g.Sizes = []int{16}
+	g.LossRates = []float64{0, 0.3}
+	rep, err := Run(g, Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, lossy := rep.Cells[0], rep.Cells[1]
+	if clean.Loss != 0 || lossy.Loss != 0.3 {
+		t.Fatalf("unexpected cell order: %+v / %+v", clean, lossy)
+	}
+	// Degraded links force retransmissions (more messages for the
+	// same workload) and lose query replies. Per-trial data-delivery
+	// noise makes DataSuccess unreliable at this tiny scale, so the
+	// robust signals are asserted instead.
+	if lossy.Msgs <= clean.Msgs {
+		t.Fatalf("30%% link loss did not raise message cost: %.0f -> %.0f",
+			clean.Msgs, lossy.Msgs)
+	}
+	if lossy.QuerySuccess >= clean.QuerySuccess {
+		t.Fatalf("query success did not fall under loss: %.2f -> %.2f",
+			clean.QuerySuccess, lossy.QuerySuccess)
+	}
+}
+
+func TestRunRejectsBadCells(t *testing.T) {
+	g := tinyGrid()
+	g.Sources = []string{"no-such-source"}
+	if _, err := Run(g, Options{Parallel: 2}); err == nil {
+		t.Fatal("unknown workload source accepted")
+	}
+	g = tinyGrid()
+	g.LossRates = []float64{1.5}
+	if _, err := Run(g, Options{Parallel: 2}); err == nil {
+		t.Fatal("loss rate 1.5 accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rep := Report{Name: "rt", Seed: 3, Cells: []CellResult{{
+		Index: 0, Policy: "scoop", Topology: "uniform", N: 12,
+		Loss: 0.1, Source: "real", Seed: 42, Msgs: 100, DataSuccess: 0.9,
+	}}}
+	path := filepath.Join(t.TempDir(), "sweep-rt.json")
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != rep.Name || got.Seed != rep.Seed || len(got.Cells) != 1 ||
+		got.Cells[0] != rep.Cells[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func baselinePair() (Report, Report) {
+	base := Report{Name: "b", Cells: []CellResult{
+		{Policy: "scoop", Topology: "uniform", N: 63, Loss: 0, Source: "real",
+			Msgs: 1000, DataSuccess: 0.90},
+		{Policy: "base", Topology: "uniform", N: 63, Loss: 0, Source: "real",
+			Msgs: 4000, DataSuccess: 0.95},
+	}}
+	cur := Report{Name: "c", Cells: append([]CellResult(nil), base.Cells...)}
+	return cur, base
+}
+
+// The acceptance property for the gate: a synthetic >10% message
+// regression in one cell must fail, while <=10% drift passes.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	cur, base := baselinePair()
+	cur.Cells[0].Msgs = 1250 // +25%: well past the 10% tolerance
+	v := Gate(cur, base, 0.10)
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(v), v)
+	}
+	if v[0].Metric != "msgs" || v[0].Cell != base.Cells[0].Key() {
+		t.Fatalf("wrong violation: %+v", v[0])
+	}
+	if err := GateError(v); err == nil {
+		t.Fatal("GateError passed a regression")
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	cur, base := baselinePair()
+	cur.Cells[0].Msgs = 1080 // +8%: inside tolerance
+	cur.Cells[1].Msgs = 2500 // improvement: always fine
+	cur.Cells[1].DataSuccess = 0.99
+	if v := Gate(cur, base, 0.10); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if err := GateError(nil); err != nil {
+		t.Fatalf("GateError failed a clean gate: %v", err)
+	}
+}
+
+func TestGateCatchesDeliveryRegression(t *testing.T) {
+	cur, base := baselinePair()
+	cur.Cells[1].DataSuccess = 0.70 // -26%
+	v := Gate(cur, base, 0.10)
+	if len(v) != 1 || v[0].Metric != "dataSuccess" {
+		t.Fatalf("delivery regression not caught: %v", v)
+	}
+}
+
+func TestGateCatchesMissingCell(t *testing.T) {
+	cur, base := baselinePair()
+	cur.Cells = cur.Cells[:1]
+	v := Gate(cur, base, 0.10)
+	if len(v) != 1 || v[0].Metric != "missing" {
+		t.Fatalf("missing cell not caught: %v", v)
+	}
+}
+
+func TestGateDefaultTolerance(t *testing.T) {
+	cur, base := baselinePair()
+	cur.Cells[0].Msgs = 1090 // +9% passes under the default 10%
+	if v := Gate(cur, base, -1); len(v) != 0 {
+		t.Fatalf("default tolerance rejected +9%%: %v", v)
+	}
+	cur.Cells[0].Msgs = 1150 // +15% fails
+	if v := Gate(cur, base, -1); len(v) != 1 {
+		t.Fatalf("default tolerance passed +15%%: %v", v)
+	}
+}
+
+// tol == 0 means what it says: strict gating, not the default.
+func TestGateZeroToleranceIsStrict(t *testing.T) {
+	cur, base := baselinePair()
+	cur.Cells[0].Msgs = 1001 // +0.1%
+	if v := Gate(cur, base, 0); len(v) != 1 {
+		t.Fatalf("zero tolerance passed a +0.1%% regression: %v", v)
+	}
+}
