@@ -1,0 +1,70 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"scoop/internal/netsim"
+)
+
+func TestParseArgsDynamicsAxes(t *testing.T) {
+	c, err := parseArgs([]string{
+		"-policies", "scoop", "-sizes", "16", "-loss", "0",
+		"-churn", "0,0.15", "-drift", "0,0.4", "-reindex", "on,off",
+		"-reindex-every", "2m",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.grid
+	if len(g.ChurnRates) != 2 || g.ChurnRates[1] != 0.15 {
+		t.Fatalf("churn rates: %v", g.ChurnRates)
+	}
+	if len(g.DriftRates) != 2 || g.DriftRates[1] != 0.4 {
+		t.Fatalf("drift rates: %v", g.DriftRates)
+	}
+	if len(g.Reindex) != 2 || !g.Reindex[0] || g.Reindex[1] {
+		t.Fatalf("reindex axis: %v", g.Reindex)
+	}
+	if g.ReindexInterval != netsim.Time((2 * time.Minute).Milliseconds()) {
+		t.Fatalf("reindex interval: %v", g.ReindexInterval)
+	}
+	if got := len(g.Cells()); got != 8 {
+		t.Fatalf("grid expands to %d cells, want 8", got)
+	}
+}
+
+func TestParseArgsDynamicsDefaults(t *testing.T) {
+	c, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.grid
+	if len(g.ChurnRates) != 1 || g.ChurnRates[0] != 0 {
+		t.Fatalf("default churn: %v", g.ChurnRates)
+	}
+	if len(g.DriftRates) != 1 || g.DriftRates[0] != 0 {
+		t.Fatalf("default drift: %v", g.DriftRates)
+	}
+	if len(g.Reindex) != 1 || !g.Reindex[0] {
+		t.Fatalf("default reindex: %v", g.Reindex)
+	}
+}
+
+func TestParseArgsRejectsBadDynamics(t *testing.T) {
+	cases := [][]string{
+		{"-churn", "1.0"},
+		{"-churn", "-0.1"},
+		{"-churn", "lots"},
+		{"-drift", "1.5"},
+		{"-drift", "-2"},
+		{"-reindex", "maybe"},
+		{"-reindex-every", "-1m"},
+	}
+	for _, args := range cases {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

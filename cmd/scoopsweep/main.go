@@ -1,13 +1,16 @@
 // Command scoopsweep runs a parameter-sweep grid — the cross-product
 // of storage policy × topology × network size × link-loss rate ×
-// workload source — in parallel on a bounded worker pool, writes a
-// deterministic JSON artifact, and optionally gates the results
-// against a committed baseline.
+// churn rate × data drift × reindexing × workload source — in
+// parallel on a bounded worker pool, writes a deterministic JSON
+// artifact, and optionally gates the results against a committed
+// baseline.
 //
 //	scoopsweep                                # default 24-cell grid
 //	scoopsweep -parallel 8 -out sweep.json    # explicit artifact path
 //	scoopsweep -baseline testdata/sweep-ci-baseline.json   # CI gate
 //	scoopsweep -policies scoop,base -sizes 32,63,101 -loss 0,0.2
+//	scoopsweep -policies scoop -churn 0,0.15 -drift 0,0.4 \
+//	    -reindex on,off                       # adaptivity under dynamics
 //
 // The same -seed always produces byte-identical artifacts, whatever
 // -parallel is, so committed sweeps are diffable performance records.
@@ -49,6 +52,10 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 	topos := fs.String("topos", "uniform", "comma-separated topologies: uniform, testbed, grid")
 	sizes := fs.String("sizes", "32,63", "comma-separated network sizes (incl. basestation)")
 	loss := fs.String("loss", "0,0.1,0.2", "comma-separated link-loss rates in [0,1)")
+	churn := fs.String("churn", "0", "comma-separated churn rates: fraction of nodes cycled per 90s round, each in [0,1)")
+	drift := fs.String("drift", "0", "comma-separated data-drift totals: fraction of the domain the distribution walks mid-run, each in [-1,1]")
+	reindex := fs.String("reindex", "on", "comma-separated reindexing modes: on, off (off freezes the first index)")
+	reindexEvery := fs.Duration("reindex-every", 0, "index-rebuild epoch length (0: protocol default, 240s)")
 	sources := fs.String("sources", "real", "comma-separated workload sources")
 	duration := fs.Duration("duration", 22*time.Minute, "virtual run length per cell")
 	warmup := fs.Duration("warmup", 6*time.Minute, "virtual warm-up per cell")
@@ -92,6 +99,37 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 			return cli{}, fmt.Errorf("-loss: rate %g outside [0,1)", l)
 		}
 	}
+	if g.ChurnRates, err = parseFloats(*churn); err != nil {
+		return cli{}, fmt.Errorf("-churn: %w", err)
+	}
+	for _, c := range g.ChurnRates {
+		if c < 0 || c >= 1 {
+			return cli{}, fmt.Errorf("-churn: rate %g outside [0,1)", c)
+		}
+	}
+	if g.DriftRates, err = parseFloats(*drift); err != nil {
+		return cli{}, fmt.Errorf("-drift: %w", err)
+	}
+	for _, d := range g.DriftRates {
+		if d < -1 || d > 1 {
+			return cli{}, fmt.Errorf("-drift: total %g outside [-1,1]", d)
+		}
+	}
+	g.Reindex = nil
+	for _, m := range splitList(*reindex) {
+		switch m {
+		case "on":
+			g.Reindex = append(g.Reindex, true)
+		case "off":
+			g.Reindex = append(g.Reindex, false)
+		default:
+			return cli{}, fmt.Errorf("-reindex: unknown mode %q (want on, off)", m)
+		}
+	}
+	if *reindexEvery < 0 {
+		return cli{}, fmt.Errorf("-reindex-every: negative epoch %v", *reindexEvery)
+	}
+	g.ReindexInterval = netsim.Time(reindexEvery.Milliseconds())
 	if g.Duration <= g.Warmup {
 		return cli{}, fmt.Errorf("-duration %v must exceed -warmup %v", *duration, *warmup)
 	}

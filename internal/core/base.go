@@ -59,6 +59,7 @@ type Base struct {
 	queryLog []loggedQuery
 	pending  map[uint16]*pendingQuery
 	qidNext  uint16
+	remaps   int // scheduled remaps run so far (RemapLimit bookkeeping)
 }
 
 // NewBase creates the basestation; index construction begins at the
@@ -119,7 +120,10 @@ func (b *Base) Timer(id int) {
 		b.tree.OnTimer()
 	case timerRemap:
 		b.Remap()
-		b.api.SetTimer(timerRemap, b.cfg.RemapInterval)
+		b.remaps++
+		if b.cfg.RemapLimit == 0 || b.remaps < b.cfg.RemapLimit {
+			b.api.SetTimer(timerRemap, b.cfg.RemapInterval)
+		}
 	case timerMapping:
 		b.mapGos.OnTimer()
 	case timerQuery:
@@ -154,6 +158,31 @@ func (b *Base) onSummary(m *SummaryMsg) {
 	b.stats.SummariesReceived++
 	b.latest[m.Node] = m
 	b.history = append(b.history, m)
+	// Trickle inconsistency detection: a summary advertising an
+	// outdated index (a rebooted node reports 0) restarts fast gossip
+	// of the current generation's chunks, which would otherwise have
+	// retired after MaxRounds and left the node index-less forever.
+	if b.cur != nil && m.LastIndexID < b.cur.ID {
+		resetChunks(b.chunks, b.cur.ID, b.mapGos)
+	}
+}
+
+// resetChunks drops every mapping chunk of generation curID back to
+// the fast Trickle interval, in key order (each reset draws
+// randomness, so iteration must be deterministic). Shared by the base
+// and node inconsistency-detection paths so the Trickle rule cannot
+// drift between them.
+func resetChunks(chunks map[trickle.Key]index.Chunk, curID uint16, g *trickle.Trickle) {
+	var ks []trickle.Key
+	for k, c := range chunks {
+		if c.IndexID == curID {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	for _, k := range ks {
+		g.Reset(k)
+	}
 }
 
 // onData implements routing rule 4: data arriving at the basestation
@@ -233,8 +262,21 @@ func (b *Base) Remap() {
 func (b *Base) buildInput() index.BuildInput {
 	n := b.api.N()
 	g := index.NewGraph(n)
+	// Summaries older than StatStaleAfter are excluded: their nodes
+	// have stopped reporting (dead, partitioned), so the next index
+	// epoch must neither trust their links nor assign them ownership.
+	// With no fresh statistics and no reported links, such a node's
+	// ownership cost is infinite and the algorithm routes around it.
+	cutoff := netsim.Time(-1)
+	if b.cfg.StatStaleAfter > 0 {
+		cutoff = b.api.Now() - b.cfg.StatStaleAfter
+	}
+	fresh := func(s *SummaryMsg) bool { return cutoff < 0 || s.SentAt >= cutoff }
 	// Link qualities from summary topology sections…
 	for _, s := range b.latest {
+		if !fresh(s) {
+			continue
+		}
 		for _, nb := range s.Neighbors {
 			g.Report(nb.ID, s.Node, nb.Quality)
 		}
@@ -245,6 +287,9 @@ func (b *Base) buildInput() index.BuildInput {
 	}
 	nodes := make([]index.NodeStat, n)
 	for id, s := range b.latest {
+		if !fresh(s) {
+			continue
+		}
 		nodes[id] = index.NodeStat{Hist: s.Hist, Rate: s.Rate}
 	}
 	return index.BuildInput{

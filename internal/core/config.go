@@ -71,6 +71,14 @@ type Config struct {
 	// queries straight from stored summaries (paper §5.5).
 	SummaryShortcut bool
 
+	// StatStaleAfter, when > 0, makes index construction ignore node
+	// summaries older than this: a dead or partitioned node stops
+	// reporting, its statistics age out, and the next epoch's index
+	// stops assigning it ownership. 0 keeps every last-known summary
+	// forever (the paper's static-membership behaviour); churn
+	// experiments set it to a few summary intervals.
+	StatStaleAfter netsim.Time
+
 	// ReplyMaxReadings caps readings carried in one reply message.
 	ReplyMaxReadings int
 	// QueryStatsWindow is how many recent queries feed the query
@@ -92,6 +100,12 @@ type Config struct {
 	DisableSummaries bool
 	// DisableRemap turns off periodic index recomputation.
 	DisableRemap bool
+	// RemapLimit, when > 0, stops scheduling index recomputations
+	// after that many have run. RemapLimit 1 builds the first index
+	// from post-warm-up statistics and then freezes it — the ablation
+	// that shows what the adaptive loop buys under drift and churn.
+	// 0 means unlimited.
+	RemapLimit int
 
 	// Tree configures the routing-tree substrate.
 	Tree routing.Config

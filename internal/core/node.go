@@ -97,15 +97,28 @@ func (n *Node) Init(api *netsim.NodeAPI) {
 	n.mapGos = trickle.New(api, timerMapping, n.cfg.MappingTrickle, n.sendChunk)
 	n.qGos = trickle.New(api, timerQuery, n.cfg.QueryTrickle, n.sendQuery)
 
-	if n.cfg.Preload != nil {
-		n.cur = n.cfg.Preload
-	}
+	// Init doubles as the reboot path (Network.Restart): a rebooted
+	// mote loses every piece of RAM state, including its assembled
+	// storage index and any pending replies — it is index-less until
+	// Trickle redissemination reaches it (or a Preload applies).
+	n.cur = n.cfg.Preload
+	n.pendingAnswers = nil
+	n.batchSID = 0
+	n.samplesSinceSummary = 0
 	n.tree.Start(timerTree)
+	// A node rebooted mid-run (start already past) re-jitters from
+	// now: otherwise every node restarted at the same churn instant
+	// would sample and summarise in lockstep, nullifying the
+	// desynchronisation the jitter exists for.
+	start := n.start
+	if now := api.Now(); now > start {
+		start = now
+	}
 	jitter := netsim.Time(api.RandIntn(int(n.cfg.SampleInterval)))
-	api.SetTimer(timerSample, n.start+jitter-api.Now())
+	api.SetTimer(timerSample, start+jitter-api.Now())
 	if !n.cfg.DisableSummaries {
 		sjitter := netsim.Time(api.RandIntn(int(n.cfg.SummaryInterval)))
-		api.SetTimer(timerSummary, n.start+sjitter-api.Now())
+		api.SetTimer(timerSummary, start+sjitter-api.Now())
 	}
 }
 
@@ -140,6 +153,13 @@ func (n *Node) Receive(p *netsim.Packet) {
 	switch m := p.Payload.(type) {
 	case *SummaryMsg:
 		n.learnDescendant(p)
+		// A descendant advertising an outdated index (a rebooted node
+		// reports 0) is a Trickle inconsistency: resume fast gossip of
+		// our current generation so it catches up (mapping chunks
+		// retire after MaxRounds and would otherwise stay silent).
+		if n.cur != nil && !n.cur.Local && m.LastIndexID < n.cur.ID {
+			resetChunks(n.chunks, n.cur.ID, n.mapGos)
+		}
 		key := uint64(m.Node)<<48 | uint64(m.SentAt)&0xFFFFFFFFFFFF
 		if int(m.Hops) <= n.cfg.MaxHops && !n.seenSummaries[key] {
 			n.seenSummaries[key] = true
@@ -413,18 +433,8 @@ func (n *Node) onChunk(c index.Chunk) {
 	}
 	if n.cur != nil && c.IndexID < n.cur.ID {
 		// A neighbor is gossiping a stale generation: speed up our own
-		// gossip so it catches up (Trickle inconsistency rule). Reset
-		// in key order — each reset draws randomness.
-		var ks []trickle.Key
-		for k, ch := range n.chunks {
-			if ch.IndexID == n.cur.ID {
-				ks = append(ks, k)
-			}
-		}
-		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-		for _, k := range ks {
-			n.mapGos.Reset(k)
-		}
+		// gossip so it catches up (Trickle inconsistency rule).
+		resetChunks(n.chunks, n.cur.ID, n.mapGos)
 		return
 	}
 	n.chunks[key] = c

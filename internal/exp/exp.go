@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"scoop/internal/core"
+	"scoop/internal/dynamics"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
@@ -40,6 +41,31 @@ type Config struct {
 	// per-link qualities. 0 is the paper's radio model.
 	LinkLoss float64
 
+	// Dynamics, when non-nil, is a timeline of mid-run perturbations
+	// — node churn, loss ramps, data/query drift — scheduled into
+	// every trial (each trial applies the same script; churn scripts
+	// should be built from the cell seed so runs stay reproducible).
+	Dynamics *dynamics.Script
+
+	// ReindexInterval overrides how often the basestation rebuilds
+	// the storage index from fresh statistics and redisseminates it
+	// (the adaptive epoch length; core default 240 s). 0 keeps the
+	// default.
+	ReindexInterval netsim.Time
+	// DisableReindex freezes the storage index after its first build:
+	// the basestation still constructs and disseminates one index
+	// from post-warm-up statistics, but never adapts it again — the
+	// ablation that shows what the adaptive loop buys under drift and
+	// churn.
+	DisableReindex bool
+
+	// WindowInterval is the transition-metrics sampling width: run
+	// statistics are snapshotted into fixed windows of this length
+	// (starting after warm-up) so reconvergence and during/after
+	// delivery can be computed. 0 defaults to 30 s when Dynamics is
+	// set and disables the timeline otherwise.
+	WindowInterval netsim.Time
+
 	Trials int
 	Seed   int64
 
@@ -67,6 +93,50 @@ func Default() Config {
 	}
 }
 
+// Validate rejects configurations that would otherwise yield silent
+// nonsense runs (a negative loss rate, a warm-up longer than the run).
+// Run calls it; drivers building configs by hand can call it early.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("exp: network size %d too small (need the basestation plus at least one node)", c.N)
+	}
+	if c.LinkLoss < 0 || c.LinkLoss >= 1 {
+		return fmt.Errorf("exp: link loss %v outside [0,1)", c.LinkLoss)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("exp: non-positive duration %v", c.Duration)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("exp: warmup %v must lie in [0, duration %v)", c.Warmup, c.Duration)
+	}
+	if c.SampleInterval <= 0 {
+		return fmt.Errorf("exp: non-positive sample interval %v", c.SampleInterval)
+	}
+	if c.QueryInterval < 0 {
+		return fmt.Errorf("exp: negative query interval %v", c.QueryInterval)
+	}
+	if c.NodePct > 1 {
+		return fmt.Errorf("exp: node-query fraction %v exceeds 1", c.NodePct)
+	}
+	if c.ReindexInterval < 0 {
+		return fmt.Errorf("exp: negative reindex interval %v", c.ReindexInterval)
+	}
+	if c.WindowInterval < 0 {
+		return fmt.Errorf("exp: negative window interval %v", c.WindowInterval)
+	}
+	if err := c.Dynamics.Validate(c.N, c.Duration); err != nil {
+		return err
+	}
+	if c.Policy == policy.Hash && !c.Dynamics.Empty() {
+		// The paper's HASH is evaluated analytically; there is no
+		// simulation to perturb, and silently reporting unperturbed
+		// numbers under a churn/drift label would poison baselines.
+		// Use the simulated "hashsim" policy for dynamics runs.
+		return fmt.Errorf("exp: the analytical hash policy cannot run a dynamics script (use hashsim)")
+	}
+	return nil
+}
+
 // TrialResult captures one trial's outcome.
 type TrialResult struct {
 	Breakdown metrics.Breakdown
@@ -74,6 +144,9 @@ type TrialResult struct {
 	RootSent  int64 // root transmissions (non-beacon)
 	RootRecv  int64 // root receptions (non-beacon)
 	Energy    metrics.EnergyReport
+	// Timeline holds windowed transition metrics and perturbation
+	// marks; empty unless the config enabled windowed sampling.
+	Timeline metrics.Timeline
 }
 
 // Result aggregates an experiment cell.
@@ -93,6 +166,9 @@ type Result struct {
 func Run(cfg Config) (Result, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	if cfg.Policy == policy.Hash {
 		return runAnalyticalHash(cfg)
@@ -154,9 +230,6 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	if err != nil {
 		return TrialResult{}, err
 	}
-	if cfg.LinkLoss < 0 || cfg.LinkLoss >= 1 {
-		return TrialResult{}, fmt.Errorf("exp: link loss %v outside [0,1)", cfg.LinkLoss)
-	}
 	sim := netsim.NewSimulator(seed ^ 0x53c00b)
 	ctr := metrics.NewCounters()
 	net := netsim.NewNetwork(sim, topo, ctr, netsim.DefaultParams())
@@ -169,11 +242,33 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		return TrialResult{}, err
 	}
 	lo, hi := src.Domain()
+	// A script with data-distribution shifts samples through a drift
+	// wrapper whose offset the scheduled events move.
+	sampler := src
+	var drift *workload.Drift
+	if cfg.Dynamics.HasData() {
+		drift = workload.NewDrift(src)
+		sampler = drift
+	}
 	ccfg, err := policy.Config(cfg.Policy, cfg.N, lo, hi)
 	if err != nil {
 		return TrialResult{}, err
 	}
 	ccfg.SampleInterval = cfg.SampleInterval
+	if cfg.ReindexInterval > 0 {
+		ccfg.RemapInterval = cfg.ReindexInterval
+	}
+	if cfg.DisableReindex {
+		// Build the first index from post-warm-up statistics as
+		// usual, then freeze it: the network keeps a plausible static
+		// index, it just never adapts. (DisableRemap would never
+		// build one at all, degenerating into store-local.)
+		ccfg.RemapLimit = 1
+	}
+	if cfg.Dynamics.HasChurn() && ccfg.StatStaleAfter == 0 {
+		// Under churn, dead nodes must age out of index construction.
+		ccfg.StatStaleAfter = 3 * ccfg.SummaryInterval
+	}
 	if cfg.Modify != nil {
 		cfg.Modify(&ccfg)
 	}
@@ -182,17 +277,66 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	base := core.NewBase(ccfg, stats, cfg.Warmup)
 	net.Attach(0, base)
 	for i := 1; i < cfg.N; i++ {
-		net.Attach(netsim.NodeID(i), core.NewNode(ccfg, stats, src.Next, cfg.Warmup))
+		net.Attach(netsim.NodeID(i), core.NewNode(ccfg, stats, sampler.Next, cfg.Warmup))
 	}
 	net.Start()
 
+	var gen workload.Generator
 	if cfg.QueryInterval > 0 {
-		var gen workload.Generator
 		if cfg.NodePct >= 0 {
 			gen = workload.NewNodePctGen(cfg.N, cfg.NodePct, seed+29)
 		} else {
 			gen = workload.NewRangeGen(lo, hi, seed+29)
 		}
+	}
+
+	tr := TrialResult{}
+	if !cfg.Dynamics.Empty() {
+		tg := dynamics.Targets{
+			Net:      net,
+			LossBase: 1 - cfg.LinkLoss,
+			Observer: func(ev dynamics.Event) {
+				tr.Timeline.AddMark(int64(sim.Now()), ev.Kind.String())
+			},
+		}
+		if drift != nil {
+			tg.Data = drift
+		}
+		if rg, ok := gen.(*workload.RangeGen); ok {
+			tg.Query = rg
+		}
+		cfg.Dynamics.Attach(sim, tg)
+	}
+
+	if win := cfg.windowInterval(); win > 0 {
+		prevStats := *stats
+		prevB := ctr.Snapshot()
+		var tickW func()
+		tickW = func() {
+			cur := *stats
+			b := ctr.Snapshot()
+			now := sim.Now()
+			tr.Timeline.Windows = append(tr.Timeline.Windows, metrics.TransitionWindow{
+				Start:           int64(now - win),
+				End:             int64(now),
+				Produced:        cur.Produced - prevStats.Produced,
+				StoredUnique:    cur.StoredUnique - prevStats.StoredUnique,
+				StoredAtOwner:   cur.StoredAtOwner - prevStats.StoredAtOwner,
+				StoredAtBase:    cur.StoredAtBase - prevStats.StoredAtBase,
+				RepliesExpected: cur.RepliesExpected - prevStats.RepliesExpected,
+				RepliesReceived: cur.RepliesReceived - prevStats.RepliesReceived,
+				Msgs:            b.Total() - prevB.Total(),
+				Data:            b.Data - prevB.Data,
+			})
+			prevStats, prevB = cur, b
+			if now+win <= cfg.Duration {
+				sim.After(win, tickW)
+			}
+		}
+		sim.At(cfg.Warmup+win, tickW)
+	}
+
+	if cfg.QueryInterval > 0 {
 		var tick func()
 		tick = func() {
 			q := gen.Next(sim.Now())
@@ -226,7 +370,8 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 
 	sim.Run(cfg.Duration)
 
-	tr := TrialResult{Breakdown: ctr.Snapshot(), Stats: *stats}
+	tr.Breakdown = ctr.Snapshot()
+	tr.Stats = *stats
 	tr.Energy = metrics.DefaultEnergyModel().Energy(ctr, cfg.N, float64(cfg.Duration)/1000)
 	for _, c := range metrics.Classes() {
 		if c == metrics.Beacon {
@@ -236,6 +381,19 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		tr.RootRecv += ctr.ReceivedBy(0, c)
 	}
 	return tr, nil
+}
+
+// windowInterval resolves the effective transition-metrics sampling
+// width: the explicit setting, or 30 s when a dynamics script is
+// present, else 0 (no timeline).
+func (c Config) windowInterval() netsim.Time {
+	if c.WindowInterval > 0 {
+		return c.WindowInterval
+	}
+	if !c.Dynamics.Empty() {
+		return 30 * netsim.Second
+	}
+	return 0
 }
 
 func buildTopology(name string, n int, seed int64) (*netsim.Topology, error) {

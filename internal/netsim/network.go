@@ -159,6 +159,30 @@ func (n *Network) Kill(id NodeID) { n.dead[id] = true }
 // app retained).
 func (n *Network) Revive(id NodeID) { n.dead[id] = false }
 
+// Restart revives a dead node and reboots its application from
+// scratch: the send queue is drained, pending timers and in-flight
+// transmission attempts are invalidated, and the app's Init runs
+// again — a rebooted mote rejoins with fresh protocol state (routing
+// table, storage index, RAM buffers), which is what churn-injection
+// experiments need. Contrast Revive, which resumes the old state but
+// leaves timers dead.
+func (n *Network) Restart(id NodeID) {
+	n.dead[id] = false
+	a := n.api[id]
+	if a == nil {
+		return
+	}
+	a.queue = nil
+	a.busy = false
+	a.jobGen++
+	for t := range a.timerGen {
+		a.timerGen[t]++
+	}
+	if n.apps[id] != nil {
+		n.apps[id].Init(a)
+	}
+}
+
 // Dead reports whether id is currently dead.
 func (n *Network) Dead(id NodeID) bool { return n.dead[id] }
 

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+)
+
+// Dynamics key components appear only when non-default, so keys from
+// pre-dynamics baseline artifacts keep matching their cells.
+func TestCellKeyBackwardCompatible(t *testing.T) {
+	static := Cell{Policy: policy.Scoop, Topology: "uniform", N: 16, Loss: 0, Source: "real"}
+	if got, want := static.Key(), "scoop/uniform/n16/loss0/real"; got != want {
+		t.Fatalf("static key = %q, want %q", got, want)
+	}
+	dyn := Cell{Policy: policy.Scoop, Topology: "uniform", N: 16, Loss: 0,
+		Churn: 0.15, Drift: 0.4, NoReindex: true, Source: "real"}
+	want := "scoop/uniform/n16/loss0/real/churn0.15/drift0.4/noreindex"
+	if got := dyn.Key(); got != want {
+		t.Fatalf("dynamic key = %q, want %q", got, want)
+	}
+	// CellResult computes the identical key.
+	r := CellResult{Policy: "scoop", Topology: "uniform", N: 16,
+		Churn: 0.15, Drift: 0.4, NoReindex: true, Source: "real"}
+	if r.Key() != want {
+		t.Fatalf("result key = %q", r.Key())
+	}
+}
+
+// The analytical HASH policy cannot simulate perturbations, so the
+// cross-product omits hash×(churn|drift) cells rather than labelling
+// unperturbed numbers as perturbed.
+func TestCellsSkipAnalyticalHashDynamics(t *testing.T) {
+	g := Default()
+	g.Policies = []policy.Name{policy.Scoop, policy.Hash}
+	g.Sizes = []int{16}
+	g.LossRates = []float64{0}
+	g.ChurnRates = []float64{0, 0.1}
+	cells := g.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (scoop×2 churn + hash static)", len(cells))
+	}
+	for _, c := range cells {
+		if c.Policy == policy.Hash && c.Churn > 0 {
+			t.Fatalf("hash churn cell generated: %s", c.Key())
+		}
+		if err := g.config(c).Validate(); err != nil {
+			t.Fatalf("cell %s invalid: %v", c.Key(), err)
+		}
+	}
+}
+
+// The frozen-index ablation only exists for Scoop; comparator
+// policies have no adaptive loop, so reindex-off cells for them would
+// duplicate the normal cell under a misleading key.
+func TestCellsSkipComparatorNoReindex(t *testing.T) {
+	g := Default()
+	g.Policies = []policy.Name{policy.Scoop, policy.Hash, policy.Base, policy.Local, policy.HashSim}
+	g.Sizes = []int{16}
+	g.LossRates = []float64{0}
+	g.Reindex = []bool{true, false}
+	cells := g.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6 (5 policies + scoop noreindex)", len(cells))
+	}
+	for _, c := range cells {
+		if c.NoReindex && c.Policy != policy.Scoop {
+			t.Fatalf("comparator noreindex cell generated: %s", c.Key())
+		}
+	}
+}
+
+func TestCellsExpandDynamicsAxes(t *testing.T) {
+	g := Default()
+	g.Policies = []policy.Name{policy.Scoop}
+	g.Sizes = []int{16}
+	g.LossRates = []float64{0}
+	g.ChurnRates = []float64{0, 0.1}
+	g.DriftRates = []float64{0, 0.4}
+	g.Reindex = []bool{true, false}
+	cells := g.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Key()] {
+			t.Fatalf("duplicate key %q", c.Key())
+		}
+		seen[c.Key()] = true
+	}
+	// A perturbed, no-reindex cell builds a dynamics config.
+	for _, c := range cells {
+		cfg := g.config(c)
+		if (c.Churn > 0 || c.Drift != 0) != !cfg.Dynamics.Empty() {
+			t.Fatalf("cell %s: dynamics script presence mismatch", c.Key())
+		}
+		if cfg.DisableReindex != c.NoReindex {
+			t.Fatalf("cell %s: reindex mapping wrong", c.Key())
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("cell %s: invalid config: %v", c.Key(), err)
+		}
+	}
+}
+
+// A one-cell churn+drift sweep runs end to end and reports transition
+// metrics; rerunning reproduces the identical result.
+func TestChurnCellRunsDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep cell")
+	}
+	g := Grid{
+		Name:            "dyn",
+		Policies:        []policy.Name{policy.Scoop},
+		Sizes:           []int{16},
+		ChurnRates:      []float64{0.15},
+		DriftRates:      []float64{0.3},
+		Sources:         []string{"unique"},
+		Duration:        14 * netsim.Minute,
+		Warmup:          3 * netsim.Minute,
+		ReindexInterval: 2 * netsim.Minute,
+		Trials:          1,
+		Seed:            5,
+	}
+	run := func() Report {
+		rep, err := Run(g, Options{Parallel: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if len(a.Cells) != 1 {
+		t.Fatalf("cells = %d", len(a.Cells))
+	}
+	c := a.Cells[0]
+	if !strings.Contains(c.Key(), "churn0.15/drift0.3") {
+		t.Fatalf("key = %q", c.Key())
+	}
+	if c.Msgs <= 0 || c.DataSuccess <= 0 {
+		t.Fatalf("degenerate cell result: %+v", c)
+	}
+	if c.DeliveryDuring == 0 && c.DeliveryAfter == 0 {
+		t.Fatal("transition metrics missing for a perturbed cell")
+	}
+	a.Cells[0].WallMS, b.Cells[0].WallMS = 0, 0
+	if a.Cells[0] != b.Cells[0] {
+		t.Fatalf("sweep cell not deterministic:\n%+v\n%+v", a.Cells[0], b.Cells[0])
+	}
+}

@@ -1,8 +1,9 @@
 // Package sweep turns the one-figure-at-a-time experiment harness into
 // a grid engine: it expands the full cross-product of storage policy ×
-// topology × network size × link-loss rate × workload source into
-// independent cells, runs them on a bounded worker pool, and captures
-// per-cell message counts, delivery rates and wall-clock timing.
+// topology × network size × link-loss rate × churn rate × drift ×
+// reindexing × workload source into independent cells, runs them on a
+// bounded worker pool, and captures per-cell message counts, delivery
+// rates, transition metrics and wall-clock timing.
 //
 // Every cell derives its own seed from (base seed, cell index), so a
 // sweep is reproducible regardless of how many workers run it or in
@@ -19,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"scoop/internal/dynamics"
 	"scoop/internal/exp"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
@@ -36,14 +38,23 @@ type Grid struct {
 	Topologies []string
 	Sizes      []int     // network sizes including the basestation
 	LossRates  []float64 // network-wide link degradation, each in [0,1)
-	Sources    []string  // workload skews ("unique", "real", "random", ...)
+	ChurnRates []float64 // fraction of nodes cycled per churn round (0: static membership)
+	DriftRates []float64 // total data-distribution walk, as a domain fraction (0: stationary)
+	// Reindex toggles periodic index rebuilds (empty: on). The "off"
+	// value applies to the Scoop policy only — comparators have no
+	// adaptive loop to freeze, so those cells are omitted.
+	Reindex []bool
+	Sources []string // workload skews ("unique", "real", "random", ...)
 
 	// Shared per-cell run parameters (see exp.Config).
 	Duration       netsim.Time
 	Warmup         netsim.Time
 	SampleInterval netsim.Time
 	QueryInterval  netsim.Time
-	Trials         int
+	// ReindexInterval is the adaptive epoch length for every cell
+	// (0: the protocol default, 240 s).
+	ReindexInterval netsim.Time
+	Trials          int
 
 	// Seed is the base seed; each cell runs with a seed mixed from it
 	// and the cell's index.
@@ -77,13 +88,31 @@ type Cell struct {
 	Topology string
 	N        int
 	Loss     float64
-	Source   string
+	Churn    float64
+	Drift    float64
+	// NoReindex freezes the first index (negative polarity so the
+	// zero value — and every pre-dynamics baseline artifact — means
+	// "reindexing on", the protocol default).
+	NoReindex bool
+	Source    string
 }
 
 // Key returns the cell's stable identity, independent of its index —
-// the join key Gate matches baseline cells on.
+// the join key Gate matches baseline cells on. Dynamics components
+// appear only when non-default, so keys from pre-dynamics baseline
+// artifacts still match their cells.
 func (c Cell) Key() string {
-	return fmt.Sprintf("%s/%s/n%d/loss%g/%s", c.Policy, c.Topology, c.N, c.Loss, c.Source)
+	k := fmt.Sprintf("%s/%s/n%d/loss%g/%s", c.Policy, c.Topology, c.N, c.Loss, c.Source)
+	if c.Churn > 0 {
+		k += fmt.Sprintf("/churn%g", c.Churn)
+	}
+	if c.Drift != 0 {
+		k += fmt.Sprintf("/drift%g", c.Drift)
+	}
+	if c.NoReindex {
+		k += "/noreindex"
+	}
+	return k
 }
 
 func orDefault[T any](axis []T, def T) []T {
@@ -94,23 +123,49 @@ func orDefault[T any](axis []T, def T) []T {
 }
 
 // Cells expands the grid's cross-product in deterministic order
-// (Policies outermost, Sources innermost).
+// (Policies outermost, then topology, size, loss, churn, drift,
+// reindex, with Sources innermost).
 func (g Grid) Cells() []Cell {
 	policies := orDefault(g.Policies, policy.Scoop)
 	topos := orDefault(g.Topologies, "uniform")
 	sizes := orDefault(g.Sizes, 63)
 	losses := orDefault(g.LossRates, 0)
+	churns := orDefault(g.ChurnRates, 0)
+	drifts := orDefault(g.DriftRates, 0)
+	reindex := orDefault(g.Reindex, true)
 	sources := orDefault(g.Sources, "real")
-	cells := make([]Cell, 0, len(policies)*len(topos)*len(sizes)*len(losses)*len(sources))
+	total := len(policies) * len(topos) * len(sizes) * len(losses) *
+		len(churns) * len(drifts) * len(reindex) * len(sources)
+	cells := make([]Cell, 0, total)
 	for _, p := range policies {
 		for _, topo := range topos {
 			for _, n := range sizes {
 				for _, loss := range losses {
-					for _, src := range sources {
-						cells = append(cells, Cell{
-							Index: len(cells), Policy: p, Topology: topo,
-							N: n, Loss: loss, Source: src,
-						})
+					for _, churn := range churns {
+						for _, drift := range drifts {
+							if p == policy.Hash && (churn > 0 || drift != 0) {
+								// Analytical HASH has no simulation to
+								// perturb; exp.Run rejects the combination,
+								// so the grid omits it (hashsim covers it).
+								continue
+							}
+							for _, ri := range reindex {
+								if !ri && p != policy.Scoop {
+									// Only Scoop has an adaptive loop to
+									// freeze; a comparator "noreindex" cell
+									// would duplicate the normal cell under
+									// a misleading key.
+									continue
+								}
+								for _, src := range sources {
+									cells = append(cells, Cell{
+										Index: len(cells), Policy: p, Topology: topo,
+										N: n, Loss: loss, Churn: churn, Drift: drift,
+										NoReindex: !ri, Source: src,
+									})
+								}
+							}
+						}
 					}
 				}
 			}
@@ -156,6 +211,13 @@ func (g Grid) config(c Cell) exp.Config {
 		cfg.Trials = 1
 	}
 	cfg.Seed = CellSeed(g.Seed, c.Index)
+	cfg.ReindexInterval = g.ReindexInterval
+	cfg.DisableReindex = c.NoReindex
+	if c.Churn > 0 || c.Drift != 0 {
+		script := dynamics.Standard(c.N, cfg.Warmup, cfg.Duration,
+			c.Churn, c.Drift, cfg.Seed+101)
+		cfg.Dynamics = &script
+	}
 	return cfg
 }
 
@@ -164,13 +226,16 @@ func (g Grid) config(c Cell) exp.Config {
 // captured for operator visibility but excluded from artifacts so
 // committed baselines stay byte-stable.
 type CellResult struct {
-	Index    int     `json:"index"`
-	Policy   string  `json:"policy"`
-	Topology string  `json:"topology"`
-	N        int     `json:"n"`
-	Loss     float64 `json:"loss"`
-	Source   string  `json:"source"`
-	Seed     int64   `json:"seed"`
+	Index     int     `json:"index"`
+	Policy    string  `json:"policy"`
+	Topology  string  `json:"topology"`
+	N         int     `json:"n"`
+	Loss      float64 `json:"loss"`
+	Churn     float64 `json:"churn,omitempty"`
+	Drift     float64 `json:"drift,omitempty"`
+	NoReindex bool    `json:"noReindex,omitempty"`
+	Source    string  `json:"source"`
+	Seed      int64   `json:"seed"`
 
 	// Message counts (mean per trial, beacons excluded from Msgs), the
 	// paper's cost metric and the gate's headline number.
@@ -187,6 +252,18 @@ type CellResult struct {
 	QuerySuccess float64 `json:"querySuccess"`
 	OwnerHit     float64 `json:"ownerHit"`
 
+	// Transition metrics (perturbed cells only; means across trials).
+	// Perturbed marks cells whose trials recorded a transition
+	// timeline, so a legitimate zero (e.g. instant reconvergence) is
+	// distinguishable from "no metrics". ReconvS is the virtual
+	// seconds from the last perturbation until delivery stays within
+	// 5% of its pre-perturbation level; -1 when a trial never
+	// reconverged.
+	Perturbed      bool    `json:"perturbed,omitempty"`
+	ReconvS        float64 `json:"reconvS,omitempty"`
+	DeliveryDuring float64 `json:"deliveryDuring,omitempty"`
+	DeliveryAfter  float64 `json:"deliveryAfter,omitempty"`
+
 	// WallMS is the cell's wall-clock run time in milliseconds. It is
 	// scheduling- and machine-dependent, so it never enters the JSON
 	// artifact.
@@ -196,7 +273,8 @@ type CellResult struct {
 // Key returns the cell identity key (see Cell.Key).
 func (r CellResult) Key() string {
 	return Cell{Policy: policy.Name(r.Policy), Topology: r.Topology,
-		N: r.N, Loss: r.Loss, Source: r.Source}.Key()
+		N: r.N, Loss: r.Loss, Churn: r.Churn, Drift: r.Drift,
+		NoReindex: r.NoReindex, Source: r.Source}.Key()
 }
 
 // Report is a finished sweep: the artifact WriteFile persists and Gate
@@ -272,14 +350,17 @@ func runCell(g Grid, c Cell) (CellResult, error) {
 		return CellResult{}, err
 	}
 	b := res.Breakdown
-	return CellResult{
-		Index:    c.Index,
-		Policy:   string(c.Policy),
-		Topology: c.Topology,
-		N:        c.N,
-		Loss:     c.Loss,
-		Source:   c.Source,
-		Seed:     cfg.Seed,
+	out := CellResult{
+		Index:     c.Index,
+		Policy:    string(c.Policy),
+		Topology:  c.Topology,
+		N:         c.N,
+		Loss:      c.Loss,
+		Churn:     c.Churn,
+		Drift:     c.Drift,
+		NoReindex: c.NoReindex,
+		Source:    c.Source,
+		Seed:      cfg.Seed,
 
 		Msgs:    b.Total(),
 		Data:    b.Data,
@@ -294,5 +375,36 @@ func runCell(g Grid, c Cell) (CellResult, error) {
 		OwnerHit:     res.Stats.OwnerHitRate(),
 
 		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
-	}, nil
+	}
+
+	// Transition metrics: mean across trials that recorded a
+	// perturbed timeline; ReconvS is -1 as soon as one trial never
+	// reconverged (the pessimistic read a gate wants).
+	var reconv, during, after float64
+	summarized, failed := 0, false
+	for _, t := range res.PerTrial {
+		s, ok := t.Timeline.Summarize(0.05)
+		if !ok {
+			continue
+		}
+		summarized++
+		during += s.DeliveryDuring
+		after += s.DeliveryAfter
+		if s.ReconvergenceMS < 0 {
+			failed = true
+		} else {
+			reconv += float64(s.ReconvergenceMS) / 1000
+		}
+	}
+	if summarized > 0 {
+		out.Perturbed = true
+		out.DeliveryDuring = during / float64(summarized)
+		out.DeliveryAfter = after / float64(summarized)
+		if failed {
+			out.ReconvS = -1
+		} else {
+			out.ReconvS = reconv / float64(summarized)
+		}
+	}
+	return out, nil
 }

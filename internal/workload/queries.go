@@ -38,6 +38,14 @@ type RangeGen struct {
 	domainHi         int
 	WidthLo, WidthHi float64
 	HistoryWindow    netsim.Time
+
+	// Hot-range mode: when hotCenter >= 0, query placement is no
+	// longer uniform but normally distributed around the center (a
+	// fraction of the domain), with hotSpread (also a fraction)
+	// standard deviation. Dynamics scripts migrate the center mid-run
+	// to model a shifting query workload.
+	hotCenter float64
+	hotSpread float64
 }
 
 // NewRangeGen returns the paper's default query generator over the
@@ -50,8 +58,19 @@ func NewRangeGen(domainLo, domainHi int, seed int64) *RangeGen {
 		WidthLo:       0.01,
 		WidthHi:       0.05,
 		HistoryWindow: 2 * netsim.Minute,
+		hotCenter:     -1,
+		hotSpread:     0.06,
 	}
 }
+
+// SetHotCenter switches the generator to hot-range placement around
+// frac of the domain (implements dynamics.QueryShifter). A negative
+// frac restores uniform placement.
+func (g *RangeGen) SetHotCenter(frac float64) { g.hotCenter = frac }
+
+// SetHotSpread sets the hot-range standard deviation as a fraction of
+// the domain.
+func (g *RangeGen) SetHotSpread(frac float64) { g.hotSpread = frac }
 
 // Next implements Generator.
 func (g *RangeGen) Next(now netsim.Time) Query {
@@ -61,7 +80,19 @@ func (g *RangeGen) Next(now netsim.Time) Query {
 	if width < 1 {
 		width = 1
 	}
-	lo := g.domainLo + g.rng.Intn(domain-width+1)
+	var lo int
+	if g.hotCenter >= 0 {
+		center := g.hotCenter + g.rng.NormFloat64()*g.hotSpread
+		lo = g.domainLo + int(center*float64(domain)) - width/2
+		if lo < g.domainLo {
+			lo = g.domainLo
+		}
+		if lo > g.domainHi-width+1 {
+			lo = g.domainHi - width + 1
+		}
+	} else {
+		lo = g.domainLo + g.rng.Intn(domain-width+1)
+	}
 	tlo := now - g.HistoryWindow
 	if tlo < 0 {
 		tlo = 0

@@ -451,8 +451,15 @@ func (s *Simulation) Stats() ExperimentResult {
 // failure-injection scenarios.
 func (s *Simulation) KillNode(id int) { s.net.Kill(netsim.NodeID(id)) }
 
-// ReviveNode brings a failed node back.
+// ReviveNode brings a failed node back with whatever protocol state
+// it retained; timers that lapsed while it was dead stay silent. For
+// a realistic rejoin, use RestartNode.
 func (s *Simulation) ReviveNode(id int) { s.net.Revive(netsim.NodeID(id)) }
+
+// RestartNode reboots a failed node: it rejoins with fresh protocol
+// state (routing table, storage index, buffers), like a power-cycled
+// mote. This is what churn-injection scenarios use.
+func (s *Simulation) RestartNode(id int) { s.net.Restart(netsim.NodeID(id)) }
 
 // Nodes returns the network size including the basestation.
 func (s *Simulation) Nodes() int { return s.n }
