@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestParseArgsQueryMixAxis(t *testing.T) {
+	c, err := parseArgs([]string{
+		"-policies", "scoop", "-sizes", "16", "-loss", "0",
+		"-querymix", "0,0.5,1",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.grid
+	if len(g.QueryMixes) != 3 || g.QueryMixes[1] != 0.5 || g.QueryMixes[2] != 1 {
+		t.Fatalf("query mixes: %v", g.QueryMixes)
+	}
+	if got := len(g.Cells()); got != 3 {
+		t.Fatalf("grid expands to %d cells, want 3", got)
+	}
+}
+
+func TestParseArgsQueryMixDefaults(t *testing.T) {
+	c, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.grid; len(g.QueryMixes) != 1 || g.QueryMixes[0] != 0 {
+		t.Fatalf("default query mix: %v", c.grid.QueryMixes)
+	}
+}
+
+func TestParseArgsRejectsBadQueryMix(t *testing.T) {
+	for _, args := range [][]string{
+		{"-querymix", "1.5"},
+		{"-querymix", "-0.1"},
+		{"-querymix", "half"},
+	} {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Command scoopsweep runs a parameter-sweep grid — the cross-product
 // of storage policy × topology × network size × link-loss rate ×
-// churn rate × data drift × reindexing × workload source — in
-// parallel on a bounded worker pool, writes a deterministic JSON
+// churn rate × data drift × reindexing × query mix × workload source
+// — in parallel on a bounded worker pool, writes a deterministic JSON
 // artifact, and optionally gates the results against a committed
 // baseline.
 //
@@ -11,6 +11,7 @@
 //	scoopsweep -policies scoop,base -sizes 32,63,101 -loss 0,0.2
 //	scoopsweep -policies scoop -churn 0,0.15 -drift 0,0.4 \
 //	    -reindex on,off                       # adaptivity under dynamics
+//	scoopsweep -policies scoop -querymix 0,0.5,1   # aggregate query engine
 //
 // The same -seed always produces byte-identical artifacts, whatever
 // -parallel is, so committed sweeps are diffable performance records.
@@ -56,6 +57,7 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 	drift := fs.String("drift", "0", "comma-separated data-drift totals: fraction of the domain the distribution walks mid-run, each in [-1,1]")
 	reindex := fs.String("reindex", "on", "comma-separated reindexing modes: on, off (off freezes the first index)")
 	reindexEvery := fs.Duration("reindex-every", 0, "index-rebuild epoch length (0: protocol default, 240s)")
+	querymix := fs.String("querymix", "0", "comma-separated aggregate-query fractions in [0,1] (0: pure tuple workload)")
 	sources := fs.String("sources", "real", "comma-separated workload sources")
 	duration := fs.Duration("duration", 22*time.Minute, "virtual run length per cell")
 	warmup := fs.Duration("warmup", 6*time.Minute, "virtual warm-up per cell")
@@ -124,6 +126,14 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 			g.Reindex = append(g.Reindex, false)
 		default:
 			return cli{}, fmt.Errorf("-reindex: unknown mode %q (want on, off)", m)
+		}
+	}
+	if g.QueryMixes, err = parseFloats(*querymix); err != nil {
+		return cli{}, fmt.Errorf("-querymix: %w", err)
+	}
+	for _, m := range g.QueryMixes {
+		if m < 0 || m > 1 {
+			return cli{}, fmt.Errorf("-querymix: fraction %g outside [0,1]", m)
 		}
 	}
 	if *reindexEvery < 0 {

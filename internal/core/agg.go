@@ -1,0 +1,479 @@
+package core
+
+import (
+	"sort"
+
+	"scoop/internal/metrics"
+	"scoop/internal/netsim"
+	"scoop/internal/query"
+	"scoop/internal/storage"
+	"scoop/internal/trickle"
+	"scoop/internal/workload"
+)
+
+// aggCombine is one query's in-network combining buffer on a node:
+// the merged partial state, how many targeted nodes it folds in, the
+// deepest hop count any merged partial travelled (loop TTL), and —
+// for targeted nodes — the deadline for folding in the local scan.
+type aggCombine struct {
+	part     query.Partial
+	contribs int
+	hops     uint8
+	wantOwn  bool
+	dueOwn   netsim.Time
+	q        *AggQueryMsg // set while wantOwn, for the local scan
+	retries  int          // flush attempts deferred for lack of a route
+}
+
+// Retry budgets. A combined partial folds a whole subtree, so unlike
+// fire-and-forget tuple replies a routeless node holds it and retries
+// rather than losing it, and a launched one gets one app-level resend
+// after the MAC gives up. Resends go to the SAME parent the first
+// attempt used: the frame may have been delivered with only the ack
+// lost, and per-receiver (sender,query,seq) dedup only protects
+// against double counting when the duplicate lands on the same
+// receiver. More resends would stack full MAC retry cycles onto
+// hopeless links and burn the very bytes combining saves.
+const (
+	aggRouteRetries = 12 // flush deferrals while no parent is known
+	aggSendRetries  = 1  // app-level resends of one launched partial
+)
+
+// aggPartKey builds the (sender, query, seq) dedup key for combined
+// partial-aggregate messages.
+func aggPartKey(node netsim.NodeID, qid uint16, seq uint8) uint64 {
+	return uint64(node)<<24 | uint64(qid)<<8 | uint64(seq)
+}
+
+// scanPartial folds every stored reading matching the value and time
+// ranges into a partial aggregate.
+func scanPartial(store *storage.DataBuffer, vlo, vhi int, tlo, thi netsim.Time) query.Partial {
+	var p query.Partial
+	store.Scan(func(r storage.Reading) bool {
+		if r.Time < int64(tlo) || r.Time > int64(thi) {
+			return true
+		}
+		if r.Value < vlo || r.Value > vhi {
+			return true
+		}
+		p.Add(r.Value)
+		return true
+	})
+	return p
+}
+
+// onAggQuery processes an aggregate query packet: feed Trickle
+// suppression, relay selectively (same bitmap rule as tuple queries),
+// and — when targeted — schedule the local scan so that deep nodes
+// answer before their ancestors flush (paper-lineage TAG epoch
+// scheduling, adapted to Scoop's jittered timers).
+func (n *Node) onAggQuery(q *AggQueryMsg) {
+	key := queryKey(q.ID)
+	if _, seen := n.aggQueries[q.ID]; seen {
+		n.qGos.Heard(key)
+		return
+	}
+	n.aggQueries[q.ID] = q
+	if n.shouldRelay(&q.Bitmap) {
+		n.qGos.Add(key)
+	}
+	if !q.Bitmap.Has(n.api.ID()) || n.aggAnswered[q.ID] {
+		return
+	}
+	n.aggAnswered[q.ID] = true
+	n.stats.AggQueriesHeard++
+	e := n.aggEntry(q.ID)
+	e.wantOwn = true
+	e.q = q
+	hops := int(n.tree.Hops())
+	if hops > n.cfg.MaxHops {
+		hops = 1 // routeless nodes answer early; the reply drops anyway
+	}
+	// Deep nodes answer first so ancestors can combine; the wide
+	// random spread desynchronises siblings, whose simultaneous
+	// partials would otherwise collide like a reply storm.
+	hold := n.cfg.AggCombineWindow / netsim.Time(1+hops)
+	jitter := netsim.Time(50 + n.api.RandIntn(int(n.cfg.AggCombineWindow/2)))
+	e.dueOwn = n.api.Now() + hold + jitter
+	n.armAggFlush(e.dueOwn)
+}
+
+// onAggPartial merges a descendant's combined partial into the local
+// buffer and holds it briefly for further combining — the in-network
+// aggregation step that replaces per-hop tuple forwarding.
+func (n *Node) onAggPartial(m *AggReplyMsg) {
+	if int(m.Hops) > n.cfg.MaxHops {
+		return
+	}
+	key := aggPartKey(m.Node, m.QueryID, m.Seq)
+	if n.seenAggParts[key] {
+		return
+	}
+	n.seenAggParts[key] = true
+	e := n.aggEntry(m.QueryID)
+	e.part.Merge(m.Part)
+	e.contribs += int(m.Contribs)
+	if h := m.Hops + 1; h > e.hops {
+		e.hops = h
+	}
+	n.stats.AggCombined++
+	n.armAggFlush(n.api.Now() + n.cfg.AggFlushDelay)
+}
+
+// aggEntry returns (allocating if needed) the combine buffer for qid.
+func (n *Node) aggEntry(qid uint16) *aggCombine {
+	e, ok := n.aggPending[qid]
+	if !ok {
+		e = &aggCombine{}
+		n.aggPending[qid] = e
+	}
+	return e
+}
+
+// armAggFlush arms (or pulls forward) the shared flush timer.
+func (n *Node) armAggFlush(at netsim.Time) {
+	if n.aggFlushAt != 0 && n.aggFlushAt <= at {
+		return
+	}
+	n.aggFlushAt = at
+	n.api.SetTimer(timerAggFlush, at-n.api.Now())
+}
+
+// flushAgg runs when the flush timer fires: fold in due local scans,
+// launch every ready combine buffer toward the basestation, and
+// re-arm for entries still waiting on their own scan deadline.
+func (n *Node) flushAgg() {
+	now := n.api.Now()
+	n.aggFlushAt = 0
+	qids := make([]uint16, 0, len(n.aggPending))
+	for qid := range n.aggPending {
+		qids = append(qids, qid)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	var next netsim.Time
+	for _, qid := range qids {
+		e := n.aggPending[qid]
+		if e.wantOwn {
+			if now < e.dueOwn {
+				// Hold the whole buffer until the local scan folds in.
+				if next == 0 || e.dueOwn < next {
+					next = e.dueOwn
+				}
+				continue
+			}
+			e.part.Merge(scanPartial(n.store, e.q.ValueLo, e.q.ValueHi, e.q.TimeLo, e.q.TimeHi))
+			e.contribs++
+			e.wantOwn = false
+			e.q = nil
+		}
+		if !n.tree.HasRoute() && e.retries < aggRouteRetries {
+			// The partial folds a whole subtree; hold it until the
+			// parent comes back rather than losing it.
+			e.retries++
+			retry := now + n.cfg.AggFlushDelay
+			if next == 0 || retry < next {
+				next = retry
+			}
+			continue
+		}
+		delete(n.aggPending, qid)
+		n.sendAggReply(qid, e)
+	}
+	if next != 0 {
+		n.armAggFlush(next)
+	}
+}
+
+// sendAggReply launches one combined partial toward the parent. Like
+// tuple replies, a targeted node reports even when nothing matched,
+// so the basestation can account for coverage.
+func (n *Node) sendAggReply(qid uint16, e *aggCombine) {
+	if e.contribs == 0 && e.part.Empty() {
+		return
+	}
+	if !n.tree.HasRoute() {
+		return // retries exhausted; the partial is lost
+	}
+	seq := n.aggSeq[qid]
+	n.aggSeq[qid] = seq + 1
+	m := &AggReplyMsg{
+		QueryID:  qid,
+		Node:     n.api.ID(),
+		Seq:      seq,
+		Contribs: uint16(e.contribs),
+		Part:     e.part,
+		// onAggPartial already counted one hop per merge; a fresh
+		// local partial starts at zero.
+		Hops: e.hops,
+	}
+	n.stats.AggRepliesSent++
+	n.transmitAggReply(m, n.tree.Parent(), 0)
+}
+
+// transmitAggReply sends one partial to the parent chosen at launch,
+// re-sending the identical message to the SAME destination on
+// link-layer failure: per-receiver (sender, query, seq) dedup then
+// makes duplicates idempotent, so at-least-once delivery cannot
+// double count. (Re-routing a resend to a new parent could double
+// count: the first frame may have been delivered with only its ack
+// lost.)
+func (n *Node) transmitAggReply(m *AggReplyMsg, to netsim.NodeID, attempt int) {
+	n.api.Send(&netsim.Packet{
+		Class:        metrics.AggReply,
+		Dst:          to,
+		Origin:       n.api.ID(),
+		OriginParent: n.tree.Parent(),
+		Size:         aggReplySize(m),
+		Payload:      m,
+	}, func(ok bool) {
+		if !ok && attempt < aggSendRetries {
+			n.transmitAggReply(m, to, attempt+1)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Basestation side: plan selection, dissemination, answer assembly.
+
+// pendingAgg tracks one issued aggregate query at the basestation.
+type pendingAgg struct {
+	q        query.AggQuery
+	plan     query.Plan
+	est      query.Estimate
+	part     query.Partial
+	contribs int
+	expected int
+	issued   netsim.Time
+	answered bool
+}
+
+// IssueAgg plans and executes one aggregate query, returning the
+// planner's decision. Depending on the plan the answer is available
+// immediately (summary), or assembles as partials / tuple replies
+// arrive; AggAnswer reads it.
+func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
+	b.stats.AggQueriesIssued++
+	// Aggregate value ranges feed the same query-statistics profile
+	// that drives index construction.
+	b.queryLog = append(b.queryLog, loggedQuery{
+		at: b.api.Now(), lo: q.ValueLo, hi: q.ValueHi, ranged: true,
+	})
+
+	targets, covered := b.rangeTargets(q.ValueLo, q.ValueHi, q.TimeLo, q.TimeHi)
+	snaps := b.summarySnapshots()
+	est := query.EstimateFromSummaries(q, snaps)
+	countEst := est
+	if q.Op != query.OpCount {
+		countQ := q
+		countQ.Op = query.OpCount
+		countEst = query.EstimateFromSummaries(countQ, snaps)
+	}
+	expTuples := float64(len(targets)) * 8 // fallback guess
+	if countEst.Valid {
+		expTuples = countEst.Value
+	}
+	dec := query.Choose(query.PlanInput{
+		Op:                q.Op,
+		N:                 b.api.N(),
+		Targets:           len(targets),
+		Covered:           covered,
+		AvgDepth:          b.avgDepth(targets),
+		ExpTuples:         expTuples,
+		MaxTuplesPerReply: b.cfg.ReplyMaxReadings,
+		Est:               est,
+		ErrBudget:         q.ErrBudget,
+		Force:             b.cfg.AggForcePlan,
+	})
+
+	switch dec.Plan {
+	case query.PlanSummary:
+		b.stats.PlanSummaryChosen++
+		b.stats.SummaryAnswered++
+		b.qidNext++
+		b.pendingAgg[b.qidNext] = &pendingAgg{
+			q: q, plan: dec.Plan, est: est,
+			issued: b.api.Now(), answered: true,
+		}
+		b.stats.AggAnswered++
+
+	case query.PlanTuple:
+		b.stats.PlanTupleChosen++
+		wq := workload.Query{
+			ValueLo: q.ValueLo, ValueHi: q.ValueHi,
+			TimeLo: q.TimeLo, TimeHi: q.TimeHi,
+		}
+		b.issueTupleQuery(wq, targets)
+		b.pendingAgg[b.qidNext] = &pendingAgg{
+			q: q, plan: dec.Plan, issued: b.api.Now(),
+		}
+
+	case query.PlanAgg, query.PlanFlood:
+		if dec.Plan == query.PlanAgg {
+			b.stats.PlanAggChosen++
+		} else {
+			b.stats.PlanFloodChosen++
+			if covered {
+				// Forced flood over a covered window still asks everyone.
+				targets = b.allNodes()
+			}
+		}
+		b.qidNext++
+		msg := &AggQueryMsg{
+			ID: b.qidNext, Op: q.Op,
+			ValueLo: q.ValueLo, ValueHi: q.ValueHi,
+			TimeLo: q.TimeLo, TimeHi: q.TimeHi,
+		}
+		pa := &pendingAgg{q: q, plan: dec.Plan, issued: b.api.Now()}
+		for _, id := range targets {
+			if id == b.api.ID() {
+				continue
+			}
+			msg.Bitmap.Set(id)
+			pa.expected++
+		}
+		// The base folds in its own store (owned plus washed-up
+		// readings) at zero radio cost.
+		pa.part = scanPartial(b.store, q.ValueLo, q.ValueHi, q.TimeLo, q.TimeHi)
+		b.pendingAgg[msg.ID] = pa
+		if pa.expected > 0 {
+			b.aggOut[msg.ID] = msg
+			b.qGos.Add(queryKey(msg.ID))
+			b.sendAggQuery(queryKey(msg.ID))
+			b.qGos.Heard(queryKey(msg.ID)) // count our own broadcast
+		} else {
+			pa.answered = true
+			b.stats.AggAnswered++
+		}
+	}
+	return dec
+}
+
+// onAggReply folds one partial-aggregate message into its pending
+// query at the basestation.
+func (b *Base) onAggReply(m *AggReplyMsg) {
+	pa, ok := b.pendingAgg[m.QueryID]
+	if !ok {
+		return
+	}
+	key := aggPartKey(m.Node, m.QueryID, m.Seq)
+	if b.seenAggParts[key] {
+		return
+	}
+	b.seenAggParts[key] = true
+	pa.part.Merge(m.Part)
+	pa.contribs += int(m.Contribs)
+	b.stats.AggPartialsReceived++
+	b.stats.AggContributors += int64(m.Contribs)
+	if !pa.answered {
+		pa.answered = true
+		b.stats.AggAnswered++
+		b.stats.AggFirstAnswerMS += int64(b.api.Now() - pa.issued)
+	}
+}
+
+// AggAnswer evaluates the current answer of an issued aggregate
+// query. ok is false while nothing has arrived (or the plan cannot
+// answer the operator yet).
+func (b *Base) AggAnswer(qid uint16) (float64, query.Plan, bool) {
+	pa, ok := b.pendingAgg[qid]
+	if !ok {
+		return 0, query.PlanAuto, false
+	}
+	switch pa.plan {
+	case query.PlanSummary:
+		return pa.est.Value, pa.plan, true
+	case query.PlanTuple:
+		pq, ok := b.pending[qid]
+		if !ok {
+			return 0, pa.plan, false
+		}
+		if pa.q.Op == query.OpCount {
+			return float64(pq.total), pa.plan, true
+		}
+		if pa.q.Op == query.OpQuantile {
+			// Quantiles cannot merge into partials; the tuple plan
+			// computes them at the base over the (possibly truncated)
+			// returned set.
+			vals := make([]int, 0, len(pq.readings))
+			for _, r := range pq.readings {
+				vals = append(vals, r.Value)
+			}
+			if len(vals) == 0 {
+				return 0, pa.plan, false
+			}
+			sort.Ints(vals)
+			idx := int(pa.q.Quantile * float64(len(vals)))
+			if idx >= len(vals) {
+				idx = len(vals) - 1
+			}
+			return float64(vals[idx]), pa.plan, true
+		}
+		var p query.Partial
+		for _, r := range pq.readings {
+			p.Add(r.Value)
+		}
+		v, ok := p.Answer(pa.q.Op)
+		return v, pa.plan, ok
+	default:
+		v, ok := pa.part.Answer(pa.q.Op)
+		return v, pa.plan, ok
+	}
+}
+
+// AggContribs reports how many nodes (plus the base's own scan, not
+// counted) contributed to an aggregate answer, and how many were
+// expected. Diagnostics/tests.
+func (b *Base) AggContribs(qid uint16) (got, expected int) {
+	if pa, ok := b.pendingAgg[qid]; ok {
+		return pa.contribs, pa.expected
+	}
+	return 0, 0
+}
+
+// summarySnapshots adapts the retained summary history to the
+// estimator's view.
+func (b *Base) summarySnapshots() []query.SummarySnapshot {
+	out := make([]query.SummarySnapshot, 0, len(b.history))
+	for _, s := range b.history {
+		out = append(out, query.SummarySnapshot{
+			Node: uint16(s.Node), SentAt: s.SentAt,
+			Min: s.Min, Max: s.Max, Sum: s.Sum,
+			Rate: s.Rate, Hist: s.Hist,
+		})
+	}
+	return out
+}
+
+// avgDepth estimates the mean routing-tree depth of the target set
+// from the hop counts summaries travelled; nodes with no summary yet
+// count at the fallback depth 2.
+func (b *Base) avgDepth(targets []netsim.NodeID) float64 {
+	if len(targets) == 0 {
+		return 1
+	}
+	total := 0.0
+	for _, id := range targets {
+		if s, ok := b.latest[id]; ok {
+			total += float64(s.Hops) + 1
+		} else {
+			total += 2
+		}
+	}
+	return total / float64(len(targets))
+}
+
+// sendAggQuery is the aggregate branch of the base's query-Trickle
+// transmit callback.
+func (b *Base) sendAggQuery(key trickle.Key) {
+	q, ok := b.aggOut[uint16(key)]
+	if !ok {
+		return
+	}
+	b.api.Broadcast(&netsim.Packet{
+		Class:        metrics.Query,
+		Origin:       b.api.ID(),
+		OriginParent: netsim.NoNode,
+		Size:         aggQuerySize(q),
+		Payload:      q,
+	})
+}

@@ -32,6 +32,7 @@ type pendingQuery struct {
 	expected int
 	replied  map[netsim.NodeID]bool
 	readings []storage.Reading // tuples carried back (reply payloads are capped)
+	total    int               // total matches reported (uncapped node counts)
 }
 
 // Base is the Scoop basestation application (node 0). The paper runs
@@ -60,6 +61,12 @@ type Base struct {
 	pending  map[uint16]*pendingQuery
 	qidNext  uint16
 	remaps   int // scheduled remaps run so far (RemapLimit bookkeeping)
+
+	// Aggregate query engine: outstanding agg queries under gossip,
+	// per-query answer assembly, and partial-message dedup.
+	aggOut       map[uint16]*AggQueryMsg
+	pendingAgg   map[uint16]*pendingAgg
+	seenAggParts map[uint64]bool
 }
 
 // NewBase creates the basestation; index construction begins at the
@@ -97,6 +104,9 @@ func (b *Base) Init(api *netsim.NodeAPI) {
 	b.chunks = make(map[trickle.Key]index.Chunk)
 	b.queriesOut = make(map[uint16]*QueryMsg)
 	b.pending = make(map[uint16]*pendingQuery)
+	b.aggOut = make(map[uint16]*AggQueryMsg)
+	b.pendingAgg = make(map[uint16]*pendingAgg)
+	b.seenAggParts = make(map[uint64]bool)
 	b.mapGos = trickle.New(api, timerMapping, b.cfg.MappingTrickle, b.sendChunk)
 	b.qGos = trickle.New(api, timerQuery, b.cfg.QueryTrickle, b.sendQuery)
 	if b.cfg.Preload != nil {
@@ -144,9 +154,14 @@ func (b *Base) Receive(p *netsim.Packet) {
 	case *ReplyMsg:
 		b.tree.RecordUpstream(p.Origin, p.Src)
 		b.onReply(m)
+	case *AggReplyMsg:
+		b.tree.RecordUpstream(p.Origin, p.Src)
+		b.onAggReply(m)
 	case *MappingMsg:
 		b.mapGos.Heard(mapKey(m.Chunk.IndexID, m.Chunk.Num))
 	case *QueryMsg:
+		b.qGos.Heard(queryKey(m.ID))
+	case *AggQueryMsg:
 		b.qGos.Heard(queryKey(m.ID))
 	}
 }
@@ -208,6 +223,7 @@ func (b *Base) onReply(m *ReplyMsg) {
 	}
 	pq.replied[m.Node] = true
 	pq.readings = append(pq.readings, m.Readings...)
+	pq.total += m.Count
 	b.stats.RepliesReceived++
 	b.stats.TuplesReturned += int64(m.Count)
 }
@@ -350,8 +366,13 @@ func (b *Base) IssueQuery(q workload.Query) []netsim.NodeID {
 		lg.lo, lg.hi, lg.ranged = q.ValueLo, q.ValueHi, true
 	}
 	b.queryLog = append(b.queryLog, lg)
+	return b.issueTupleQuery(q, b.targets(q))
+}
 
-	targets := b.targets(q)
+// issueTupleQuery builds, registers and disseminates the tuple-return
+// query packet for an already-computed target set (shared by
+// IssueQuery and the aggregate planner's tuple plan).
+func (b *Base) issueTupleQuery(q workload.Query, targets []netsim.NodeID) []netsim.NodeID {
 	b.qidNext++
 	msg := &QueryMsg{
 		ID:     b.qidNext,
@@ -391,28 +412,34 @@ func (b *Base) IssueQuery(q workload.Query) []netsim.NodeID {
 
 // AnswerFromStore resolves a query entirely against the basestation's
 // local store, costing zero network traffic — how the send-to-base
-// (BASE) policy answers every query. It returns the match count.
+// (BASE) policy answers every query. It returns the match count. The
+// query is recorded into the statistics profile exactly like
+// IssueQuery, so BASE-policy runs feed index construction the same
+// workload signal.
 func (b *Base) AnswerFromStore(q workload.Query) int {
 	b.stats.QueriesIssued++
+	lg := loggedQuery{at: b.api.Now()}
+	if !q.IsNodeQuery() {
+		lg.lo, lg.hi, lg.ranged = q.ValueLo, q.ValueHi, true
+	}
+	b.queryLog = append(b.queryLog, lg)
+	var wanted map[netsim.NodeID]bool
+	if q.IsNodeQuery() {
+		wanted = make(map[netsim.NodeID]bool, len(q.Nodes))
+		for _, id := range q.Nodes {
+			wanted[id] = true
+		}
+	}
 	count := 0
 	b.store.Scan(func(r storage.Reading) bool {
 		if r.Time < int64(q.TimeLo) || r.Time > int64(q.TimeHi) {
 			return true
 		}
-		if !q.IsNodeQuery() && (r.Value < q.ValueLo || r.Value > q.ValueHi) {
+		if wanted == nil && (r.Value < q.ValueLo || r.Value > q.ValueHi) {
 			return true
 		}
-		if q.IsNodeQuery() {
-			found := false
-			for _, id := range q.Nodes {
-				if netsim.NodeID(r.Producer) == id {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return true
-			}
+		if wanted != nil && !wanted[netsim.NodeID(r.Producer)] {
+			return true
 		}
 		count++
 		return true
@@ -434,6 +461,7 @@ func (b *Base) scanLocal(q *QueryMsg, pq *pendingQuery) {
 		pq.readings = append(pq.readings, r)
 		return true
 	})
+	pq.total += count
 	b.stats.TuplesReturned += int64(count)
 }
 
@@ -446,18 +474,30 @@ func (b *Base) targets(q workload.Query) []netsim.NodeID {
 	if q.IsNodeQuery() {
 		return q.Nodes
 	}
+	ids, _ := b.rangeTargets(q.ValueLo, q.ValueHi, q.TimeLo, q.TimeHi)
+	return ids
+}
+
+// allNodes returns every non-base node ID.
+func (b *Base) allNodes() []netsim.NodeID {
 	n := b.api.N()
-	all := func() []netsim.NodeID {
-		out := make([]netsim.NodeID, 0, n-1)
-		for i := 1; i < n; i++ {
-			out = append(out, netsim.NodeID(i))
-		}
-		return out
+	out := make([]netsim.NodeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, netsim.NodeID(i))
 	}
-	if len(b.records) == 0 || q.TimeLo < b.records[0].at {
+	return out
+}
+
+// rangeTargets resolves a value range over a time window to the owner
+// node set, and reports whether index generations with non-local
+// mappings cover the whole window. An uncovered window (pre-first-
+// index time, or a store-local generation in range) targets every
+// node.
+func (b *Base) rangeTargets(vlo, vhi int, tlo, thi netsim.Time) ([]netsim.NodeID, bool) {
+	if len(b.records) == 0 || tlo < b.records[0].at {
 		// Data from before the first index is stored locally on every
 		// node.
-		return all()
+		return b.allNodes(), false
 	}
 	seen := make(map[netsim.NodeID]bool)
 	var out []netsim.NodeID
@@ -473,13 +513,13 @@ func (b *Base) targets(q workload.Query) []netsim.NodeID {
 		if i+1 < len(b.records) {
 			end += 30 * netsim.Second
 		}
-		if end < q.TimeLo || start > q.TimeHi {
+		if end < tlo || start > thi {
 			continue
 		}
 		if rec.ix.Local {
-			return all()
+			return b.allNodes(), false
 		}
-		for _, o := range rec.ix.Owners(q.ValueLo, q.ValueHi) {
+		for _, o := range rec.ix.Owners(vlo, vhi) {
 			if !seen[o] {
 				seen[o] = true
 				out = append(out, o)
@@ -487,7 +527,7 @@ func (b *Base) targets(q workload.Query) []netsim.NodeID {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, true
 }
 
 // QueryMax answers "maximum value in [t0,t1]" directly from stored
@@ -529,17 +569,19 @@ func (b *Base) sendChunk(key trickle.Key) {
 	})
 }
 
-// sendQuery is the query-Trickle transmit callback.
+// sendQuery is the query-Trickle transmit callback; tuple and
+// aggregate queries share the ID space, so the key resolves in
+// exactly one of the two outbound maps.
 func (b *Base) sendQuery(key trickle.Key) {
-	q, ok := b.queriesOut[uint16(key)]
-	if !ok {
+	if q, ok := b.queriesOut[uint16(key)]; ok {
+		b.api.Broadcast(&netsim.Packet{
+			Class:        metrics.Query,
+			Origin:       b.api.ID(),
+			OriginParent: netsim.NoNode,
+			Size:         querySize(q),
+			Payload:      q,
+		})
 		return
 	}
-	b.api.Broadcast(&netsim.Packet{
-		Class:        metrics.Query,
-		Origin:       b.api.ID(),
-		OriginParent: netsim.NoNode,
-		Size:         querySize(q),
-		Payload:      q,
-	})
+	b.sendAggQuery(key)
 }

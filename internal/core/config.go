@@ -10,20 +10,22 @@ package core
 import (
 	"scoop/internal/index"
 	"scoop/internal/netsim"
+	"scoop/internal/query"
 	"scoop/internal/routing"
 	"scoop/internal/trickle"
 )
 
 // Timer identifiers shared by node and basestation applications.
 const (
-	timerSample  = 1 // node: take a sensor sample
-	timerSummary = 2 // node: send a summary message
-	timerTree    = 3 // both: routing-tree maintenance/beacons
-	timerMapping = 4 // both: mapping-chunk Trickle
-	timerQuery   = 5 // both: query Trickle
-	timerBatch   = 6 // node: flush a stale data batch
-	timerRemap   = 7 // base: recompute the storage index
-	timerReply   = 8 // node: send jittered query replies
+	timerSample   = 1 // node: take a sensor sample
+	timerSummary  = 2 // node: send a summary message
+	timerTree     = 3 // both: routing-tree maintenance/beacons
+	timerMapping  = 4 // both: mapping-chunk Trickle
+	timerQuery    = 5 // both: query Trickle
+	timerBatch    = 6 // node: flush a stale data batch
+	timerRemap    = 7 // base: recompute the storage index
+	timerReply    = 8 // node: send jittered query replies
+	timerAggFlush = 9 // node: flush combined partial aggregates upward
 )
 
 // Config carries every protocol parameter. Defaults (DefaultConfig)
@@ -85,6 +87,18 @@ type Config struct {
 	// profile used by index construction.
 	QueryStatsWindow int
 
+	// AggCombineWindow spreads the answer wave of an aggregate query:
+	// a targeted node at depth h computes its local partial after
+	// roughly AggCombineWindow/(1+h), so deep nodes answer first and
+	// their parents fold the partials in before forwarding.
+	AggCombineWindow netsim.Time
+	// AggFlushDelay is how long a node holds a freshly merged partial
+	// for further combining before flushing it toward the base.
+	AggFlushDelay netsim.Time
+	// AggForcePlan pins the aggregate planner's physical plan
+	// (ablation figures and tests); query.PlanAuto lets it choose.
+	AggForcePlan query.Plan
+
 	// DomainMin/DomainMax bound the attribute value domain the
 	// basestation indexes (from the workload source).
 	DomainMin, DomainMax int
@@ -140,6 +154,9 @@ func DefaultConfig(lo, hi int) Config {
 		ReplyMaxReadings: 20,
 		QueryStatsWindow: 100,
 
+		AggCombineWindow: 4 * netsim.Second,
+		AggFlushDelay:    700 * netsim.Millisecond,
+
 		DomainMin: lo,
 		DomainMax: hi,
 
@@ -190,6 +207,20 @@ type RunStats struct {
 	IndexesBuilt      int64
 	IndexesSuppressed int64
 	SummaryAnswered   int64 // queries answered from summaries alone
+
+	// Aggregate query engine counters.
+	AggQueriesIssued    int64 // aggregate queries issued at the base
+	AggQueriesHeard     int64 // agg query packets first heard by a targeted node
+	AggRepliesSent      int64 // partial-aggregate flushes launched by nodes
+	AggPartialsReceived int64 // partial-aggregate messages reaching the base
+	AggCombined         int64 // descendant partials merged at intermediate nodes
+	AggContributors     int64 // distinct nodes folded into answers at the base
+	AggAnswered         int64 // agg queries with at least one partial back
+	AggFirstAnswerMS    int64 // summed time-to-first-partial, virtual ms
+	PlanSummaryChosen   int64 // per-plan decision counts
+	PlanAggChosen       int64
+	PlanTupleChosen     int64
+	PlanFloodChosen     int64
 }
 
 // MarkStored records that the reading (producer, sampled at time t)

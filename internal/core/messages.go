@@ -4,6 +4,7 @@ import (
 	"scoop/internal/histogram"
 	"scoop/internal/index"
 	"scoop/internal/netsim"
+	"scoop/internal/query"
 	"scoop/internal/routing"
 	"scoop/internal/storage"
 )
@@ -79,6 +80,43 @@ type ReplyMsg struct {
 }
 
 func replySize(m *ReplyMsg) int { return 8 + 4*len(m.Readings) }
+
+// AggQueryMsg is an aggregate query packet: like QueryMsg it carries
+// the bitmap of nodes expected to answer and the value/time ranges of
+// interest, plus the aggregate operator. Targeted nodes reply with
+// partial-aggregate state instead of tuples; intermediate nodes
+// combine partials on the way up (TAG-style in-network aggregation).
+type AggQueryMsg struct {
+	ID               uint16
+	Bitmap           Bitmap
+	Op               query.Op
+	ValueLo, ValueHi int
+	TimeLo, TimeHi   netsim.Time
+}
+
+// aggQuerySize mirrors querySize plus one operator byte.
+func aggQuerySize(*AggQueryMsg) int { return 16 + 14 + 1 }
+
+// AggReplyMsg carries mergeable partial-aggregate state one hop
+// toward the basestation. Node is the sender of this (possibly
+// combined) partial; Seq distinguishes successive flushes by the same
+// sender so retransmitted duplicates are dropped without double
+// counting; Contribs counts the distinct targeted nodes folded into
+// Part; Hops is the largest hop count any merged partial has
+// travelled, a TTL against transient routing loops.
+type AggReplyMsg struct {
+	QueryID  uint16
+	Node     netsim.NodeID
+	Seq      uint8
+	Contribs uint16
+	Part     query.Partial
+	Hops     uint8
+}
+
+// aggReplySize is a fixed 22 bytes: ids/seq/contribs header plus the
+// 14-byte partial (count, sum, min, max) — a fraction of a tuple
+// reply, which is the whole point.
+func aggReplySize(*AggReplyMsg) int { return 8 + 14 }
 
 // Bitmap is the 128-bit node bitmap in query packets, which "puts an
 // upper bound to the size of the sensor network; 128 nodes in our

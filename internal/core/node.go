@@ -45,6 +45,16 @@ type Node struct {
 	answered map[uint16]bool
 	qGos     *trickle.Trickle
 
+	// Aggregate query engine (in-network partial-aggregate combining):
+	// known agg queries, answered-once marks, the per-query combine
+	// buffer, per-query flush sequence numbers, and the shared flush
+	// deadline (0 when the timer is unarmed).
+	aggQueries  map[uint16]*AggQueryMsg
+	aggAnswered map[uint16]bool
+	aggPending  map[uint16]*aggCombine
+	aggSeq      map[uint16]uint8
+	aggFlushAt  netsim.Time
+
 	// Pending data batches, one per destination owner (paper §5.4
 	// batches "up to n readings destined for the same node"; keeping
 	// one open batch per owner instead of flushing on every owner
@@ -60,6 +70,7 @@ type Node struct {
 	// exponentially along the path.
 	seenSummaries map[uint64]bool
 	seenReplies   map[uint32]bool
+	seenAggParts  map[uint64]bool
 
 	samplesSinceSummary int
 }
@@ -91,8 +102,14 @@ func (n *Node) Init(api *netsim.NodeAPI) {
 	n.chunks = make(map[trickle.Key]index.Chunk)
 	n.queries = make(map[uint16]*QueryMsg)
 	n.answered = make(map[uint16]bool)
+	n.aggQueries = make(map[uint16]*AggQueryMsg)
+	n.aggAnswered = make(map[uint16]bool)
+	n.aggPending = make(map[uint16]*aggCombine)
+	n.aggSeq = make(map[uint16]uint8)
+	n.aggFlushAt = 0
 	n.seenSummaries = make(map[uint64]bool)
 	n.seenReplies = make(map[uint32]bool)
+	n.seenAggParts = make(map[uint64]bool)
 	n.batches = make(map[netsim.NodeID][]storage.Reading)
 	n.mapGos = trickle.New(api, timerMapping, n.cfg.MappingTrickle, n.sendChunk)
 	n.qGos = trickle.New(api, timerQuery, n.cfg.QueryTrickle, n.sendQuery)
@@ -144,6 +161,8 @@ func (n *Node) Timer(id int) {
 			n.answer(q)
 		}
 		n.pendingAnswers = nil
+	case timerAggFlush:
+		n.flushAgg()
 	}
 }
 
@@ -177,6 +196,9 @@ func (n *Node) Receive(p *netsim.Packet) {
 			n.stats.RepliesForwarded++
 			n.forwardUp(p, &fwd, metrics.Reply, replySize(m))
 		}
+	case *AggReplyMsg:
+		n.learnDescendant(p)
+		n.onAggPartial(m)
 	case *DataMsg:
 		n.learnDescendant(p)
 		n.handleData(m)
@@ -184,6 +206,8 @@ func (n *Node) Receive(p *netsim.Packet) {
 		n.onChunk(m.Chunk)
 	case *QueryMsg:
 		n.onQuery(m)
+	case *AggQueryMsg:
+		n.onAggQuery(m)
 	}
 }
 
@@ -480,7 +504,7 @@ func (n *Node) onQuery(q *QueryMsg) {
 		return
 	}
 	n.queries[q.ID] = q
-	if n.shouldRelay(q) {
+	if n.shouldRelay(&q.Bitmap) {
 		n.qGos.Add(key)
 	}
 	if q.Bitmap.Has(n.api.ID()) && !n.answered[q.ID] {
@@ -495,12 +519,13 @@ func (n *Node) onQuery(q *QueryMsg) {
 	}
 }
 
-// shouldRelay reports whether this node re-broadcasts the query: only
-// when some targeted node other than itself is plausibly reachable
-// through it (a known neighbor or recorded descendant).
-func (n *Node) shouldRelay(q *QueryMsg) bool {
+// shouldRelay reports whether this node re-broadcasts a (tuple or
+// aggregate) query: only when some targeted node other than itself is
+// plausibly reachable through it (a known neighbor or recorded
+// descendant).
+func (n *Node) shouldRelay(bm *Bitmap) bool {
 	me := n.api.ID()
-	for _, id := range q.Bitmap.IDs() {
+	for _, id := range bm.IDs() {
 		if id == me {
 			continue
 		}
@@ -514,19 +539,29 @@ func (n *Node) shouldRelay(q *QueryMsg) bool {
 	return false
 }
 
-// sendQuery is the query-Trickle transmit callback.
+// sendQuery is the query-Trickle transmit callback; tuple and
+// aggregate queries share the basestation's ID space, so the key
+// resolves in exactly one of the two maps.
 func (n *Node) sendQuery(key trickle.Key) {
-	q, ok := n.queries[uint16(key)]
-	if !ok {
+	if q, ok := n.queries[uint16(key)]; ok {
+		n.api.Broadcast(&netsim.Packet{
+			Class:        metrics.Query,
+			Origin:       n.api.ID(),
+			OriginParent: n.tree.Parent(),
+			Size:         querySize(q),
+			Payload:      q,
+		})
 		return
 	}
-	n.api.Broadcast(&netsim.Packet{
-		Class:        metrics.Query,
-		Origin:       n.api.ID(),
-		OriginParent: n.tree.Parent(),
-		Size:         querySize(q),
-		Payload:      q,
-	})
+	if q, ok := n.aggQueries[uint16(key)]; ok {
+		n.api.Broadcast(&netsim.Packet{
+			Class:        metrics.Query,
+			Origin:       n.api.ID(),
+			OriginParent: n.tree.Parent(),
+			Size:         aggQuerySize(q),
+			Payload:      q,
+		})
+	}
 }
 
 // answer linearly scans the data buffer (paper §5.5) and sends a reply

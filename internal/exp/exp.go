@@ -7,6 +7,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"scoop/internal/core"
@@ -14,6 +15,8 @@ import (
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
+	"scoop/internal/query"
+	"scoop/internal/storage"
 	"scoop/internal/workload"
 )
 
@@ -34,6 +37,31 @@ type Config struct {
 	// fraction of nodes (the Figure 4 sweep); < 0 uses value-range
 	// queries of 1–5% of the domain (the paper's default).
 	NodePct float64
+
+	// QueryWidth, when > 0, fixes every value-range query's width to
+	// this fraction of the domain instead of the paper's random 1–5%.
+	// Wide ranges produce the large result sets where in-network
+	// aggregation pays off.
+	QueryWidth float64
+
+	// AggRatio, in [0,1], lifts this fraction of value-range queries
+	// into aggregate queries (COUNT/SUM/AVG/MIN/MAX/quantile rotation)
+	// answered by the cost-based query planner. 0 keeps the pure
+	// tuple-return workload. Ignored for node-list workloads and the
+	// BASE policy (whose queries are free at the basestation).
+	AggRatio float64
+	// AggErrBudget is the relative accuracy budget attached to every
+	// aggregate query; generous budgets let the planner answer from
+	// retained summaries at zero radio cost.
+	AggErrBudget float64
+	// AggForce pins the aggregate planner's physical plan (ablation
+	// figures); query.PlanAuto lets it choose per query.
+	AggForce query.Plan
+	// AggOps overrides the aggregate-operator rotation (nil: the
+	// default COUNT/SUM/AVG/MIN/MAX/quantile cycle). Plan-comparison
+	// figures restrict it to the exactly-mergeable operators so
+	// summary-only quantiles don't force floods into every variant.
+	AggOps []query.Op
 
 	// LinkLoss, in [0,1), degrades every directed link's delivery
 	// probability by this fraction for the whole run, modelling a
@@ -118,6 +146,18 @@ func (c Config) Validate() error {
 	if c.NodePct > 1 {
 		return fmt.Errorf("exp: node-query fraction %v exceeds 1", c.NodePct)
 	}
+	if c.QueryWidth < 0 || c.QueryWidth > 1 {
+		return fmt.Errorf("exp: query width %v outside [0,1]", c.QueryWidth)
+	}
+	if c.AggRatio < 0 || c.AggRatio > 1 {
+		return fmt.Errorf("exp: aggregate ratio %v outside [0,1]", c.AggRatio)
+	}
+	if c.AggErrBudget < 0 {
+		return fmt.Errorf("exp: negative aggregate error budget %v", c.AggErrBudget)
+	}
+	if c.AggForce > query.PlanFlood {
+		return fmt.Errorf("exp: unknown forced plan %d", c.AggForce)
+	}
 	if c.ReindexInterval < 0 {
 		return fmt.Errorf("exp: negative reindex interval %v", c.ReindexInterval)
 	}
@@ -137,6 +177,38 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// AggEval accounts the aggregate query engine's end-to-end quality
+// for one trial: how many aggregates were issued and answered, the
+// summed absolute relative error against ground truth (computed by
+// scanning every store at issue time), and the planner's decisions.
+type AggEval struct {
+	Issued      int
+	Answered    int
+	ErrSum      float64
+	PlanSummary int
+	PlanAgg     int
+	PlanTuple   int
+	PlanFlood   int
+}
+
+// MeanErr returns the mean absolute relative answer error.
+func (e AggEval) MeanErr() float64 {
+	if e.Answered == 0 {
+		return 0
+	}
+	return e.ErrSum / float64(e.Answered)
+}
+
+func (e *AggEval) add(o AggEval) {
+	e.Issued += o.Issued
+	e.Answered += o.Answered
+	e.ErrSum += o.ErrSum
+	e.PlanSummary += o.PlanSummary
+	e.PlanAgg += o.PlanAgg
+	e.PlanTuple += o.PlanTuple
+	e.PlanFlood += o.PlanFlood
+}
+
 // TrialResult captures one trial's outcome.
 type TrialResult struct {
 	Breakdown metrics.Breakdown
@@ -147,6 +219,13 @@ type TrialResult struct {
 	// Timeline holds windowed transition metrics and perturbation
 	// marks; empty unless the config enabled windowed sampling.
 	Timeline metrics.Timeline
+	// Agg holds aggregate-engine accounting (zero when AggRatio is 0).
+	Agg AggEval
+	// Per-class sent bytes on the query path, for bytes-per-answer
+	// comparisons across physical plans.
+	QueryBytes    int64
+	ReplyBytes    int64
+	AggReplyBytes int64
 }
 
 // Result aggregates an experiment cell.
@@ -158,6 +237,24 @@ type Result struct {
 	RootSent  float64              // mean
 	RootRecv  float64              // mean
 	Energy    metrics.EnergyReport // mean across trials
+	Agg       AggEval              // summed across trials
+	// Mean per-class sent bytes across trials.
+	QueryBytes    float64
+	ReplyBytes    float64
+	AggReplyBytes float64
+}
+
+// BytesPerAnswer returns the mean reply-path bytes (tuple replies
+// plus combined partials) each answered aggregate cost. Query
+// dissemination is excluded: it is plan-invariant (every plan gossips
+// the same one query packet), so the reply path is where the physical
+// plans actually differ. 0 when nothing was answered.
+func (r Result) BytesPerAnswer() float64 {
+	if r.Agg.Answered == 0 {
+		return 0
+	}
+	total := (r.ReplyBytes + r.AggReplyBytes) * float64(len(r.PerTrial))
+	return total / float64(r.Agg.Answered)
 }
 
 // Run executes the experiment: Trials independent simulations (run
@@ -193,6 +290,10 @@ func Run(cfg Config) (Result, error) {
 	for _, tr := range res.PerTrial {
 		sum = sum.Add(tr.Breakdown)
 		addStats(&res.Stats, &tr.Stats)
+		res.Agg.add(tr.Agg)
+		res.QueryBytes += float64(tr.QueryBytes)
+		res.ReplyBytes += float64(tr.ReplyBytes)
+		res.AggReplyBytes += float64(tr.AggReplyBytes)
 		res.RootSent += float64(tr.RootSent)
 		res.RootRecv += float64(tr.RootRecv)
 		res.Energy.AvgNodeJ += tr.Energy.AvgNodeJ
@@ -204,6 +305,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	f := 1.0 / float64(cfg.Trials)
 	res.Breakdown = sum.Scale(f)
+	res.QueryBytes *= f
+	res.ReplyBytes *= f
+	res.AggReplyBytes *= f
 	res.RootSent *= f
 	res.RootRecv *= f
 	res.Energy.AvgNodeJ *= f
@@ -269,6 +373,7 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		// Under churn, dead nodes must age out of index construction.
 		ccfg.StatStaleAfter = 3 * ccfg.SummaryInterval
 	}
+	ccfg.AggForcePlan = cfg.AggForce
 	if cfg.Modify != nil {
 		cfg.Modify(&ccfg)
 	}
@@ -276,8 +381,10 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	stats := &core.RunStats{}
 	base := core.NewBase(ccfg, stats, cfg.Warmup)
 	net.Attach(0, base)
+	nodes := make([]*core.Node, cfg.N)
 	for i := 1; i < cfg.N; i++ {
-		net.Attach(netsim.NodeID(i), core.NewNode(ccfg, stats, sampler.Next, cfg.Warmup))
+		nodes[i] = core.NewNode(ccfg, stats, sampler.Next, cfg.Warmup)
+		net.Attach(netsim.NodeID(i), nodes[i])
 	}
 	net.Start()
 
@@ -286,7 +393,11 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		if cfg.NodePct >= 0 {
 			gen = workload.NewNodePctGen(cfg.N, cfg.NodePct, seed+29)
 		} else {
-			gen = workload.NewRangeGen(lo, hi, seed+29)
+			rg := workload.NewRangeGen(lo, hi, seed+29)
+			if cfg.QueryWidth > 0 {
+				rg.WidthLo, rg.WidthHi = cfg.QueryWidth, cfg.QueryWidth
+			}
+			gen = rg
 		}
 	}
 
@@ -336,10 +447,32 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		sim.At(cfg.Warmup+win, tickW)
 	}
 
+	// The aggregate mix applies to value-range workloads on policies
+	// that actually issue network queries.
+	var mixed *workload.MixedGen
+	if cfg.QueryInterval > 0 && cfg.AggRatio > 0 && cfg.NodePct < 0 &&
+		cfg.Policy != policy.Base {
+		mixed = workload.NewMixedGen(gen, cfg.AggRatio, cfg.AggErrBudget, seed+31)
+		mixed.Ops = cfg.AggOps
+	}
+	type aggIssued struct {
+		qid     uint16
+		op      query.Op
+		gt      float64
+		gtValid bool
+	}
+	var aggLog []aggIssued
+
 	if cfg.QueryInterval > 0 {
 		var tick func()
 		tick = func() {
-			q := gen.Next(sim.Now())
+			var req workload.Request
+			if mixed != nil {
+				req = mixed.NextRequest(sim.Now())
+			} else {
+				req = workload.Request{Query: gen.Next(sim.Now())}
+			}
+			q := req.Query
 			if cfg.Policy == policy.Local && q.IsNodeQuery() {
 				// Figure 4 semantics: under LOCAL the basestation
 				// cannot know which nodes hold the data of interest,
@@ -353,12 +486,34 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 			if q.TimeLo < cfg.Warmup {
 				q.TimeLo = cfg.Warmup
 			}
-			if cfg.Policy == policy.Base {
+			switch {
+			case cfg.Policy == policy.Base:
 				// Send-to-base answers queries from its local store at
 				// zero network cost (paper §6: "queries have no
 				// associated cost" for BASE).
 				base.AnswerFromStore(q)
-			} else {
+			case req.Agg != nil:
+				aq := *req.Agg
+				if aq.TimeLo < cfg.Warmup {
+					aq.TimeLo = cfg.Warmup
+				}
+				rec := aggIssued{op: aq.Op}
+				rec.gt, rec.gtValid = aggGroundTruth(base, nodes, aq)
+				dec := base.IssueAgg(aq)
+				rec.qid = base.LastQueryID()
+				tr.Agg.Issued++
+				switch dec.Plan {
+				case query.PlanSummary:
+					tr.Agg.PlanSummary++
+				case query.PlanAgg:
+					tr.Agg.PlanAgg++
+				case query.PlanTuple:
+					tr.Agg.PlanTuple++
+				case query.PlanFlood:
+					tr.Agg.PlanFlood++
+				}
+				aggLog = append(aggLog, rec)
+			default:
 				base.IssueQuery(q)
 			}
 			if sim.Now()+cfg.QueryInterval <= cfg.Duration {
@@ -370,8 +525,30 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 
 	sim.Run(cfg.Duration)
 
+	// Settle the aggregate answers against ground truth captured at
+	// issue time. An aggregate over an empty match set has no defined
+	// answer; when ground truth agrees nothing matched, that is a
+	// correct (error-free) outcome, not a missing one.
+	for _, rec := range aggLog {
+		ans, _, ok := base.AggAnswer(rec.qid)
+		switch {
+		case ok && rec.gtValid:
+			tr.Agg.Answered++
+			den := math.Abs(rec.gt)
+			if den < 1 {
+				den = 1
+			}
+			tr.Agg.ErrSum += math.Abs(ans-rec.gt) / den
+		case ok, !rec.gtValid:
+			tr.Agg.Answered++
+		}
+	}
+
 	tr.Breakdown = ctr.Snapshot()
 	tr.Stats = *stats
+	tr.QueryBytes = ctr.SentBytesClass(metrics.Query)
+	tr.ReplyBytes = ctr.SentBytesClass(metrics.Reply)
+	tr.AggReplyBytes = ctr.SentBytesClass(metrics.AggReply)
 	tr.Energy = metrics.DefaultEnergyModel().Energy(ctr, cfg.N, float64(cfg.Duration)/1000)
 	for _, c := range metrics.Classes() {
 		if c == metrics.Beacon {
@@ -381,6 +558,47 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		tr.RootRecv += ctr.ReceivedBy(0, c)
 	}
 	return tr, nil
+}
+
+// aggGroundTruth evaluates the aggregate's true answer over every
+// reading currently stored anywhere (node stores plus the base's)
+// matching the value and time ranges. ok is false when nothing
+// matches (and for COUNT the zero answer is still valid).
+func aggGroundTruth(base *core.Base, nodes []*core.Node, q query.AggQuery) (float64, bool) {
+	var part query.Partial
+	var values []int
+	wantValues := q.Op == query.OpQuantile
+	scan := func(buf *storage.DataBuffer) {
+		buf.Scan(func(r storage.Reading) bool {
+			if r.Time < int64(q.TimeLo) || r.Time > int64(q.TimeHi) ||
+				r.Value < q.ValueLo || r.Value > q.ValueHi {
+				return true
+			}
+			part.Add(r.Value)
+			if wantValues {
+				values = append(values, r.Value)
+			}
+			return true
+		})
+	}
+	scan(base.Store())
+	for _, n := range nodes {
+		if n != nil {
+			scan(n.Store())
+		}
+	}
+	if wantValues {
+		if len(values) == 0 {
+			return 0, false
+		}
+		sort.Ints(values)
+		idx := int(q.Quantile * float64(len(values)))
+		if idx >= len(values) {
+			idx = len(values) - 1
+		}
+		return float64(values[idx]), true
+	}
+	return part.Answer(q.Op)
 }
 
 // windowInterval resolves the effective transition-metrics sampling
@@ -477,4 +695,16 @@ func addStats(dst, src *core.RunStats) {
 	dst.IndexesBuilt += src.IndexesBuilt
 	dst.IndexesSuppressed += src.IndexesSuppressed
 	dst.SummaryAnswered += src.SummaryAnswered
+	dst.AggQueriesIssued += src.AggQueriesIssued
+	dst.AggQueriesHeard += src.AggQueriesHeard
+	dst.AggRepliesSent += src.AggRepliesSent
+	dst.AggPartialsReceived += src.AggPartialsReceived
+	dst.AggCombined += src.AggCombined
+	dst.AggContributors += src.AggContributors
+	dst.AggAnswered += src.AggAnswered
+	dst.AggFirstAnswerMS += src.AggFirstAnswerMS
+	dst.PlanSummaryChosen += src.PlanSummaryChosen
+	dst.PlanAggChosen += src.PlanAggChosen
+	dst.PlanTupleChosen += src.PlanTupleChosen
+	dst.PlanFloodChosen += src.PlanFloodChosen
 }

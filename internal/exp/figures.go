@@ -7,6 +7,7 @@ import (
 	"scoop/internal/dynamics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
+	"scoop/internal/query"
 )
 
 // Table is one reproduced figure/table: a title, column header and
@@ -362,6 +363,62 @@ func FigureChurn(scale Scale, seed int64) (Table, map[string][]Result) {
 		t.Rows = append(t.Rows, append(row, deliv...))
 	}
 	return t, byScenario
+}
+
+// FigureAgg is an extension figure (not in the paper): bytes per
+// answered aggregate for the three physical plans — tuple return,
+// in-network partial-aggregate combining, and summary-only answering
+// — across network size and link loss, over an all-aggregate workload
+// (the §5.5 / TAG-lineage motivation for the query planner). The mean
+// absolute relative answer error is reported alongside, showing what
+// each plan trades for its bytes.
+func FigureAgg(scale Scale, seed int64) (Table, map[string][]Result) {
+	variants := []struct {
+		name   string
+		force  query.Plan
+		budget float64
+	}{
+		{"tuple", query.PlanTuple, 0},
+		{"agg", query.PlanAgg, 0},
+		{"summary", query.PlanSummary, 1e9},
+	}
+	sizes := []int{16, 32}
+	losses := []float64{0, 0.2}
+	t := Table{
+		Title: "Aggregate engine: bytes per answer by physical plan (REAL, simulation)",
+		Header: []string{"nodes", "loss", "tuple B/ans", "agg B/ans", "summary B/ans",
+			"tuple err", "agg err", "summary err"},
+	}
+	byVariant := make(map[string][]Result)
+	for _, n := range sizes {
+		for _, loss := range losses {
+			row := []string{fmt.Sprintf("%d", n), fmt.Sprintf("%g", loss)}
+			var errs []string
+			for _, v := range variants {
+				cfg := Default()
+				cfg.N = n
+				cfg.LinkLoss = loss
+				cfg.AggRatio = 1
+				// Half-domain aggregates: the large-result regime the
+				// planner routes to in-network combining. Exact
+				// operators only, so every variant can execute its
+				// forced plan (quantiles are summary-only).
+				cfg.QueryWidth = 0.5
+				cfg.AggOps = []query.Op{query.OpCount, query.OpSum,
+					query.OpAvg, query.OpMin, query.OpMax}
+				cfg.AggErrBudget = v.budget
+				cfg.AggForce = v.force
+				cfg.Seed = seed
+				scale.apply(&cfg)
+				r := MustRun(cfg)
+				byVariant[v.name] = append(byVariant[v.name], r)
+				row = append(row, fmt.Sprintf("%.0f", r.BytesPerAnswer()))
+				errs = append(errs, fmt.Sprintf("%.3f", r.Agg.MeanErr()))
+			}
+			t.Rows = append(t.Rows, append(row, errs...))
+		}
+	}
+	return t, byVariant
 }
 
 // EnergyTable reproduces the paper's energy comparison (§6): "if a

@@ -28,6 +28,7 @@ const (
 	Mapping
 	Query
 	Reply
+	AggReply // combined partial-aggregate replies (in-network aggregation)
 	Beacon
 	numClasses
 )
@@ -45,6 +46,8 @@ func (c Class) String() string {
 		return "query"
 	case Reply:
 		return "reply"
+	case AggReply:
+		return "aggreply"
 	case Beacon:
 		return "beacon"
 	}
@@ -53,7 +56,7 @@ func (c Class) String() string {
 
 // Classes lists all message classes in display order.
 func Classes() []Class {
-	return []Class{Data, Summary, Mapping, Query, Reply, Beacon}
+	return []Class{Data, Summary, Mapping, Query, Reply, AggReply, Beacon}
 }
 
 // Counters accumulates per-class and per-node message counts for one
@@ -67,7 +70,10 @@ type Counters struct {
 	// Byte tallies feed the energy model (radio cost is per bit).
 	// Snooped bytes are frames overheard by non-addressees — they cost
 	// the same reception energy, and in dense networks dominate it.
+	// Per-class sent bytes feed the query engine's bytes-per-answer
+	// accounting (tuple return vs in-network aggregation).
 	sentBytes    int64
+	sentBytesC   [numClasses]int64
 	recvBytes    int64
 	snoopBytes   int64
 	sentBytesBy  map[uint16]int64
@@ -101,6 +107,7 @@ func (m *Counters) CountSend(id uint16, c Class, bytes int) {
 	}
 	row[c]++
 	m.sentBytes += int64(bytes)
+	m.sentBytesC[c] += int64(bytes)
 	m.sentBytesBy[id] += int64(bytes)
 }
 
@@ -132,6 +139,9 @@ func (m *Counters) SnoopedBytesBy(id uint16) int64 { return m.snoopBytesBy[id] }
 
 // SentBytes returns the total bytes transmitted (all nodes).
 func (m *Counters) SentBytes() int64 { return m.sentBytes }
+
+// SentBytesClass returns the bytes transmitted carrying class c.
+func (m *Counters) SentBytesClass(c Class) int64 { return m.sentBytesC[c] }
 
 // ReceivedBytes returns the total bytes delivered to addressees.
 func (m *Counters) ReceivedBytes() int64 { return m.recvBytes }
@@ -242,6 +252,9 @@ func (m *Counters) Merge(other *Counters) {
 		}
 	}
 	m.sentBytes += other.sentBytes
+	for c := Class(0); c < numClasses; c++ {
+		m.sentBytesC[c] += other.sentBytesC[c]
+	}
 	m.recvBytes += other.recvBytes
 	m.snoopBytes += other.snoopBytes
 	for id, v := range other.sentBytesBy {
@@ -261,59 +274,63 @@ func (m *Counters) Merge(other *Counters) {
 // Breakdown is a fixed snapshot of per-class transmission counts, the
 // unit the figures in the paper plot.
 type Breakdown struct {
-	Data    float64
-	Summary float64
-	Mapping float64
-	Query   float64
-	Reply   float64
-	Beacon  float64
+	Data     float64
+	Summary  float64
+	Mapping  float64
+	Query    float64
+	Reply    float64
+	AggReply float64
+	Beacon   float64
 }
 
 // Snapshot extracts a Breakdown from the counters.
 func (m *Counters) Snapshot() Breakdown {
 	return Breakdown{
-		Data:    float64(m.sent[Data]),
-		Summary: float64(m.sent[Summary]),
-		Mapping: float64(m.sent[Mapping]),
-		Query:   float64(m.sent[Query]),
-		Reply:   float64(m.sent[Reply]),
-		Beacon:  float64(m.sent[Beacon]),
+		Data:     float64(m.sent[Data]),
+		Summary:  float64(m.sent[Summary]),
+		Mapping:  float64(m.sent[Mapping]),
+		Query:    float64(m.sent[Query]),
+		Reply:    float64(m.sent[Reply]),
+		AggReply: float64(m.sent[AggReply]),
+		Beacon:   float64(m.sent[Beacon]),
 	}
 }
 
 // Total returns the comparison-metric total (beacons excluded).
 func (b Breakdown) Total() float64 {
-	return b.Data + b.Summary + b.Mapping + b.Query + b.Reply
+	return b.Data + b.Summary + b.Mapping + b.Query + b.Reply + b.AggReply
 }
 
 // Add returns the element-wise sum of two breakdowns.
 func (b Breakdown) Add(o Breakdown) Breakdown {
 	return Breakdown{
-		Data:    b.Data + o.Data,
-		Summary: b.Summary + o.Summary,
-		Mapping: b.Mapping + o.Mapping,
-		Query:   b.Query + o.Query,
-		Reply:   b.Reply + o.Reply,
-		Beacon:  b.Beacon + o.Beacon,
+		Data:     b.Data + o.Data,
+		Summary:  b.Summary + o.Summary,
+		Mapping:  b.Mapping + o.Mapping,
+		Query:    b.Query + o.Query,
+		Reply:    b.Reply + o.Reply,
+		AggReply: b.AggReply + o.AggReply,
+		Beacon:   b.Beacon + o.Beacon,
 	}
 }
 
 // Scale returns the breakdown multiplied by f (e.g. 1/trials).
 func (b Breakdown) Scale(f float64) Breakdown {
 	return Breakdown{
-		Data:    b.Data * f,
-		Summary: b.Summary * f,
-		Mapping: b.Mapping * f,
-		Query:   b.Query * f,
-		Reply:   b.Reply * f,
-		Beacon:  b.Beacon * f,
+		Data:     b.Data * f,
+		Summary:  b.Summary * f,
+		Mapping:  b.Mapping * f,
+		Query:    b.Query * f,
+		Reply:    b.Reply * f,
+		AggReply: b.AggReply * f,
+		Beacon:   b.Beacon * f,
 	}
 }
 
 // String renders the breakdown as a compact single-line report.
 func (b Breakdown) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "total=%.0f data=%.0f summary=%.0f mapping=%.0f query=%.0f reply=%.0f",
-		b.Total(), b.Data, b.Summary, b.Mapping, b.Query, b.Reply)
+	fmt.Fprintf(&sb, "total=%.0f data=%.0f summary=%.0f mapping=%.0f query=%.0f reply=%.0f aggreply=%.0f",
+		b.Total(), b.Data, b.Summary, b.Mapping, b.Query, b.Reply, b.AggReply)
 	return sb.String()
 }

@@ -105,7 +105,7 @@ func TestSnapshotAndBreakdown(t *testing.T) {
 func TestClassStrings(t *testing.T) {
 	names := map[Class]string{
 		Data: "data", Summary: "summary", Mapping: "mapping",
-		Query: "query", Reply: "reply", Beacon: "beacon",
+		Query: "query", Reply: "reply", AggReply: "aggreply", Beacon: "beacon",
 	}
 	for c, want := range names {
 		if c.String() != want {
@@ -115,7 +115,7 @@ func TestClassStrings(t *testing.T) {
 	if Class(99).String() == "" {
 		t.Fatal("unknown class has empty name")
 	}
-	if len(Classes()) != 6 {
+	if len(Classes()) != 7 {
 		t.Fatalf("classes = %v", Classes())
 	}
 }

@@ -1,0 +1,167 @@
+package query
+
+import "fmt"
+
+// Plan is a physical query plan.
+type Plan uint8
+
+// Physical plans, cheapest-possible first.
+const (
+	// PlanAuto lets the planner choose (the zero value, so a zero
+	// Config forces nothing).
+	PlanAuto Plan = iota
+	// PlanSummary answers at the basestation from retained summaries:
+	// zero radio cost, approximate, with an error bound.
+	PlanSummary
+	// PlanAgg routes the query to the value range's owner nodes and
+	// combines partial aggregates in-network up the routing tree.
+	PlanAgg
+	// PlanTuple is the classic owner scan with tuple return (the only
+	// plan for SELECT *).
+	PlanTuple
+	// PlanFlood asks every node, used when no index generation covers
+	// the query window.
+	PlanFlood
+)
+
+// String returns the lower-case plan name.
+func (p Plan) String() string {
+	switch p {
+	case PlanAuto:
+		return "auto"
+	case PlanSummary:
+		return "summary"
+	case PlanAgg:
+		return "agg"
+	case PlanTuple:
+		return "tuple"
+	case PlanFlood:
+		return "flood"
+	}
+	return fmt.Sprintf("plan(%d)", uint8(p))
+}
+
+// On-air cost constants, mirroring internal/core's message sizing: a
+// combined partial-aggregate reply, a tuple-reply header, one carried
+// tuple, and a query packet.
+const (
+	aggReplyCost    = 22
+	replyHeaderCost = 8
+	tupleCost       = 4
+	queryCost       = 30
+)
+
+// PlanInput is everything the planner needs to cost one query.
+type PlanInput struct {
+	Op Op
+	// N is the network size including the basestation.
+	N int
+	// Targets is how many owner nodes the index routes the query to
+	// (when no generation covers the window, pass N-1).
+	Targets int
+	// Covered reports whether index generations cover the whole query
+	// window with non-local mappings; false forces flooding for
+	// network plans.
+	Covered bool
+	// AvgDepth is the mean routing-tree depth of the targets in hops
+	// (>= 1); the tuple plan pays it per tuple, the agg plan amortises
+	// it through combining.
+	AvgDepth float64
+	// ExpTuples is the expected number of matching tuples across the
+	// network (from the same statistics the estimator uses).
+	ExpTuples float64
+	// MaxTuplesPerReply caps tuples one reply message carries.
+	MaxTuplesPerReply int
+	// Est is the summary-served estimate for this query, if any.
+	Est Estimate
+	// ErrBudget is the query's accuracy budget (relative).
+	ErrBudget float64
+	// Force pins the physical plan (tests, ablation figures); the
+	// planner still refuses a summary plan with no valid estimate and
+	// an aggregate plan for OpSelect, falling back to its own choice.
+	Force Plan
+}
+
+// Decision is the planner's verdict: the chosen plan, its predicted
+// on-air cost in bytes, and the error bound the answer will carry
+// (zero for exact plans).
+type Decision struct {
+	Plan     Plan
+	EstBytes float64
+	EstError float64
+}
+
+// Choose picks the cheapest eligible physical plan for the query. The
+// summary plan is eligible only when its error bound fits the budget;
+// in-network aggregation requires an exactly-mergeable operator and a
+// covering index; SELECT * always ships tuples, and quantiles outside
+// their summary budget ship tuples too (computed at the base from the
+// returned, possibly truncated, tuple set — partials cannot carry a
+// quantile).
+func Choose(in PlanInput) Decision {
+	if in.AvgDepth < 1 {
+		in.AvgDepth = 1
+	}
+	if in.Targets < 0 {
+		in.Targets = 0
+	}
+	nodes := in.N - 1
+	if nodes < 1 {
+		nodes = 1
+	}
+	disseminate := float64(in.N) * queryCost
+	flood := Decision{
+		Plan:     PlanFlood,
+		EstBytes: disseminate + (float64(nodes)+in.AvgDepth)*aggReplyCost,
+	}
+
+	candidates := make([]Decision, 0, 3)
+	if in.Op.Aggregate() && in.Est.Valid && in.Est.ErrBound <= in.ErrBudget {
+		candidates = append(candidates, Decision{Plan: PlanSummary, EstBytes: 0, EstError: in.Est.ErrBound})
+	}
+	if in.Op.Exact() {
+		if in.Covered {
+			candidates = append(candidates, Decision{
+				Plan:     PlanAgg,
+				EstBytes: disseminate + (float64(in.Targets)+in.AvgDepth)*aggReplyCost,
+			})
+		} else {
+			candidates = append(candidates, flood)
+		}
+	}
+	// Tuple return: every hop re-forwards the full payload, so the
+	// byte cost multiplies by depth; per-node truncation caps it.
+	tuples := in.ExpTuples
+	if in.MaxTuplesPerReply > 0 {
+		if lim := float64(in.Targets * in.MaxTuplesPerReply); tuples > lim {
+			tuples = lim
+		}
+	}
+	candidates = append(candidates, Decision{
+		Plan:     PlanTuple,
+		EstBytes: disseminate + in.AvgDepth*(float64(in.Targets)*replyHeaderCost+tuples*tupleCost),
+	})
+
+	if in.Force != PlanAuto {
+		for _, c := range candidates {
+			if c.Plan == in.Force {
+				return c
+			}
+		}
+		// The two in-network plans are each other's fallback: forcing
+		// the indexed plan over an uncovered window floods (still
+		// combining partials), and forcing flood over a covered window
+		// asks everyone.
+		if in.Op.Exact() && (in.Force == PlanAgg || in.Force == PlanFlood) {
+			return flood
+		}
+	}
+
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.EstBytes < best.EstBytes {
+			best = c
+		}
+	}
+	return best
+}

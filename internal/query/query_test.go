@@ -1,0 +1,194 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"scoop/internal/histogram"
+	"scoop/internal/netsim"
+)
+
+func TestPartialMergeOrderIndependent(t *testing.T) {
+	vals := []int{5, 9, 2, 14, 7, 7, 3}
+	var all Partial
+	for _, v := range vals {
+		all.Add(v)
+	}
+	var left, right Partial
+	for i, v := range vals {
+		if i%2 == 0 {
+			left.Add(v)
+		} else {
+			right.Add(v)
+		}
+	}
+	merged := left
+	merged.Merge(right)
+	if merged != all {
+		t.Fatalf("merged %+v != direct %+v", merged, all)
+	}
+	// Merging an empty partial is a no-op in both directions.
+	var empty Partial
+	merged.Merge(empty)
+	if merged != all {
+		t.Fatalf("merging empty changed state: %+v", merged)
+	}
+	empty.Merge(all)
+	if empty != all {
+		t.Fatalf("empty.Merge(all) = %+v", empty)
+	}
+}
+
+func TestPartialAnswers(t *testing.T) {
+	var p Partial
+	if v, ok := p.Answer(OpCount); !ok || v != 0 {
+		t.Fatalf("empty COUNT = %v,%v", v, ok)
+	}
+	if _, ok := p.Answer(OpAvg); ok {
+		t.Fatal("empty AVG answered")
+	}
+	for _, v := range []int{10, 20, 30} {
+		p.Add(v)
+	}
+	cases := []struct {
+		op   Op
+		want float64
+	}{
+		{OpCount, 3}, {OpSum, 60}, {OpMin, 10}, {OpMax, 30}, {OpAvg, 20},
+	}
+	for _, c := range cases {
+		got, ok := p.Answer(c.op)
+		if !ok || got != c.want {
+			t.Fatalf("%v = %v,%v want %v", c.op, got, ok, c.want)
+		}
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	if OpSelect.Aggregate() {
+		t.Fatal("SELECT is not an aggregate")
+	}
+	if !OpQuantile.Aggregate() || OpQuantile.Exact() {
+		t.Fatal("quantile must be aggregate but inexact")
+	}
+	for _, op := range []Op{OpCount, OpSum, OpMin, OpMax, OpAvg} {
+		if !op.Exact() {
+			t.Fatalf("%v not exact", op)
+		}
+	}
+}
+
+// snap builds a snapshot whose histogram summarises the given values.
+func snap(node uint16, at netsim.Time, rate float64, values []int) SummarySnapshot {
+	h := histogram.Build(values, 10)
+	min, max, sum := values[0], values[0], 0
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return SummarySnapshot{Node: node, SentAt: at, Min: min, Max: max, Sum: sum,
+		Rate: rate, Hist: h}
+}
+
+func TestEstimateCountScalesWithRate(t *testing.T) {
+	// One node producing uniformly over [0,99] at 1 reading/s; a query
+	// over the full domain and a 100 s window expects ~100 readings.
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+	}
+	q := AggQuery{Op: OpCount, ValueLo: 0, ValueHi: 99,
+		TimeLo: 0, TimeHi: 100 * netsim.Second}
+	est := EstimateFromSummaries(q, []SummarySnapshot{snap(1, 50*netsim.Second, 1, vals)})
+	if !est.Valid {
+		t.Fatal("estimate invalid")
+	}
+	if math.Abs(est.Value-100) > 1 {
+		t.Fatalf("count estimate %v, want ~100", est.Value)
+	}
+	if est.ErrBound > extrapolationFloor {
+		t.Fatalf("full-range count bound %v above the extrapolation floor", est.ErrBound)
+	}
+}
+
+func TestEstimatePartialBinWidensBound(t *testing.T) {
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+	}
+	full := AggQuery{Op: OpCount, ValueLo: 0, ValueHi: 99,
+		TimeLo: 0, TimeHi: 100 * netsim.Second}
+	// [0,4] covers half of the first 10-wide bin: the mass of that bin
+	// is entirely uncertain, so the bound must be substantial.
+	narrow := full
+	narrow.ValueLo, narrow.ValueHi = 0, 4
+	snaps := []SummarySnapshot{snap(1, 50*netsim.Second, 1, vals)}
+	ef := EstimateFromSummaries(full, snaps)
+	en := EstimateFromSummaries(narrow, snaps)
+	if !ef.Valid || !en.Valid {
+		t.Fatal("estimates invalid")
+	}
+	if en.ErrBound <= ef.ErrBound {
+		t.Fatalf("partial-bin bound %v not wider than full-range %v", en.ErrBound, ef.ErrBound)
+	}
+	if math.Abs(en.Value-5) > 1.5 {
+		t.Fatalf("narrow count %v, want ~5", en.Value)
+	}
+}
+
+func TestEstimateAvgAndExtremes(t *testing.T) {
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+	}
+	snaps := []SummarySnapshot{snap(1, 50*netsim.Second, 1, vals)}
+	q := AggQuery{ValueLo: 0, ValueHi: 99, TimeLo: 0, TimeHi: 100 * netsim.Second}
+
+	q.Op = OpAvg
+	if est := EstimateFromSummaries(q, snaps); !est.Valid || math.Abs(est.Value-49.5) > 5 {
+		t.Fatalf("avg estimate %+v, want ~49.5", est)
+	}
+	q.Op = OpMax
+	if est := EstimateFromSummaries(q, snaps); !est.Valid || est.Value < 90 || est.Value > 99 {
+		t.Fatalf("max estimate %+v, want in [90,99]", est)
+	}
+	q.Op = OpMin
+	if est := EstimateFromSummaries(q, snaps); !est.Valid || est.Value > 9 {
+		t.Fatalf("min estimate %+v, want <= 9", est)
+	}
+	q.Op = OpQuantile
+	q.Quantile = 0.5
+	if est := EstimateFromSummaries(q, snaps); !est.Valid || math.Abs(est.Value-50) > 10 {
+		t.Fatalf("median estimate %+v, want ~50", est)
+	}
+}
+
+func TestEstimateInvalidOutsideWindow(t *testing.T) {
+	vals := []int{1, 2, 3}
+	snaps := []SummarySnapshot{snap(1, 500*netsim.Second, 1, vals)}
+	q := AggQuery{Op: OpCount, ValueLo: 0, ValueHi: 10,
+		TimeLo: 0, TimeHi: 100 * netsim.Second}
+	if est := EstimateFromSummaries(q, snaps); est.Valid {
+		t.Fatalf("estimate from out-of-window summary: %+v", est)
+	}
+	if est := EstimateFromSummaries(AggQuery{Op: OpSelect}, snaps); est.Valid {
+		t.Fatal("SELECT served from summaries")
+	}
+}
+
+func TestEstimateEmptyRangeIsExactZero(t *testing.T) {
+	// All mass in [0,9]; querying [500,600] must answer 0 exactly.
+	vals := []int{1, 3, 5, 7, 9}
+	snaps := []SummarySnapshot{snap(1, 50*netsim.Second, 1, vals)}
+	q := AggQuery{Op: OpCount, ValueLo: 500, ValueHi: 600,
+		TimeLo: 0, TimeHi: 100 * netsim.Second}
+	est := EstimateFromSummaries(q, snaps)
+	if !est.Valid || est.Value != 0 || est.ErrBound != 0 {
+		t.Fatalf("empty-range count %+v, want exact 0", est)
+	}
+}

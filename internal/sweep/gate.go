@@ -41,7 +41,7 @@ func ReadFile(path string) (Report, error) {
 // tolerance, or a baseline cell the current sweep no longer covers.
 type Violation struct {
 	Cell     string // cell key
-	Metric   string // "msgs", "dataSuccess", or "missing"
+	Metric   string // "msgs", "dataSuccess", "aggAnswered", or "missing"
 	Baseline float64
 	Current  float64
 	Delta    float64 // relative change, signed (+ = worse for msgs)
@@ -90,6 +90,13 @@ func Gate(current, baseline Report, tol float64) []Violation {
 				Cell: key, Metric: "dataSuccess",
 				Baseline: base.DataSuccess, Current: cur.DataSuccess,
 				Delta: cur.DataSuccess/base.DataSuccess - 1,
+			})
+		}
+		if base.AggAnswered > 0 && cur.AggAnswered < base.AggAnswered*(1-tol) {
+			out = append(out, Violation{
+				Cell: key, Metric: "aggAnswered",
+				Baseline: base.AggAnswered, Current: cur.AggAnswered,
+				Delta: cur.AggAnswered/base.AggAnswered - 1,
 			})
 		}
 	}

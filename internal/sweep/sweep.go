@@ -1,9 +1,10 @@
 // Package sweep turns the one-figure-at-a-time experiment harness into
 // a grid engine: it expands the full cross-product of storage policy ×
 // topology × network size × link-loss rate × churn rate × drift ×
-// reindexing × workload source into independent cells, runs them on a
-// bounded worker pool, and captures per-cell message counts, delivery
-// rates, transition metrics and wall-clock timing.
+// reindexing × query mix × workload source into independent cells,
+// runs them on a bounded worker pool, and captures per-cell message
+// counts, delivery rates, aggregate answer quality, transition metrics
+// and wall-clock timing.
 //
 // Every cell derives its own seed from (base seed, cell index), so a
 // sweep is reproducible regardless of how many workers run it or in
@@ -44,7 +45,13 @@ type Grid struct {
 	// value applies to the Scoop policy only — comparators have no
 	// adaptive loop to freeze, so those cells are omitted.
 	Reindex []bool
-	Sources []string // workload skews ("unique", "real", "random", ...)
+	// QueryMixes is the aggregate-query fraction axis (0: pure tuple
+	// workload, the pre-agg default). Non-zero mixes apply to the
+	// Scoop policy only — BASE answers at the basestation for free and
+	// the analytical HASH has no simulation — so other cells are
+	// omitted.
+	QueryMixes []float64
+	Sources    []string // workload skews ("unique", "real", "random", ...)
 
 	// Shared per-cell run parameters (see exp.Config).
 	Duration       netsim.Time
@@ -94,7 +101,10 @@ type Cell struct {
 	// zero value — and every pre-dynamics baseline artifact — means
 	// "reindexing on", the protocol default).
 	NoReindex bool
-	Source    string
+	// AggMix is the aggregate fraction of the query stream (0: pure
+	// tuple workload, the pre-agg default).
+	AggMix float64
+	Source string
 }
 
 // Key returns the cell's stable identity, independent of its index —
@@ -111,6 +121,9 @@ func (c Cell) Key() string {
 	}
 	if c.NoReindex {
 		k += "/noreindex"
+	}
+	if c.AggMix > 0 {
+		k += fmt.Sprintf("/agg%g", c.AggMix)
 	}
 	return k
 }
@@ -133,9 +146,10 @@ func (g Grid) Cells() []Cell {
 	churns := orDefault(g.ChurnRates, 0)
 	drifts := orDefault(g.DriftRates, 0)
 	reindex := orDefault(g.Reindex, true)
+	mixes := orDefault(g.QueryMixes, 0)
 	sources := orDefault(g.Sources, "real")
 	total := len(policies) * len(topos) * len(sizes) * len(losses) *
-		len(churns) * len(drifts) * len(reindex) * len(sources)
+		len(churns) * len(drifts) * len(reindex) * len(mixes) * len(sources)
 	cells := make([]Cell, 0, total)
 	for _, p := range policies {
 		for _, topo := range topos {
@@ -157,12 +171,22 @@ func (g Grid) Cells() []Cell {
 									// a misleading key.
 									continue
 								}
-								for _, src := range sources {
-									cells = append(cells, Cell{
-										Index: len(cells), Policy: p, Topology: topo,
-										N: n, Loss: loss, Churn: churn, Drift: drift,
-										NoReindex: !ri, Source: src,
-									})
+								for _, mix := range mixes {
+									if mix > 0 && p != policy.Scoop {
+										// Aggregate mixes exercise the query
+										// planner, which only Scoop runs:
+										// BASE answers for free at the
+										// basestation and analytical HASH has
+										// no simulation.
+										continue
+									}
+									for _, src := range sources {
+										cells = append(cells, Cell{
+											Index: len(cells), Policy: p, Topology: topo,
+											N: n, Loss: loss, Churn: churn, Drift: drift,
+											NoReindex: !ri, AggMix: mix, Source: src,
+										})
+									}
 								}
 							}
 						}
@@ -213,6 +237,12 @@ func (g Grid) config(c Cell) exp.Config {
 	cfg.Seed = CellSeed(g.Seed, c.Index)
 	cfg.ReindexInterval = g.ReindexInterval
 	cfg.DisableReindex = c.NoReindex
+	cfg.AggRatio = c.AggMix
+	if c.AggMix > 0 {
+		// A moderate budget lets the planner exercise summary answers
+		// alongside the network plans.
+		cfg.AggErrBudget = 0.25
+	}
 	if c.Churn > 0 || c.Drift != 0 {
 		script := dynamics.Standard(c.N, cfg.Warmup, cfg.Duration,
 			c.Churn, c.Drift, cfg.Seed+101)
@@ -234,23 +264,35 @@ type CellResult struct {
 	Churn     float64 `json:"churn,omitempty"`
 	Drift     float64 `json:"drift,omitempty"`
 	NoReindex bool    `json:"noReindex,omitempty"`
+	AggMix    float64 `json:"aggMix,omitempty"`
 	Source    string  `json:"source"`
 	Seed      int64   `json:"seed"`
 
 	// Message counts (mean per trial, beacons excluded from Msgs), the
 	// paper's cost metric and the gate's headline number.
-	Msgs    float64 `json:"msgs"`
-	Data    float64 `json:"data"`
-	Summary float64 `json:"summary"`
-	Mapping float64 `json:"mapping"`
-	Query   float64 `json:"query"`
-	Reply   float64 `json:"reply"`
-	Beacon  float64 `json:"beacon"`
+	Msgs     float64 `json:"msgs"`
+	Data     float64 `json:"data"`
+	Summary  float64 `json:"summary"`
+	Mapping  float64 `json:"mapping"`
+	Query    float64 `json:"query"`
+	Reply    float64 `json:"reply"`
+	AggReply float64 `json:"aggReply,omitempty"`
+	Beacon   float64 `json:"beacon"`
 
 	// Delivery quality.
 	DataSuccess  float64 `json:"dataSuccess"`
 	QuerySuccess float64 `json:"querySuccess"`
 	OwnerHit     float64 `json:"ownerHit"`
+
+	// Aggregate-engine quality (aggMix > 0 cells only): answered
+	// fraction, mean absolute relative answer error, and the planner's
+	// decision mix.
+	AggAnswered float64 `json:"aggAnswered,omitempty"`
+	AggErr      float64 `json:"aggErr,omitempty"`
+	PlanSummary float64 `json:"planSummary,omitempty"`
+	PlanAgg     float64 `json:"planAgg,omitempty"`
+	PlanTuple   float64 `json:"planTuple,omitempty"`
+	PlanFlood   float64 `json:"planFlood,omitempty"`
 
 	// Transition metrics (perturbed cells only; means across trials).
 	// Perturbed marks cells whose trials recorded a transition
@@ -274,7 +316,7 @@ type CellResult struct {
 func (r CellResult) Key() string {
 	return Cell{Policy: policy.Name(r.Policy), Topology: r.Topology,
 		N: r.N, Loss: r.Loss, Churn: r.Churn, Drift: r.Drift,
-		NoReindex: r.NoReindex, Source: r.Source}.Key()
+		NoReindex: r.NoReindex, AggMix: r.AggMix, Source: r.Source}.Key()
 }
 
 // Report is a finished sweep: the artifact WriteFile persists and Gate
@@ -359,22 +401,32 @@ func runCell(g Grid, c Cell) (CellResult, error) {
 		Churn:     c.Churn,
 		Drift:     c.Drift,
 		NoReindex: c.NoReindex,
+		AggMix:    c.AggMix,
 		Source:    c.Source,
 		Seed:      cfg.Seed,
 
-		Msgs:    b.Total(),
-		Data:    b.Data,
-		Summary: b.Summary,
-		Mapping: b.Mapping,
-		Query:   b.Query,
-		Reply:   b.Reply,
-		Beacon:  b.Beacon,
+		Msgs:     b.Total(),
+		Data:     b.Data,
+		Summary:  b.Summary,
+		Mapping:  b.Mapping,
+		Query:    b.Query,
+		Reply:    b.Reply,
+		AggReply: b.AggReply,
+		Beacon:   b.Beacon,
 
 		DataSuccess:  res.Stats.DataSuccessRate(),
 		QuerySuccess: res.Stats.QuerySuccessRate(),
 		OwnerHit:     res.Stats.OwnerHitRate(),
 
 		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if res.Agg.Issued > 0 {
+		out.AggAnswered = float64(res.Agg.Answered) / float64(res.Agg.Issued)
+		out.AggErr = res.Agg.MeanErr()
+		out.PlanSummary = float64(res.Agg.PlanSummary)
+		out.PlanAgg = float64(res.Agg.PlanAgg)
+		out.PlanTuple = float64(res.Agg.PlanTuple)
+		out.PlanFlood = float64(res.Agg.PlanFlood)
 	}
 
 	// Transition metrics: mean across trials that recorded a

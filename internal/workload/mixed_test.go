@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"scoop/internal/netsim"
+	"scoop/internal/query"
+)
+
+func TestMixedGenRatioAndRotation(t *testing.T) {
+	g := NewMixedGen(NewRangeGen(0, 100, 3), 0.5, 0.2, 9)
+	aggs, tuples := 0, 0
+	var ops []query.Op
+	for i := 0; i < 400; i++ {
+		r := g.NextRequest(netsim.Time(i) * netsim.Minute)
+		if r.Agg != nil {
+			aggs++
+			ops = append(ops, r.Agg.Op)
+			if r.Agg.ErrBudget != 0.2 {
+				t.Fatalf("budget = %v", r.Agg.ErrBudget)
+			}
+			if r.Agg.ValueLo != r.Query.ValueLo || r.Agg.TimeHi != r.Query.TimeHi {
+				t.Fatal("aggregate ranges diverge from the underlying query")
+			}
+			if r.Agg.Op == query.OpQuantile && r.Agg.Quantile != 0.5 {
+				t.Fatalf("quantile = %v", r.Agg.Quantile)
+			}
+		} else {
+			tuples++
+		}
+	}
+	if aggs < 140 || aggs > 260 {
+		t.Fatalf("agg ratio off: %d aggregates of 400", aggs)
+	}
+	if tuples == 0 {
+		t.Fatal("no tuple requests in a 0.5 mix")
+	}
+	// The rotation must walk DefaultAggOps in order.
+	for i, op := range ops {
+		if op != DefaultAggOps[i%len(DefaultAggOps)] {
+			t.Fatalf("op %d = %v, want %v", i, op, DefaultAggOps[i%len(DefaultAggOps)])
+		}
+	}
+}
+
+func TestMixedGenExtremes(t *testing.T) {
+	all := NewMixedGen(NewRangeGen(0, 100, 3), 1.0, 0, 9)
+	for i := 0; i < 20; i++ {
+		if r := all.NextRequest(netsim.Minute); r.Agg == nil {
+			t.Fatal("ratio 1.0 produced a tuple request")
+		}
+	}
+	none := NewMixedGen(NewRangeGen(0, 100, 3), 0, 0, 9)
+	for i := 0; i < 20; i++ {
+		if r := none.NextRequest(netsim.Minute); r.Agg != nil {
+			t.Fatal("ratio 0 produced an aggregate")
+		}
+	}
+}
+
+func TestMixedGenDeterministic(t *testing.T) {
+	a := NewMixedGen(NewRangeGen(0, 100, 3), 0.4, 0.1, 77)
+	b := NewMixedGen(NewRangeGen(0, 100, 3), 0.4, 0.1, 77)
+	for i := 0; i < 100; i++ {
+		ra := a.NextRequest(netsim.Time(i) * netsim.Second)
+		rb := b.NextRequest(netsim.Time(i) * netsim.Second)
+		if (ra.Agg == nil) != (rb.Agg == nil) ||
+			ra.Query.ValueLo != rb.Query.ValueLo || ra.Query.ValueHi != rb.Query.ValueHi ||
+			ra.Query.TimeLo != rb.Query.TimeLo || ra.Query.TimeHi != rb.Query.TimeHi {
+			t.Fatalf("request %d diverged", i)
+		}
+		if ra.Agg != nil && *ra.Agg != *rb.Agg {
+			t.Fatalf("aggregate %d diverged", i)
+		}
+	}
+}

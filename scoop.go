@@ -88,6 +88,17 @@ type ExperimentConfig struct {
 	// value-range queries over 1–5% of the attribute domain.
 	NodePercent float64
 
+	// AggregateRatio, in [0,1], lifts this fraction of value-range
+	// queries into aggregate queries (COUNT/SUM/AVG/MIN/MAX/quantile)
+	// answered by the cost-based query planner: from retained
+	// summaries when the error budget permits, by in-network
+	// partial-aggregate combining, by tuple return, or by flooding.
+	AggregateRatio float64
+	// AggregateErrBudget is the relative accuracy each aggregate
+	// tolerates from an approximate summary-served answer; 0 demands
+	// exact plans.
+	AggregateErrBudget float64
+
 	Trials int
 	Seed   int64
 }
@@ -115,18 +126,19 @@ func DefaultExperiment() ExperimentConfig {
 // metric (routing-tree beacons are accounted separately since every
 // policy pays them equally).
 type Breakdown struct {
-	Data    float64
-	Summary float64
-	Mapping float64
-	Query   float64
-	Reply   float64
-	Beacon  float64
+	Data     float64
+	Summary  float64
+	Mapping  float64
+	Query    float64
+	Reply    float64
+	AggReply float64 // combined partial-aggregate replies
+	Beacon   float64
 }
 
 // Total returns the comparison-metric total (beacons excluded), as in
 // the paper's figures.
 func (b Breakdown) Total() float64 {
-	return b.Data + b.Summary + b.Mapping + b.Query + b.Reply
+	return b.Data + b.Summary + b.Mapping + b.Query + b.Reply + b.AggReply
 }
 
 // ExperimentResult aggregates an experiment's outcome across trials.
@@ -143,6 +155,11 @@ type ExperimentResult struct {
 	TuplesReturned  int64
 	IndexesBuilt    int64
 	IndexSuppressed int64
+
+	// Aggregate query engine outcomes (AggregateRatio > 0 runs).
+	AggIssued   int64
+	AggAnswered int64
+	AggMeanErr  float64 // mean absolute relative answer error
 
 	// Root-node load (mean per trial), for skew comparisons.
 	RootSent, RootReceived float64
@@ -179,6 +196,8 @@ func toExpConfig(cfg ExperimentConfig) (exp.Config, error) {
 		SampleInterval: vt(cfg.SampleInterval),
 		QueryInterval:  vt(cfg.QueryInterval),
 		NodePct:        cfg.NodePercent,
+		AggRatio:       cfg.AggregateRatio,
+		AggErrBudget:   cfg.AggregateErrBudget,
 		Trials:         cfg.Trials,
 		Seed:           cfg.Seed,
 	}, nil
@@ -188,12 +207,13 @@ func fromExpResult(res exp.Result) ExperimentResult {
 	s := res.Stats
 	return ExperimentResult{
 		Breakdown: Breakdown{
-			Data:    res.Breakdown.Data,
-			Summary: res.Breakdown.Summary,
-			Mapping: res.Breakdown.Mapping,
-			Query:   res.Breakdown.Query,
-			Reply:   res.Breakdown.Reply,
-			Beacon:  res.Breakdown.Beacon,
+			Data:     res.Breakdown.Data,
+			Summary:  res.Breakdown.Summary,
+			Mapping:  res.Breakdown.Mapping,
+			Query:    res.Breakdown.Query,
+			Reply:    res.Breakdown.Reply,
+			AggReply: res.Breakdown.AggReply,
+			Beacon:   res.Breakdown.Beacon,
 		},
 		Produced:        s.Produced,
 		StoredUnique:    s.StoredUnique,
@@ -204,6 +224,9 @@ func fromExpResult(res exp.Result) ExperimentResult {
 		TuplesReturned:  s.TuplesReturned,
 		IndexesBuilt:    s.IndexesBuilt,
 		IndexSuppressed: s.IndexesSuppressed,
+		AggIssued:       int64(res.Agg.Issued),
+		AggAnswered:     int64(res.Agg.Answered),
+		AggMeanErr:      res.Agg.MeanErr(),
 		RootSent:        res.RootSent,
 		RootReceived:    res.RootRecv,
 	}

@@ -201,8 +201,28 @@ func TestSimulationKillRevive(t *testing.T) {
 }
 
 func TestBreakdownTotalExcludesBeacons(t *testing.T) {
-	b := Breakdown{Data: 1, Summary: 2, Mapping: 3, Query: 4, Reply: 5, Beacon: 100}
-	if b.Total() != 15 {
+	b := Breakdown{Data: 1, Summary: 2, Mapping: 3, Query: 4, Reply: 5, AggReply: 6, Beacon: 100}
+	if b.Total() != 21 {
 		t.Fatalf("total = %f", b.Total())
+	}
+}
+
+func TestRunExperimentAggregates(t *testing.T) {
+	cfg := quickExperiment()
+	cfg.Nodes = 16
+	cfg.AggregateRatio = 1
+	cfg.AggregateErrBudget = 0.25
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggIssued == 0 {
+		t.Fatal("no aggregates issued")
+	}
+	if res.AggAnswered < res.AggIssued/2 {
+		t.Fatalf("only %d of %d aggregates answered", res.AggAnswered, res.AggIssued)
+	}
+	if res.AggMeanErr > 1 {
+		t.Fatalf("mean aggregate error %.2f implausible", res.AggMeanErr)
 	}
 }
