@@ -38,12 +38,13 @@ func figures() []figure {
 		{"energy", "Energy / lifetimes", func(s exp.Scale, sd int64) { t, _ := exp.EnergyTable(s, sd); fmt.Println(t) }},
 		{"churn", "Churn/drift (extension)", func(s exp.Scale, sd int64) { t, _ := exp.FigureChurn(s, sd); fmt.Println(t) }},
 		{"agg", "Aggregate engine (extension)", func(s exp.Scale, sd int64) { t, _ := exp.FigureAgg(s, sd); fmt.Println(t) }},
+		{"scale1k", "Scale tier ≤1000 nodes (extension)", func(s exp.Scale, sd int64) { t, _ := exp.FigureScale(s, sd); fmt.Println(t) }},
 	}
 }
 
 func main() {
 	var figs multiFlag
-	flag.Var(&figs, "fig", "figure to run: 3l, 3m, 3r, 4, 5, sample, loss, root, scale, energy, churn, agg (repeatable; default all)")
+	flag.Var(&figs, "fig", "figure to run: 3l, 3m, 3r, 4, 5, sample, loss, root, scale, energy, churn, agg, scale1k (repeatable; default all)")
 	scaleF := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()

@@ -6,7 +6,7 @@ import "testing"
 // in the flag description exists, and no registered figure is missing
 // from it.
 func TestFigureRegistryComplete(t *testing.T) {
-	wantIDs := []string{"3l", "3m", "3r", "4", "5", "sample", "loss", "root", "scale", "energy", "churn", "agg"}
+	wantIDs := []string{"3l", "3m", "3r", "4", "5", "sample", "loss", "root", "scale", "energy", "churn", "agg", "scale1k"}
 	figs := figures()
 	if len(figs) != len(wantIDs) {
 		t.Fatalf("registry has %d figures, help text names %d", len(figs), len(wantIDs))

@@ -1,0 +1,67 @@
+// Command scoopperf measures the simulator's hot-path performance —
+// the micro benches and end-to-end sim-rate probes defined in
+// internal/perfbench — and maintains the committed BENCH_scale.json
+// artifact, the perf trajectory the scale tier is gated on.
+//
+//	scoopperf -out BENCH_scale.json          # (re)baseline
+//	scoopperf -baseline BENCH_scale.json     # CI gate: allocs/op +15% fails
+//	scoopperf -baseline BENCH_scale.json -out BENCH_scale.new.json
+//	                                         # gate, and write the fresh
+//	                                         # numbers for re-baselining
+//
+// Only allocs/op is gated: it is a property of the code. ns/op and
+// sim-seconds-per-wall-second are recorded so the trajectory is
+// readable, but they depend on the machine and never fail the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scoop/internal/perfbench"
+)
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("scoopperf", flag.ContinueOnError)
+	out := fs.String("out", "", "write the fresh artifact to this path")
+	baseline := fs.String("baseline", "", "gate allocs/op against this committed artifact")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *out == "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "scoopperf: nothing to do; pass -out and/or -baseline")
+		return 2
+	}
+	a, err := perfbench.Collect(func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoopperf:", err)
+		return 1
+	}
+	if *out != "" {
+		if err := perfbench.WriteFile(*out, a); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopperf:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d benches, %d sim rates)\n", *out, len(a.Benches), len(a.SimRates))
+	}
+	if *baseline != "" {
+		base, err := perfbench.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoopperf:", err)
+			return 1
+		}
+		if err := perfbench.GateError(perfbench.Gate(a, base)); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopperf:", err)
+			return 1
+		}
+		fmt.Printf("perf gate passed against %s (allocs/op tolerance %.0f%%)\n",
+			*baseline, 100*perfbench.GateTolerance)
+	}
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:])) }

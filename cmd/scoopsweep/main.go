@@ -12,6 +12,7 @@
 //	scoopsweep -policies scoop -churn 0,0.15 -drift 0,0.4 \
 //	    -reindex on,off                       # adaptivity under dynamics
 //	scoopsweep -policies scoop -querymix 0,0.5,1   # aggregate query engine
+//	scoopsweep -scale 65,250,1000 -duration 10m    # scale tier (grid topology)
 //
 // The same -seed always produces byte-identical artifacts, whatever
 // -parallel is, so committed sweeps are diffable performance records.
@@ -58,6 +59,7 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 	reindex := fs.String("reindex", "on", "comma-separated reindexing modes: on, off (off freezes the first index)")
 	reindexEvery := fs.Duration("reindex-every", 0, "index-rebuild epoch length (0: protocol default, 240s)")
 	querymix := fs.String("querymix", "0", "comma-separated aggregate-query fractions in [0,1] (0: pure tuple workload)")
+	scaleSizes := fs.String("scale", "", "comma-separated scale-tier sizes (e.g. 65,250,1000): adds scoop/hash/local cells on the grid topology at each size")
 	sources := fs.String("sources", "real", "comma-separated workload sources")
 	duration := fs.Duration("duration", 22*time.Minute, "virtual run length per cell")
 	warmup := fs.Duration("warmup", 6*time.Minute, "virtual warm-up per cell")
@@ -92,6 +94,14 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 	var err error
 	if g.Sizes, err = parseInts(*sizes); err != nil {
 		return cli{}, fmt.Errorf("-sizes: %w", err)
+	}
+	if g.ScaleSizes, err = parseInts(*scaleSizes); err != nil {
+		return cli{}, fmt.Errorf("-scale: %w", err)
+	}
+	for _, n := range append(append([]int(nil), g.Sizes...), g.ScaleSizes...) {
+		if n < 2 || n > netsim.MaxNodes {
+			return cli{}, fmt.Errorf("network size %d outside [2,%d]", n, netsim.MaxNodes)
+		}
 	}
 	if g.LossRates, err = parseFloats(*loss); err != nil {
 		return cli{}, fmt.Errorf("-loss: %w", err)

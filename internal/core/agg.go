@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"scoop/internal/dense"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/query"
@@ -39,10 +40,10 @@ const (
 	aggSendRetries  = 1  // app-level resends of one launched partial
 )
 
-// aggPartKey builds the (sender, query, seq) dedup key for combined
-// partial-aggregate messages.
-func aggPartKey(node netsim.NodeID, qid uint16, seq uint8) uint64 {
-	return uint64(node)<<24 | uint64(qid)<<8 | uint64(seq)
+// aggPartKey builds the per-sender (query, seq) dedup key for combined
+// partial-aggregate messages (the sender is the seenTable row).
+func aggPartKey(qid uint16, seq uint8) uint64 {
+	return uint64(qid)<<8 | uint64(seq)
 }
 
 // scanPartial folds every stored reading matching the value and time
@@ -69,14 +70,16 @@ func scanPartial(store *storage.DataBuffer, vlo, vhi int, tlo, thi netsim.Time) 
 // scheduling, adapted to Scoop's jittered timers).
 func (n *Node) onAggQuery(q *AggQueryMsg) {
 	key := queryKey(q.ID)
-	if _, seen := n.aggQueries[q.ID]; seen {
+	if int(q.ID) < len(n.aggQueries) && n.aggQueries[q.ID] != nil {
 		n.qGos.Heard(key)
 		return
 	}
+	n.aggQueries = dense.Grow(n.aggQueries, int(q.ID))
 	n.aggQueries[q.ID] = q
 	if n.shouldRelay(&q.Bitmap) {
 		n.qGos.Add(key)
 	}
+	n.aggAnswered = dense.Grow(n.aggAnswered, int(q.ID))
 	if !q.Bitmap.Has(n.api.ID()) || n.aggAnswered[q.ID] {
 		return
 	}
@@ -105,11 +108,9 @@ func (n *Node) onAggPartial(m *AggReplyMsg) {
 	if int(m.Hops) > n.cfg.MaxHops {
 		return
 	}
-	key := aggPartKey(m.Node, m.QueryID, m.Seq)
-	if n.seenAggParts[key] {
+	if n.seenAggParts.Seen(m.Node, aggPartKey(m.QueryID, m.Seq)) {
 		return
 	}
-	n.seenAggParts[key] = true
 	e := n.aggEntry(m.QueryID)
 	e.part.Merge(m.Part)
 	e.contribs += int(m.Contribs)
@@ -122,12 +123,11 @@ func (n *Node) onAggPartial(m *AggReplyMsg) {
 
 // aggEntry returns (allocating if needed) the combine buffer for qid.
 func (n *Node) aggEntry(qid uint16) *aggCombine {
-	e, ok := n.aggPending[qid]
-	if !ok {
-		e = &aggCombine{}
-		n.aggPending[qid] = e
+	n.aggPending = dense.Grow(n.aggPending, int(qid))
+	if n.aggPending[qid] == nil {
+		n.aggPending[qid] = &aggCombine{}
 	}
-	return e
+	return n.aggPending[qid]
 }
 
 // armAggFlush arms (or pulls forward) the shared flush timer.
@@ -145,14 +145,15 @@ func (n *Node) armAggFlush(at netsim.Time) {
 func (n *Node) flushAgg() {
 	now := n.api.Now()
 	n.aggFlushAt = 0
-	qids := make([]uint16, 0, len(n.aggPending))
-	for qid := range n.aggPending {
-		qids = append(qids, qid)
-	}
-	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
 	var next netsim.Time
-	for _, qid := range qids {
-		e := n.aggPending[qid]
+	// The dense buffer is walked in ascending query-ID order — the
+	// same order the pre-scale-tier map-and-sort produced.
+	for id := range n.aggPending {
+		e := n.aggPending[id]
+		if e == nil {
+			continue
+		}
+		qid := uint16(id)
 		if e.wantOwn {
 			if now < e.dueOwn {
 				// Hold the whole buffer until the local scan folds in.
@@ -176,7 +177,7 @@ func (n *Node) flushAgg() {
 			}
 			continue
 		}
-		delete(n.aggPending, qid)
+		n.aggPending[qid] = nil
 		n.sendAggReply(qid, e)
 	}
 	if next != 0 {
@@ -194,6 +195,7 @@ func (n *Node) sendAggReply(qid uint16, e *aggCombine) {
 	if !n.tree.HasRoute() {
 		return // retries exhausted; the partial is lost
 	}
+	n.aggSeq = dense.Grow(n.aggSeq, int(qid))
 	seq := n.aggSeq[qid]
 	n.aggSeq[qid] = seq + 1
 	m := &AggReplyMsg{
@@ -290,6 +292,7 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 		b.stats.PlanSummaryChosen++
 		b.stats.SummaryAnswered++
 		b.qidNext++
+		b.pendingAgg = dense.Grow(b.pendingAgg, int(b.qidNext))
 		b.pendingAgg[b.qidNext] = &pendingAgg{
 			q: q, plan: dec.Plan, est: est,
 			issued: b.api.Now(), answered: true,
@@ -303,6 +306,7 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 			TimeLo: q.TimeLo, TimeHi: q.TimeHi,
 		}
 		b.issueTupleQuery(wq, targets)
+		b.pendingAgg = dense.Grow(b.pendingAgg, int(b.qidNext))
 		b.pendingAgg[b.qidNext] = &pendingAgg{
 			q: q, plan: dec.Plan, issued: b.api.Now(),
 		}
@@ -334,8 +338,10 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 		// The base folds in its own store (owned plus washed-up
 		// readings) at zero radio cost.
 		pa.part = scanPartial(b.store, q.ValueLo, q.ValueHi, q.TimeLo, q.TimeHi)
+		b.pendingAgg = dense.Grow(b.pendingAgg, int(msg.ID))
 		b.pendingAgg[msg.ID] = pa
 		if pa.expected > 0 {
+			b.aggOut = dense.Grow(b.aggOut, int(msg.ID))
 			b.aggOut[msg.ID] = msg
 			b.qGos.Add(queryKey(msg.ID))
 			b.sendAggQuery(queryKey(msg.ID))
@@ -351,15 +357,16 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 // onAggReply folds one partial-aggregate message into its pending
 // query at the basestation.
 func (b *Base) onAggReply(m *AggReplyMsg) {
-	pa, ok := b.pendingAgg[m.QueryID]
-	if !ok {
+	if int(m.QueryID) >= len(b.pendingAgg) {
 		return
 	}
-	key := aggPartKey(m.Node, m.QueryID, m.Seq)
-	if b.seenAggParts[key] {
+	pa := b.pendingAgg[m.QueryID]
+	if pa == nil {
 		return
 	}
-	b.seenAggParts[key] = true
+	if b.seenAggParts.Seen(m.Node, aggPartKey(m.QueryID, m.Seq)) {
+		return
+	}
 	pa.part.Merge(m.Part)
 	pa.contribs += int(m.Contribs)
 	b.stats.AggPartialsReceived++
@@ -375,18 +382,18 @@ func (b *Base) onAggReply(m *AggReplyMsg) {
 // query. ok is false while nothing has arrived (or the plan cannot
 // answer the operator yet).
 func (b *Base) AggAnswer(qid uint16) (float64, query.Plan, bool) {
-	pa, ok := b.pendingAgg[qid]
-	if !ok {
+	if int(qid) >= len(b.pendingAgg) || b.pendingAgg[qid] == nil {
 		return 0, query.PlanAuto, false
 	}
+	pa := b.pendingAgg[qid]
 	switch pa.plan {
 	case query.PlanSummary:
 		return pa.est.Value, pa.plan, true
 	case query.PlanTuple:
-		pq, ok := b.pending[qid]
-		if !ok {
+		if int(qid) >= len(b.pending) || b.pending[qid] == nil {
 			return 0, pa.plan, false
 		}
+		pq := b.pending[qid]
 		if pa.q.Op == query.OpCount {
 			return float64(pq.total), pa.plan, true
 		}
@@ -424,8 +431,8 @@ func (b *Base) AggAnswer(qid uint16) (float64, query.Plan, bool) {
 // counted) contributed to an aggregate answer, and how many were
 // expected. Diagnostics/tests.
 func (b *Base) AggContribs(qid uint16) (got, expected int) {
-	if pa, ok := b.pendingAgg[qid]; ok {
-		return pa.contribs, pa.expected
+	if int(qid) < len(b.pendingAgg) && b.pendingAgg[qid] != nil {
+		return b.pendingAgg[qid].contribs, b.pendingAgg[qid].expected
 	}
 	return 0, 0
 }
@@ -453,7 +460,7 @@ func (b *Base) avgDepth(targets []netsim.NodeID) float64 {
 	}
 	total := 0.0
 	for _, id := range targets {
-		if s, ok := b.latest[id]; ok {
+		if s := b.latest[id]; s != nil {
 			total += float64(s.Hops) + 1
 		} else {
 			total += 2
@@ -465,10 +472,10 @@ func (b *Base) avgDepth(targets []netsim.NodeID) float64 {
 // sendAggQuery is the aggregate branch of the base's query-Trickle
 // transmit callback.
 func (b *Base) sendAggQuery(key trickle.Key) {
-	q, ok := b.aggOut[uint16(key)]
-	if !ok {
+	if int(key) >= len(b.aggOut) || b.aggOut[key] == nil {
 		return
 	}
+	q := b.aggOut[key]
 	b.api.Broadcast(&netsim.Packet{
 		Class:        metrics.Query,
 		Origin:       b.api.ID(),

@@ -258,7 +258,7 @@ func TestAggPartialDedupAndTTL(t *testing.T) {
 	over := &AggReplyMsg{QueryID: 501, Node: 2, Seq: 0, Contribs: 1,
 		Part: query.Partial{Count: 1, Sum: 1}, Hops: uint8(cfg.MaxHops + 1)}
 	n1.onAggPartial(over)
-	if n1.aggPending[501] != nil {
+	if 501 < len(n1.aggPending) && n1.aggPending[501] != nil {
 		t.Fatal("over-TTL partial accepted")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"scoop/internal/dense"
 	"scoop/internal/index"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
@@ -27,10 +28,12 @@ type loggedQuery struct {
 	ranged bool
 }
 
-// pendingQuery tracks reply collection for one issued query.
+// pendingQuery tracks reply collection for one issued query. replied
+// is dense by node ID (sized to the network), part of the scale tier's
+// no-hot-path-maps convention.
 type pendingQuery struct {
 	expected int
-	replied  map[netsim.NodeID]bool
+	replied  []bool
 	readings []storage.Reading // tuples carried back (reply payloads are capped)
 	total    int               // total matches reported (uncapped node counts)
 }
@@ -46,8 +49,9 @@ type Base struct {
 	tree  *routing.Tree
 	store *storage.DataBuffer
 
-	latest  map[netsim.NodeID]*SummaryMsg // last summary per node
-	history []*SummaryMsg                 // never discarded (paper §5.5)
+	latest  []*SummaryMsg // last summary per node, dense by node ID
+	latestN int           // nodes with at least one summary
+	history []*SummaryMsg // never discarded (paper §5.5)
 
 	cur        *index.Index
 	records    []indexRecord
@@ -55,18 +59,18 @@ type Base struct {
 	chunks     map[trickle.Key]index.Chunk
 	mapGos     *trickle.Trickle
 	qGos       *trickle.Trickle
-	queriesOut map[uint16]*QueryMsg
+	queriesOut []*QueryMsg // dense by query ID
 
 	queryLog []loggedQuery
-	pending  map[uint16]*pendingQuery
+	pending  []*pendingQuery // dense by query ID
 	qidNext  uint16
 	remaps   int // scheduled remaps run so far (RemapLimit bookkeeping)
 
 	// Aggregate query engine: outstanding agg queries under gossip,
 	// per-query answer assembly, and partial-message dedup.
-	aggOut       map[uint16]*AggQueryMsg
-	pendingAgg   map[uint16]*pendingAgg
-	seenAggParts map[uint64]bool
+	aggOut       []*AggQueryMsg // dense by query ID
+	pendingAgg   []*pendingAgg  // dense by query ID
+	seenAggParts seenTable
 }
 
 // NewBase creates the basestation; index construction begins at the
@@ -89,8 +93,8 @@ func (b *Base) IndexHistory() []*index.Index {
 	return out
 }
 
-// SummaryCount reports how many summaries the base holds per node.
-func (b *Base) SummaryCount() int { return len(b.latest) }
+// SummaryCount reports how many nodes the base holds a summary for.
+func (b *Base) SummaryCount() int { return b.latestN }
 
 // Store exposes the basestation's local data store for tests.
 func (b *Base) Store() *storage.DataBuffer { return b.store }
@@ -100,13 +104,14 @@ func (b *Base) Init(api *netsim.NodeAPI) {
 	b.api = api
 	b.tree = routing.NewTree(api, true, b.cfg.Tree)
 	b.store = storage.NewDataBuffer(1 << 18)
-	b.latest = make(map[netsim.NodeID]*SummaryMsg)
+	b.latest = make([]*SummaryMsg, api.N())
+	b.latestN = 0
 	b.chunks = make(map[trickle.Key]index.Chunk)
-	b.queriesOut = make(map[uint16]*QueryMsg)
-	b.pending = make(map[uint16]*pendingQuery)
-	b.aggOut = make(map[uint16]*AggQueryMsg)
-	b.pendingAgg = make(map[uint16]*pendingAgg)
-	b.seenAggParts = make(map[uint64]bool)
+	b.queriesOut = nil
+	b.pending = nil
+	b.aggOut = nil
+	b.pendingAgg = nil
+	b.seenAggParts.reset()
 	b.mapGos = trickle.New(api, timerMapping, b.cfg.MappingTrickle, b.sendChunk)
 	b.qGos = trickle.New(api, timerQuery, b.cfg.QueryTrickle, b.sendQuery)
 	if b.cfg.Preload != nil {
@@ -171,6 +176,9 @@ func (b *Base) Snoop(p *netsim.Packet) { b.tree.Observe(p) }
 
 func (b *Base) onSummary(m *SummaryMsg) {
 	b.stats.SummariesReceived++
+	if b.latest[m.Node] == nil {
+		b.latestN++
+	}
 	b.latest[m.Node] = m
 	b.history = append(b.history, m)
 	// Trickle inconsistency detection: a summary advertising an
@@ -217,8 +225,11 @@ func (b *Base) onData(m *DataMsg) {
 }
 
 func (b *Base) onReply(m *ReplyMsg) {
-	pq, ok := b.pending[m.QueryID]
-	if !ok || pq.replied[m.Node] {
+	if int(m.QueryID) >= len(b.pending) {
+		return
+	}
+	pq := b.pending[m.QueryID]
+	if pq == nil || pq.replied[m.Node] {
 		return
 	}
 	pq.replied[m.Node] = true
@@ -235,8 +246,8 @@ func (b *Base) LastQueryID() uint16 { return b.qidNext }
 // (replies carry at most ReplyMaxReadings tuples each, so large result
 // sets are truncated per responding node, as on real motes).
 func (b *Base) QueryResults(qid uint16) []storage.Reading {
-	if pq, ok := b.pending[qid]; ok {
-		return pq.readings
+	if int(qid) < len(b.pending) && b.pending[qid] != nil {
+		return b.pending[qid].readings
 	}
 	return nil
 }
@@ -290,7 +301,7 @@ func (b *Base) buildInput() index.BuildInput {
 	fresh := func(s *SummaryMsg) bool { return cutoff < 0 || s.SentAt >= cutoff }
 	// Link qualities from summary topology sections…
 	for _, s := range b.latest {
-		if !fresh(s) {
+		if s == nil || !fresh(s) {
 			continue
 		}
 		for _, nb := range s.Neighbors {
@@ -303,7 +314,7 @@ func (b *Base) buildInput() index.BuildInput {
 	}
 	nodes := make([]index.NodeStat, n)
 	for id, s := range b.latest {
-		if !fresh(s) {
+		if s == nil || !fresh(s) {
 			continue
 		}
 		nodes[id] = index.NodeStat{Hist: s.Hist, Rate: s.Rate}
@@ -392,7 +403,8 @@ func (b *Base) issueTupleQuery(q workload.Query, targets []netsim.NodeID) []nets
 		msg.Bitmap.Set(id)
 		expected++
 	}
-	pq := &pendingQuery{expected: expected, replied: make(map[netsim.NodeID]bool)}
+	pq := &pendingQuery{expected: expected, replied: make([]bool, b.api.N())}
+	b.pending = dense.Grow(b.pending, int(msg.ID))
 	b.pending[msg.ID] = pq
 	// The base also scans its own store (readings it owns plus
 	// washed-up data) at no message cost.
@@ -401,6 +413,7 @@ func (b *Base) issueTupleQuery(q workload.Query, targets []netsim.NodeID) []nets
 		return targets
 	}
 	b.stats.RepliesExpected += int64(expected)
+	b.queriesOut = dense.Grow(b.queriesOut, int(msg.ID))
 	b.queriesOut[msg.ID] = msg
 	b.qGos.Add(queryKey(msg.ID))
 	// Kick off dissemination immediately rather than waiting for the
@@ -571,9 +584,10 @@ func (b *Base) sendChunk(key trickle.Key) {
 
 // sendQuery is the query-Trickle transmit callback; tuple and
 // aggregate queries share the ID space, so the key resolves in
-// exactly one of the two outbound maps.
+// exactly one of the two outbound tables.
 func (b *Base) sendQuery(key trickle.Key) {
-	if q, ok := b.queriesOut[uint16(key)]; ok {
+	if qid := int(key); qid < len(b.queriesOut) && b.queriesOut[qid] != nil {
+		q := b.queriesOut[qid]
 		b.api.Broadcast(&netsim.Packet{
 			Class:        metrics.Query,
 			Origin:       b.api.ID(),

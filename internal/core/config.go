@@ -12,6 +12,7 @@ import (
 	"scoop/internal/netsim"
 	"scoop/internal/query"
 	"scoop/internal/routing"
+	"scoop/internal/storage"
 	"scoop/internal/trickle"
 )
 
@@ -176,12 +177,26 @@ func DefaultConfig(lo, hi int) Config {
 	}
 }
 
+// ReadingProbe observes the life of every reading — production,
+// storage events, loss-accounted drops — so an external checker can
+// assert conservation (internal/invariant). Probes are test harness
+// machinery: a nil Probe costs one predictable branch per event.
+type ReadingProbe interface {
+	ProducedReading(producer uint16, t int64)
+	StoredReading(producer uint16, t int64)
+	LostReading(producer uint16, t int64, reason string)
+}
+
 // RunStats aggregates end-to-end delivery outcomes across a run, the
 // numbers behind the paper's "93% of data messages stored" and "78% of
 // query results retrieved" and the 85%-found-owner routing result.
 // One RunStats is shared by all nodes of a simulation (single
 // goroutine).
 type RunStats struct {
+	// Probe, when non-nil, observes per-reading events (invariant
+	// checking). Set before the simulation starts.
+	Probe ReadingProbe
+
 	Produced      int64 // readings sampled
 	StoredLocal   int64 // readings stored by their producer
 	StoredAtOwner int64 // readings stored at the correct owner
@@ -191,8 +206,11 @@ type RunStats struct {
 	// storedSeen deduplicates storage events per reading, so the
 	// success rate is not inflated by at-least-once retransmission
 	// duplicates (an ack loss makes the sender retry a reading the
-	// receiver already stored).
-	storedSeen map[uint64]struct{}
+	// receiver already stored). Sample times per producer are almost
+	// always observed in increasing order, so the seenTable's
+	// max-key fast path makes this O(1) per store event (DESIGN.md
+	// §12), where the pre-scale-tier code paid a hash-map hit.
+	storedSeen seenTable
 	// StoredUnique counts distinct readings stored at least once.
 	StoredUnique      int64
 	QueriesIssued     int64
@@ -227,16 +245,35 @@ type RunStats struct {
 // was stored somewhere, and reports whether this is its first storage
 // event. Nodes call it on every store; duplicates return false.
 func (s *RunStats) MarkStored(producer uint16, t int64) bool {
-	if s.storedSeen == nil {
-		s.storedSeen = make(map[uint64]struct{})
+	if s.Probe != nil {
+		s.Probe.StoredReading(producer, t)
 	}
-	key := uint64(producer)<<48 | uint64(t)&0xFFFFFFFFFFFF
-	if _, dup := s.storedSeen[key]; dup {
+	if s.storedSeen.Seen(netsim.NodeID(producer), uint64(t)) {
 		return false
 	}
-	s.storedSeen[key] = struct{}{}
 	s.StoredUnique++
 	return true
+}
+
+// noteProduced accounts one sampled reading.
+func (s *RunStats) noteProduced(producer uint16, t int64) {
+	s.Produced++
+	if s.Probe != nil {
+		s.Probe.ProducedReading(producer, t)
+	}
+}
+
+// loseReadings accounts a batch of readings as lost for the given
+// reason (sender-perceived: an ack loss can mark a reading lost that
+// was in fact stored; conservation checkers treat the accounts as
+// at-least-once).
+func (s *RunStats) loseReadings(rs []storage.Reading, reason string) {
+	s.LostData += int64(len(rs))
+	if s.Probe != nil {
+		for _, r := range rs {
+			s.Probe.LostReading(r.Producer, r.Time, reason)
+		}
+	}
 }
 
 // Stored returns all storage events (including retransmission

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math/bits"
+
+	"scoop/internal/dense"
 	"scoop/internal/histogram"
 	"scoop/internal/index"
 	"scoop/internal/netsim"
@@ -66,7 +69,7 @@ type QueryMsg struct {
 // wantsValues reports whether the query constrains values.
 func (q *QueryMsg) wantsValues() bool { return q.ValueLo <= q.ValueHi }
 
-func querySize(*QueryMsg) int { return 16 + 14 }
+func querySize(q *QueryMsg) int { return q.Bitmap.Bytes() + 14 }
 
 // ReplyMsg carries a node's matching tuples back to the basestation.
 // Count is the total number of matches; Readings is capped at
@@ -95,7 +98,7 @@ type AggQueryMsg struct {
 }
 
 // aggQuerySize mirrors querySize plus one operator byte.
-func aggQuerySize(*AggQueryMsg) int { return 16 + 14 + 1 }
+func aggQuerySize(q *AggQueryMsg) int { return q.Bitmap.Bytes() + 14 + 1 }
 
 // AggReplyMsg carries mergeable partial-aggregate state one hop
 // toward the basestation. Node is the sender of this (possibly
@@ -118,39 +121,70 @@ type AggReplyMsg struct {
 // reply, which is the whole point.
 func aggReplySize(*AggReplyMsg) int { return 8 + 14 }
 
-// Bitmap is the 128-bit node bitmap in query packets, which "puts an
-// upper bound to the size of the sensor network; 128 nodes in our
-// current implementation" (paper §5.5).
-type Bitmap [16]byte
+// Bitmap is the node bitmap in query packets. The paper's fixed
+// 128-bit field "puts an upper bound to the size of the sensor
+// network; 128 nodes in our current implementation" (paper §5.5); the
+// scale tier (DESIGN.md §12) replaces it with a variable-length bitmap
+// whose on-air size (Bytes) keeps the paper's 16-byte floor — so
+// query packets at N ≤ 128 are byte-for-byte the paper's — and grows
+// with the highest targeted node beyond that.
+type Bitmap struct {
+	w []uint64
+}
 
-// Set marks node id.
-func (b *Bitmap) Set(id netsim.NodeID) { b[id/8] |= 1 << (id % 8) }
+// Set marks node id, growing the bitmap as needed.
+func (b *Bitmap) Set(id netsim.NodeID) {
+	wi := int(id) >> 6
+	b.w = dense.Grow(b.w, wi)
+	b.w[wi] |= 1 << (uint(id) & 63)
+}
 
 // Has reports whether node id is marked.
 func (b *Bitmap) Has(id netsim.NodeID) bool {
-	if int(id) >= netsim.MaxNodes {
+	wi := int(id) >> 6
+	if wi >= len(b.w) {
 		return false
 	}
-	return b[id/8]&(1<<(id%8)) != 0
+	return b.w[wi]&(1<<(uint(id)&63)) != 0
+}
+
+// Words exposes the raw bitmap words (64 node IDs per word, ascending)
+// so hot paths can iterate marked nodes without allocating.
+func (b *Bitmap) Words() []uint64 { return b.w }
+
+// Bytes returns the field's on-air size: the paper's 16-byte bitmap
+// for networks of up to 128 nodes, one byte per 8 nodes beyond that
+// (sized by the highest targeted node, as a wire encoding would be).
+func (b *Bitmap) Bytes() int {
+	for wi := len(b.w) - 1; wi >= 0; wi-- {
+		if w := b.w[wi]; w != 0 {
+			hi := wi*64 + 63 - bits.LeadingZeros64(w)
+			if n := hi/8 + 1; n > 16 {
+				return n
+			}
+			return 16
+		}
+	}
+	return 16
 }
 
 // Count returns the number of marked nodes.
 func (b *Bitmap) Count() int {
 	n := 0
-	for _, byt := range b {
-		for ; byt != 0; byt &= byt - 1 {
-			n++
-		}
+	for _, w := range b.w {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
 
 // IDs returns all marked nodes in ascending order.
 func (b *Bitmap) IDs() []netsim.NodeID {
-	var out []netsim.NodeID
-	for i := 0; i < netsim.MaxNodes; i++ {
-		if b.Has(netsim.NodeID(i)) {
-			out = append(out, netsim.NodeID(i))
+	out := make([]netsim.NodeID, 0, b.Count())
+	for wi, w := range b.w {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, netsim.NodeID(wi*64+bit))
+			w &= w - 1
 		}
 	}
 	return out

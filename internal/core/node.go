@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
+	"scoop/internal/dense"
 	"scoop/internal/histogram"
 	"scoop/internal/index"
 	"scoop/internal/metrics"
@@ -41,36 +43,41 @@ type Node struct {
 	chunks map[trickle.Key]index.Chunk
 	mapGos *trickle.Trickle
 
-	queries  map[uint16]*QueryMsg
-	answered map[uint16]bool
+	// Query state is indexed by dense query ID (the basestation issues
+	// IDs sequentially), replacing the per-delivery hash maps of the
+	// pre-scale-tier code (DESIGN.md §12).
+	queries  []*QueryMsg
+	answered []bool
 	qGos     *trickle.Trickle
 
 	// Aggregate query engine (in-network partial-aggregate combining):
 	// known agg queries, answered-once marks, the per-query combine
 	// buffer, per-query flush sequence numbers, and the shared flush
-	// deadline (0 when the timer is unarmed).
-	aggQueries  map[uint16]*AggQueryMsg
-	aggAnswered map[uint16]bool
-	aggPending  map[uint16]*aggCombine
-	aggSeq      map[uint16]uint8
+	// deadline (0 when the timer is unarmed). All dense by query ID.
+	aggQueries  []*AggQueryMsg
+	aggAnswered []bool
+	aggPending  []*aggCombine
+	aggSeq      []uint8
 	aggFlushAt  netsim.Time
 
 	// Pending data batches, one per destination owner (paper §5.4
 	// batches "up to n readings destined for the same node"; keeping
 	// one open batch per owner instead of flushing on every owner
 	// change preserves the batching win when consecutive samples
-	// straddle a range boundary — see DESIGN.md §6).
-	batches  map[netsim.NodeID][]storage.Reading
-	batchSID uint16
+	// straddle a range boundary — see DESIGN.md §6). batchq is dense
+	// by owner ID; batchOwners counts owners with a pending batch.
+	batchq      [][]storage.Reading
+	batchOwners int
+	batchSID    uint16
 
 	pendingAnswers []*QueryMsg // queries awaiting the jittered reply
 
 	// Forwarding dedup: ack loss makes upstream senders retransmit
 	// packets we already relayed; re-forwarding every copy amplifies
 	// exponentially along the path.
-	seenSummaries map[uint64]bool
-	seenReplies   map[uint32]bool
-	seenAggParts  map[uint64]bool
+	seenSummaries seenTable
+	seenReplies   seenTable
+	seenAggParts  seenTable
 
 	samplesSinceSummary int
 }
@@ -89,28 +96,51 @@ func (n *Node) CurrentIndex() *index.Index { return n.cur }
 // Store exposes the node's data buffer for tests.
 func (n *Node) Store() *storage.DataBuffer { return n.store }
 
+// PendingBatchReadings returns the readings currently held in this
+// node's per-owner batch buffers — "in flight at run end" for the
+// conservation invariant. Test/diagnostic accessor.
+func (n *Node) PendingBatchReadings() []storage.Reading {
+	var out []storage.Reading
+	for _, rs := range n.batchq {
+		out = append(out, rs...)
+	}
+	return out
+}
+
 // Tree exposes the node's routing state for tests.
 func (n *Node) Tree() *routing.Tree { return n.tree }
 
 // Init implements netsim.App.
 func (n *Node) Init(api *netsim.NodeAPI) {
+	// Reboot accounting: readings batched in RAM when the mote loses
+	// power are gone for good — tell the conservation probe before the
+	// buffers are recreated. (LostData itself counts only radio-path
+	// losses, as before.)
+	if p := n.stats.Probe; p != nil {
+		for _, rs := range n.batchq {
+			for _, r := range rs {
+				p.LostReading(r.Producer, r.Time, "reboot")
+			}
+		}
+	}
 	n.api = api
 	n.tree = routing.NewTree(api, false, n.cfg.Tree)
 	n.recent = storage.NewRecentBuffer(n.cfg.RecentBufSize)
 	n.store = storage.NewDataBuffer(n.cfg.DataBufCap)
 	n.asm = index.NewAssembler()
 	n.chunks = make(map[trickle.Key]index.Chunk)
-	n.queries = make(map[uint16]*QueryMsg)
-	n.answered = make(map[uint16]bool)
-	n.aggQueries = make(map[uint16]*AggQueryMsg)
-	n.aggAnswered = make(map[uint16]bool)
-	n.aggPending = make(map[uint16]*aggCombine)
-	n.aggSeq = make(map[uint16]uint8)
+	n.queries = nil
+	n.answered = nil
+	n.aggQueries = nil
+	n.aggAnswered = nil
+	n.aggPending = nil
+	n.aggSeq = nil
 	n.aggFlushAt = 0
-	n.seenSummaries = make(map[uint64]bool)
-	n.seenReplies = make(map[uint32]bool)
-	n.seenAggParts = make(map[uint64]bool)
-	n.batches = make(map[netsim.NodeID][]storage.Reading)
+	n.seenSummaries.reset()
+	n.seenReplies.reset()
+	n.seenAggParts.reset()
+	n.batchq = make([][]storage.Reading, api.N())
+	n.batchOwners = 0
 	n.mapGos = trickle.New(api, timerMapping, n.cfg.MappingTrickle, n.sendChunk)
 	n.qGos = trickle.New(api, timerQuery, n.cfg.QueryTrickle, n.sendQuery)
 
@@ -179,18 +209,14 @@ func (n *Node) Receive(p *netsim.Packet) {
 		if n.cur != nil && !n.cur.Local && m.LastIndexID < n.cur.ID {
 			resetChunks(n.chunks, n.cur.ID, n.mapGos)
 		}
-		key := uint64(m.Node)<<48 | uint64(m.SentAt)&0xFFFFFFFFFFFF
-		if int(m.Hops) <= n.cfg.MaxHops && !n.seenSummaries[key] {
-			n.seenSummaries[key] = true
+		if int(m.Hops) <= n.cfg.MaxHops && !n.seenSummaries.Seen(m.Node, uint64(m.SentAt)) {
 			fwd := *m
 			fwd.Hops++
 			n.forwardUp(p, &fwd, metrics.Summary, summarySize(m))
 		}
 	case *ReplyMsg:
 		n.learnDescendant(p)
-		key := uint32(m.Node)<<16 | uint32(m.QueryID)
-		if int(m.Hops) <= n.cfg.MaxHops && !n.seenReplies[key] {
-			n.seenReplies[key] = true
+		if int(m.Hops) <= n.cfg.MaxHops && !n.seenReplies.Seen(m.Node, uint64(m.QueryID)) {
 			fwd := *m
 			fwd.Hops++
 			n.stats.RepliesForwarded++
@@ -246,7 +272,7 @@ func (n *Node) forwardUp(p *netsim.Packet, payload any, class metrics.Class, siz
 func (n *Node) takeSample() {
 	now := n.api.Now()
 	v := n.sample(n.api.ID(), now)
-	n.stats.Produced++
+	n.stats.noteProduced(uint16(n.api.ID()), int64(now))
 	n.recent.Add(v)
 	n.samplesSinceSummary++
 	r := storage.Reading{Producer: uint16(n.api.ID()), Value: v, Time: int64(now)}
@@ -260,12 +286,15 @@ func (n *Node) takeSample() {
 		return
 	}
 	// Batch readings destined for the same owner (paper: up to 5).
-	if len(n.batches) == 0 {
+	if n.batchOwners == 0 {
 		n.api.SetTimer(timerBatch, n.cfg.BatchTimeout)
 	}
 	n.batchSID = sid
-	n.batches[owner] = append(n.batches[owner], r)
-	if len(n.batches[owner]) >= n.cfg.BatchSize {
+	if len(n.batchq[owner]) == 0 {
+		n.batchOwners++
+	}
+	n.batchq[owner] = append(n.batchq[owner], r)
+	if len(n.batchq[owner]) >= n.cfg.BatchSize {
 		n.flushOwner(owner)
 	}
 }
@@ -285,24 +314,23 @@ func (n *Node) lookupOwner(v int) (netsim.NodeID, uint16, bool) {
 
 // flushOwner launches the pending batch for one owner.
 func (n *Node) flushOwner(owner netsim.NodeID) {
-	rs := n.batches[owner]
+	rs := n.batchq[owner]
 	if len(rs) == 0 {
 		return
 	}
-	delete(n.batches, owner)
+	n.batchq[owner] = nil
+	n.batchOwners--
 	n.routeData(&DataMsg{Readings: rs, Owner: owner, SID: n.batchSID})
 }
 
-// flushBatch launches every pending batch (timeout path; owner order
-// for determinism).
+// flushBatch launches every pending batch (timeout path). The dense
+// per-owner array is walked in ascending owner order — the same order
+// the pre-scale-tier map-and-sort produced.
 func (n *Node) flushBatch() {
-	owners := make([]netsim.NodeID, 0, len(n.batches))
-	for o := range n.batches {
-		owners = append(owners, o)
-	}
-	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
-	for _, o := range owners {
-		n.flushOwner(o)
+	for o := range n.batchq {
+		if len(n.batchq[o]) > 0 {
+			n.flushOwner(netsim.NodeID(o))
+		}
 	}
 	n.api.CancelTimer(timerBatch)
 }
@@ -312,7 +340,7 @@ func (n *Node) flushBatch() {
 func (n *Node) handleData(m *DataMsg) {
 	// TTL guard against transient routing loops.
 	if int(m.Hops) > n.cfg.MaxHops {
-		n.stats.LostData += int64(len(m.Readings))
+		n.stats.loseReadings(m.Readings, "ttl")
 		return
 	}
 	// Rule 1: a newer index here rewrites the destination. Readings in
@@ -390,12 +418,12 @@ func (n *Node) treeRouteData(m *DataMsg) {
 
 func (n *Node) sendToParent(m *DataMsg) {
 	if !n.tree.HasRoute() {
-		n.stats.LostData += int64(len(m.Readings))
+		n.stats.loseReadings(m.Readings, "noroute")
 		return
 	}
 	n.sendData(m, n.tree.Parent(), func(ok bool) {
 		if !ok {
-			n.stats.LostData += int64(len(m.Readings))
+			n.stats.loseReadings(m.Readings, "radio")
 		}
 	})
 }
@@ -499,14 +527,16 @@ func (n *Node) sendChunk(key trickle.Key) {
 // answer if targeted.
 func (n *Node) onQuery(q *QueryMsg) {
 	key := queryKey(q.ID)
-	if _, seen := n.queries[q.ID]; seen {
+	if int(q.ID) < len(n.queries) && n.queries[q.ID] != nil {
 		n.qGos.Heard(key)
 		return
 	}
+	n.queries = dense.Grow(n.queries, int(q.ID))
 	n.queries[q.ID] = q
 	if n.shouldRelay(&q.Bitmap) {
 		n.qGos.Add(key)
 	}
+	n.answered = dense.Grow(n.answered, int(q.ID))
 	if q.Bitmap.Has(n.api.ID()) && !n.answered[q.ID] {
 		n.answered[q.ID] = true
 		n.stats.QueriesHeard++
@@ -522,18 +552,23 @@ func (n *Node) onQuery(q *QueryMsg) {
 // shouldRelay reports whether this node re-broadcasts a (tuple or
 // aggregate) query: only when some targeted node other than itself is
 // plausibly reachable through it (a known neighbor or recorded
-// descendant).
+// descendant). Iterates the bitmap words directly — at 1000 nodes a
+// materialised ID slice per received query is real garbage.
 func (n *Node) shouldRelay(bm *Bitmap) bool {
 	me := n.api.ID()
-	for _, id := range bm.IDs() {
-		if id == me {
-			continue
-		}
-		if n.tree.Neighbors.Contains(id) {
-			return true
-		}
-		if _, ok := n.tree.Descendants.NextHop(id); ok {
-			return true
+	for wi, w := range bm.Words() {
+		for w != 0 {
+			id := netsim.NodeID(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if id == me {
+				continue
+			}
+			if n.tree.Neighbors.Contains(id) {
+				return true
+			}
+			if _, ok := n.tree.Descendants.NextHop(id); ok {
+				return true
+			}
 		}
 	}
 	return false
@@ -543,7 +578,8 @@ func (n *Node) shouldRelay(bm *Bitmap) bool {
 // aggregate queries share the basestation's ID space, so the key
 // resolves in exactly one of the two maps.
 func (n *Node) sendQuery(key trickle.Key) {
-	if q, ok := n.queries[uint16(key)]; ok {
+	if qid := int(key); qid < len(n.queries) && n.queries[qid] != nil {
+		q := n.queries[qid]
 		n.api.Broadcast(&netsim.Packet{
 			Class:        metrics.Query,
 			Origin:       n.api.ID(),
@@ -553,7 +589,8 @@ func (n *Node) sendQuery(key trickle.Key) {
 		})
 		return
 	}
-	if q, ok := n.aggQueries[uint16(key)]; ok {
+	if qid := int(key); qid < len(n.aggQueries) && n.aggQueries[qid] != nil {
+		q := n.aggQueries[qid]
 		n.api.Broadcast(&netsim.Packet{
 			Class:        metrics.Query,
 			Origin:       n.api.ID(),

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"scoop/internal/dense"
+	"scoop/internal/netsim"
+)
+
+// seenRow is one origin's dedup history: an append-only key list plus
+// the maximum key seen, which gives an O(1) fast path for the common
+// case — per-origin keys (summary timestamps, query IDs, flush
+// sequence numbers) arrive in increasing order, so a fresh key is
+// usually above every key recorded before and needs no scan at all.
+type seenRow struct {
+	keys []uint64
+	max  uint64
+	any  bool
+}
+
+// seenTable is the forwarding-dedup store: per-origin rows replacing
+// the old flat hash maps on the per-delivery path (DESIGN.md §12).
+// Rows are indexed by dense node ID. New in-order keys append without
+// scanning; duplicates (link-layer retransmissions) and the rare
+// out-of-order key scan the row backwards, where recent keys cluster.
+type seenTable struct {
+	rows []seenRow
+}
+
+// Seen reports whether (origin, key) was recorded before, recording it
+// if not (check-and-mark).
+func (s *seenTable) Seen(origin netsim.NodeID, key uint64) bool {
+	i := int(origin)
+	s.rows = dense.Grow(s.rows, i)
+	r := &s.rows[i]
+	if !r.any || key > r.max {
+		r.keys = append(r.keys, key)
+		r.max, r.any = key, true
+		return false
+	}
+	for k := len(r.keys) - 1; k >= 0; k-- {
+		if r.keys[k] == key {
+			return true
+		}
+	}
+	r.keys = append(r.keys, key)
+	return false
+}
+
+// reset forgets everything (the reboot path: dedup state is RAM).
+func (s *seenTable) reset() { s.rows = nil }

@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"scoop/internal/core"
 	"scoop/internal/dynamics"
+	"scoop/internal/invariant"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
@@ -97,10 +99,24 @@ type Config struct {
 	Trials int
 	Seed   int64
 
+	// CheckInvariants attaches the internal/invariant whole-run
+	// checker to every trial: conservation of readings, no aggregate
+	// double-count, index-generation monotonicity. A violation fails
+	// the run with a descriptive error. Tests-only machinery — it
+	// keeps per-reading state, so leave it off for benchmarks and
+	// artifact sweeps.
+	CheckInvariants bool
+
 	// Modify, when non-nil, adjusts the derived core configuration —
 	// the hook ablation benches use (batching off, shortcut off, …).
 	Modify func(*core.Config)
 }
+
+// ForceInvariants turns invariant checking on for every Run in the
+// process regardless of Config, so a test binary can assert the whole
+// suite's runs are conservation-clean from one TestMain. Set before
+// the first Run; never set it in production binaries.
+var ForceInvariants bool
 
 // Default returns the paper's default parameters (§6 table): 62 nodes
 // + base, REAL data, 15 s sample and query intervals, 40-minute runs
@@ -379,6 +395,20 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	}
 
 	stats := &core.RunStats{}
+	var chk *invariant.Checker
+	if cfg.CheckInvariants || ForceInvariants {
+		chk = invariant.New()
+		stats.Probe = chk
+		net.OnPurge = func(id netsim.NodeID, p *netsim.Packet) {
+			// A reboot drains the send queue; batched readings in it
+			// are RAM losses the radio-side accounting never sees.
+			if dm, ok := p.Payload.(*core.DataMsg); ok {
+				for _, r := range dm.Readings {
+					chk.LostReading(r.Producer, r.Time, "reboot-queue")
+				}
+			}
+		}
+	}
 	base := core.NewBase(ccfg, stats, cfg.Warmup)
 	net.Attach(0, base)
 	nodes := make([]*core.Node, cfg.N)
@@ -541,6 +571,42 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 			tr.Agg.ErrSum += math.Abs(ans-rec.gt) / den
 		case ok, !rec.gtValid:
 			tr.Agg.Answered++
+		}
+	}
+
+	if chk != nil {
+		// Conservation needs to know what is legitimately still in
+		// flight: batch buffers, send queues, frames on the air.
+		for _, nd := range nodes {
+			if nd == nil {
+				continue
+			}
+			for _, r := range nd.PendingBatchReadings() {
+				chk.InFlightReading(r.Producer, r.Time)
+			}
+		}
+		inFlight := func(p *netsim.Packet) {
+			if dm, ok := p.Payload.(*core.DataMsg); ok {
+				for _, r := range dm.Readings {
+					chk.InFlightReading(r.Producer, r.Time)
+				}
+			}
+		}
+		net.ForEachQueued(func(_ netsim.NodeID, p *netsim.Packet) { inFlight(p) })
+		net.ForEachInFlight(inFlight)
+		hist := base.IndexHistory()
+		ids := make([]uint16, len(hist))
+		for i, ix := range hist {
+			ids[i] = ix.ID
+		}
+		chk.RecordIndexIDs(ids)
+		for _, rec := range aggLog {
+			got, expected := base.AggContribs(rec.qid)
+			chk.AggResult(rec.qid, got, expected)
+		}
+		if vs := chk.Violations(); len(vs) != 0 {
+			return TrialResult{}, fmt.Errorf("exp: invariant violations (policy %s, trial %d, seed %d):\n  %s",
+				cfg.Policy, trial, seed, strings.Join(vs, "\n  "))
 		}
 	}
 

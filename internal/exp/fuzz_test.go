@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"testing"
+
+	"scoop/internal/dynamics"
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+)
+
+// TestSeedFuzz is a seed-randomised smoke test: short churn, drift and
+// aggregate-mix runs across many seeds, each executed under the
+// invariant checker. It exists to catch the class of state-machine bug
+// the reboot-state fixes of the dynamics PR were — paths that only a
+// particular interleaving of churn, retransmission and reindexing
+// hits — without waiting for a full-scale sweep to wander into them.
+// Any panic or conservation violation fails the specific (config,
+// seed) pair by name.
+func TestSeedFuzz(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	scenarios := []struct {
+		name string
+		mut  func(cfg *Config, seed int64)
+	}{
+		{"churn", func(cfg *Config, seed int64) {
+			script := dynamics.Standard(cfg.N, cfg.Warmup, cfg.Duration, 0.25, 0, seed+3)
+			cfg.Dynamics = &script
+			cfg.ReindexInterval = 2 * netsim.Minute
+		}},
+		{"drift", func(cfg *Config, seed int64) {
+			script := dynamics.Standard(cfg.N, cfg.Warmup, cfg.Duration, 0, 0.5, seed+5)
+			cfg.Dynamics = &script
+			cfg.ReindexInterval = 2 * netsim.Minute
+		}},
+		{"agg", func(cfg *Config, seed int64) {
+			cfg.AggRatio = 1
+			cfg.QueryWidth = 0.4
+			cfg.AggErrBudget = 0.25
+		}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < seeds; i++ {
+				seed := int64(1000 + 7919*i)
+				cfg := Default()
+				cfg.Policy = policy.Scoop
+				cfg.N = 16
+				cfg.Duration = 10 * netsim.Minute
+				cfg.Warmup = 3 * netsim.Minute
+				cfg.Trials = 1
+				cfg.Seed = seed
+				cfg.CheckInvariants = true
+				sc.mut(&cfg, seed)
+				if _, err := Run(cfg); err != nil {
+					t.Fatalf("%s seed %d: %v", sc.name, seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantCheckerAcrossPolicies runs every simulated policy once
+// under the checker: the conservation bookkeeping has to understand
+// preloaded-index comparators, not just Scoop.
+func TestInvariantCheckerAcrossPolicies(t *testing.T) {
+	for _, p := range []policy.Name{policy.Scoop, policy.Local, policy.Base, policy.HashSim} {
+		cfg := quick(p, "real")
+		cfg.CheckInvariants = true
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}

@@ -61,9 +61,13 @@ const minUsableQuality = 0.125
 // n ≤ 128.
 func (g *Graph) Xmits() [][]float64 {
 	n := g.N
+	// One flat backing array: row slices share it, so the O(n²) matrix
+	// is a single allocation and the k-loop walks contiguous memory —
+	// this pass runs on every index rebuild and is O(n³) at n = 1000.
+	flat := make([]float64, n*n)
 	d := make([][]float64, n)
 	for i := range d {
-		d[i] = make([]float64, n)
+		d[i] = flat[i*n : (i+1)*n : (i+1)*n]
 		for j := range d[i] {
 			switch {
 			case i == j:

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"scoop/internal/dense"
 )
 
 // Class identifies the protocol role of a message, mirroring the
@@ -60,12 +62,15 @@ func Classes() []Class {
 }
 
 // Counters accumulates per-class and per-node message counts for one
-// simulation run.
+// simulation run. Per-node tallies live in flat slices keyed by dense
+// node ID (grown on demand), so the per-transmission and per-delivery
+// counting paths do no hashing and no steady-state allocation — at
+// 1000 nodes these are among the hottest calls in the simulator.
 type Counters struct {
 	sent     [numClasses]int64 // transmissions, including retries
 	received [numClasses]int64 // link-layer deliveries to the addressee
-	sentBy   map[uint16]*[numClasses]int64
-	recvBy   map[uint16]*[numClasses]int64
+	sentBy   []int64           // [id*numClasses + class]
+	recvBy   []int64           // [id*numClasses + class]
 
 	// Byte tallies feed the energy model (radio cost is per bit).
 	// Snooped bytes are frames overheard by non-addressees — they cost
@@ -76,58 +81,50 @@ type Counters struct {
 	sentBytesC   [numClasses]int64
 	recvBytes    int64
 	snoopBytes   int64
-	sentBytesBy  map[uint16]int64
-	recvBytesBy  map[uint16]int64
-	snoopBytesBy map[uint16]int64
+	sentBytesBy  []int64
+	recvBytesBy  []int64
+	snoopBytesBy []int64
 
-	// Delivery bookkeeping for loss-rate experiments.
+	// Delivery bookkeeping for loss-rate experiments (cold path; a map
+	// keyed by free-form cause is fine here).
 	dropped map[string]int64
 }
 
-// NewCounters returns empty counters ready for use.
+// NewCounters returns empty counters ready for use. Per-node tables
+// grow to the highest node ID observed.
 func NewCounters() *Counters {
-	return &Counters{
-		sentBy:       make(map[uint16]*[numClasses]int64),
-		recvBy:       make(map[uint16]*[numClasses]int64),
-		sentBytesBy:  make(map[uint16]int64),
-		recvBytesBy:  make(map[uint16]int64),
-		snoopBytesBy: make(map[uint16]int64),
-		dropped:      make(map[string]int64),
-	}
+	return &Counters{dropped: make(map[string]int64)}
 }
 
 // CountSend records one transmission of class c and the given frame
 // size by node id.
 func (m *Counters) CountSend(id uint16, c Class, bytes int) {
 	m.sent[c]++
-	row, ok := m.sentBy[id]
-	if !ok {
-		row = new([numClasses]int64)
-		m.sentBy[id] = row
-	}
-	row[c]++
+	i := int(id)
+	m.sentBy = dense.Grow(m.sentBy, (i+1)*int(numClasses)-1)
+	m.sentBy[i*int(numClasses)+int(c)]++
+	m.sentBytesBy = dense.Grow(m.sentBytesBy, i)
+	m.sentBytesBy[i] += int64(bytes)
 	m.sentBytes += int64(bytes)
 	m.sentBytesC[c] += int64(bytes)
-	m.sentBytesBy[id] += int64(bytes)
 }
 
 // CountReceive records one successful delivery of class c and frame
 // size to node id.
 func (m *Counters) CountReceive(id uint16, c Class, bytes int) {
 	m.received[c]++
-	row, ok := m.recvBy[id]
-	if !ok {
-		row = new([numClasses]int64)
-		m.recvBy[id] = row
-	}
-	row[c]++
+	i := int(id)
+	m.recvBy = dense.Grow(m.recvBy, (i+1)*int(numClasses)-1)
+	m.recvBy[i*int(numClasses)+int(c)]++
 	m.recvBytes += int64(bytes)
-	m.recvBytesBy[id] += int64(bytes)
+	m.recvBytesBy = dense.Grow(m.recvBytesBy, i)
+	m.recvBytesBy[i] += int64(bytes)
 }
 
 // CountSnoop records bytes a non-addressee overheard.
 func (m *Counters) CountSnoop(id uint16, bytes int) {
 	m.snoopBytes += int64(bytes)
+	m.snoopBytesBy = dense.Grow(m.snoopBytesBy, int(id))
 	m.snoopBytesBy[id] += int64(bytes)
 }
 
@@ -135,7 +132,16 @@ func (m *Counters) CountSnoop(id uint16, bytes int) {
 func (m *Counters) SnoopedBytes() int64 { return m.snoopBytes }
 
 // SnoopedBytesBy returns the bytes node id overheard.
-func (m *Counters) SnoopedBytesBy(id uint16) int64 { return m.snoopBytesBy[id] }
+func (m *Counters) SnoopedBytesBy(id uint16) int64 { return at(m.snoopBytesBy, int(id)) }
+
+// at reads s[i], treating out-of-range as zero (a node that never
+// triggered growth has no tallies).
+func at(s []int64, i int) int64 {
+	if i < len(s) {
+		return s[i]
+	}
+	return 0
+}
 
 // SentBytes returns the total bytes transmitted (all nodes).
 func (m *Counters) SentBytes() int64 { return m.sentBytes }
@@ -147,10 +153,10 @@ func (m *Counters) SentBytesClass(c Class) int64 { return m.sentBytesC[c] }
 func (m *Counters) ReceivedBytes() int64 { return m.recvBytes }
 
 // SentBytesBy returns the bytes node id transmitted.
-func (m *Counters) SentBytesBy(id uint16) int64 { return m.sentBytesBy[id] }
+func (m *Counters) SentBytesBy(id uint16) int64 { return at(m.sentBytesBy, int(id)) }
 
 // ReceivedBytesBy returns the bytes delivered to node id.
-func (m *Counters) ReceivedBytesBy(id uint16) int64 { return m.recvBytesBy[id] }
+func (m *Counters) ReceivedBytesBy(id uint16) int64 { return at(m.recvBytesBy, int(id)) }
 
 // CountDrop records a lost packet with a free-form cause
 // ("loss", "collision", "retries", "dead", ...).
@@ -164,18 +170,12 @@ func (m *Counters) Received(c Class) int64 { return m.received[c] }
 
 // SentBy returns the number of transmissions of class c by node id.
 func (m *Counters) SentBy(id uint16, c Class) int64 {
-	if row, ok := m.sentBy[id]; ok {
-		return row[c]
-	}
-	return 0
+	return at(m.sentBy, int(id)*int(numClasses)+int(c))
 }
 
 // ReceivedBy returns the number of deliveries of class c to node id.
 func (m *Counters) ReceivedBy(id uint16, c Class) int64 {
-	if row, ok := m.recvBy[id]; ok {
-		return row[c]
-	}
-	return 0
+	return at(m.recvBy, int(id)*int(numClasses)+int(c))
 }
 
 // TotalSentBy returns all transmissions by node id, excluding beacons.
@@ -225,47 +225,32 @@ func (m *Counters) DropCauses() []string {
 	return causes
 }
 
+// addInto element-wise adds src into dst, growing dst as needed.
+func addInto(dst, src []int64) []int64 {
+	dst = dense.Grow(dst, len(src)-1)
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
 // Merge adds other's counts into m. Useful when averaging trials.
 func (m *Counters) Merge(other *Counters) {
 	for c := Class(0); c < numClasses; c++ {
 		m.sent[c] += other.sent[c]
 		m.received[c] += other.received[c]
 	}
-	for id, row := range other.sentBy {
-		dst, ok := m.sentBy[id]
-		if !ok {
-			dst = new([numClasses]int64)
-			m.sentBy[id] = dst
-		}
-		for c := range row {
-			dst[c] += row[c]
-		}
-	}
-	for id, row := range other.recvBy {
-		dst, ok := m.recvBy[id]
-		if !ok {
-			dst = new([numClasses]int64)
-			m.recvBy[id] = dst
-		}
-		for c := range row {
-			dst[c] += row[c]
-		}
-	}
+	m.sentBy = addInto(m.sentBy, other.sentBy)
+	m.recvBy = addInto(m.recvBy, other.recvBy)
 	m.sentBytes += other.sentBytes
 	for c := Class(0); c < numClasses; c++ {
 		m.sentBytesC[c] += other.sentBytesC[c]
 	}
 	m.recvBytes += other.recvBytes
 	m.snoopBytes += other.snoopBytes
-	for id, v := range other.sentBytesBy {
-		m.sentBytesBy[id] += v
-	}
-	for id, v := range other.recvBytesBy {
-		m.recvBytesBy[id] += v
-	}
-	for id, v := range other.snoopBytesBy {
-		m.snoopBytesBy[id] += v
-	}
+	m.sentBytesBy = addInto(m.sentBytesBy, other.sentBytesBy)
+	m.recvBytesBy = addInto(m.recvBytesBy, other.recvBytesBy)
+	m.snoopBytesBy = addInto(m.snoopBytesBy, other.snoopBytesBy)
 	for k, v := range other.dropped {
 		m.dropped[k] += v
 	}

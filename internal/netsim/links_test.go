@@ -1,0 +1,83 @@
+package netsim
+
+import "testing"
+
+// TestOutLinksMatchQualityScan pins the determinism contract of the
+// cached out-link lists: for every node they must enumerate exactly
+// the audible destinations of a fresh Quality-row scan, in ascending
+// destination order — the transmit loop draws per-receiver randomness
+// in list order, so any deviation silently changes every simulation.
+func TestOutLinksMatchQualityScan(t *testing.T) {
+	for _, topo := range []*Topology{
+		GridTopology(64, 2.5, 7),
+		UniformTopology(63, 8, 3.5, 11),
+		TestbedTopology(62, 3),
+	} {
+		for i := 0; i < topo.N; i++ {
+			links := topo.OutLinks(NodeID(i))
+			k := 0
+			for j := 0; j < topo.N; j++ {
+				if i == j || topo.Quality[i][j] <= 0 {
+					continue
+				}
+				if k >= len(links) {
+					t.Fatalf("node %d: out-link list too short (%d entries)", i, len(links))
+				}
+				if links[k].Dst != NodeID(j) || links[k].Quality != topo.Quality[i][j] {
+					t.Fatalf("node %d link %d: got (%d,%v), want (%d,%v)",
+						i, k, links[k].Dst, links[k].Quality, j, topo.Quality[i][j])
+				}
+				k++
+			}
+			if k != len(links) {
+				t.Fatalf("node %d: %d extra out-links", i, len(links)-k)
+			}
+		}
+	}
+}
+
+// TestOutLinksBuiltOnce verifies the lists are computed once and
+// reused — the hot transmit path must not rescan the N×N matrix — and
+// that InvalidateLinks forces a rebuild after a manual Quality edit.
+func TestOutLinksBuiltOnce(t *testing.T) {
+	topo := GridTopology(16, 2.5, 5)
+	a := topo.OutLinks(1)
+	b := topo.OutLinks(1)
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("OutLinks rebuilt between calls (lists must be cached)")
+	}
+	// Mutating Quality without invalidation keeps the stale cache (the
+	// documented contract: topologies are immutable once in use) …
+	dst := a[0].Dst
+	topo.Quality[1][dst] = 0
+	if got := topo.OutLinks(1); len(got) != len(a) {
+		t.Fatal("cache unexpectedly rebuilt without InvalidateLinks")
+	}
+	// … and InvalidateLinks picks the edit up.
+	topo.InvalidateLinks()
+	if got := topo.OutLinks(1); len(got) != len(a)-1 {
+		t.Fatalf("after invalidate: %d links, want %d", len(topo.OutLinks(1)), len(a)-1)
+	}
+}
+
+// TestScaleTierTopologies exercises the lifted node bound: topologies
+// up to MaxNodes build, stay connected, and keep bounded degree (the
+// generators hold radio range constant as area grows, so per-node
+// neighbourhoods — and therefore per-event cost — stay O(1) in N).
+func TestScaleTierTopologies(t *testing.T) {
+	for _, n := range []int{250, 1000} {
+		topo := GridTopology(n, 2.5, 9)
+		if topo.N != n {
+			t.Fatalf("N = %d, want %d", topo.N, n)
+		}
+		maxDeg := 0
+		for i := 0; i < n; i++ {
+			if d := len(topo.OutLinks(NodeID(i))); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if maxDeg == 0 || maxDeg > 60 {
+			t.Fatalf("n=%d: max degree %d outside (0,60] — radio range no longer local", n, maxDeg)
+		}
+	}
+}

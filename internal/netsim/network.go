@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"scoop/internal/dense"
 	"scoop/internal/metrics"
 )
 
@@ -12,10 +13,12 @@ type App interface {
 	// Init is called once before the simulation starts.
 	Init(api *NodeAPI)
 	// Receive is called when a packet addressed to this node (or to
-	// Broadcast) is successfully delivered.
+	// Broadcast) is successfully delivered. The packet is only valid
+	// for the duration of the call (see Packet ownership).
 	Receive(p *Packet)
 	// Snoop is called when this node overhears a packet addressed to
 	// someone else, the mechanism Scoop uses to estimate link quality.
+	// The packet is only valid for the duration of the call.
 	Snoop(p *Packet)
 	// Timer is called when a timer set via NodeAPI.SetTimer fires.
 	Timer(id int)
@@ -86,19 +89,38 @@ type transmission struct {
 
 // Network binds a topology, a simulator, per-node applications and the
 // message counters into one runnable radio network.
+//
+// The per-event hot path is allocation-free in steady state (DESIGN.md
+// §12): link tables are flat slices keyed by dense node index, each
+// transmission schedules a single pooled delivery task shared by every
+// receiver, and the cloned packet it carries is recycled after the
+// last callback returns.
 type Network struct {
 	Sim      *Simulator
 	Topo     *Topology
 	Counters *metrics.Counters
 	Params   Params
 
+	// OnPurge, when non-nil, is called for every queued packet a node
+	// loses to a reboot (Network.Restart drains the send queue without
+	// running completion callbacks — a rebooted mote forgets its RAM).
+	// Invariant-checking harnesses use it to keep loss accounting
+	// conservative.
+	OnPurge func(id NodeID, p *Packet)
+
 	apps      []App
 	api       []*NodeAPI
 	dead      []bool
-	linkScale [][]float64
+	linkScale []float64 // flat N×N link degradation factors
+	qualFlat  []float64 // flat copy of Topo.Quality, built at Start
 	active    []transmission
 	txSeq     []uint32
 	started   bool
+
+	delivPool []*delivery
+	timerPool []*timerTask
+	stepPool  []*stepTask
+	inflight  []*delivery // scheduled, not yet run (in-air frames)
 }
 
 // NewNetwork creates a network over topo driven by sim. counters may be
@@ -106,21 +128,18 @@ type Network struct {
 // simulation's goroutine.
 func NewNetwork(sim *Simulator, topo *Topology, counters *metrics.Counters, params Params) *Network {
 	n := &Network{
-		Sim:      sim,
-		Topo:     topo,
-		Counters: counters,
-		Params:   params,
-		apps:     make([]App, topo.N),
-		api:      make([]*NodeAPI, topo.N),
-		dead:     make([]bool, topo.N),
-		txSeq:    make([]uint32, topo.N),
+		Sim:       sim,
+		Topo:      topo,
+		Counters:  counters,
+		Params:    params,
+		apps:      make([]App, topo.N),
+		api:       make([]*NodeAPI, topo.N),
+		dead:      make([]bool, topo.N),
+		txSeq:     make([]uint32, topo.N),
+		linkScale: make([]float64, topo.N*topo.N),
 	}
-	n.linkScale = make([][]float64, topo.N)
 	for i := range n.linkScale {
-		n.linkScale[i] = make([]float64, topo.N)
-		for j := range n.linkScale[i] {
-			n.linkScale[i][j] = 1
-		}
+		n.linkScale[i] = 1
 	}
 	return n
 }
@@ -131,7 +150,7 @@ func (n *Network) Attach(id NodeID, app App) {
 		panic("netsim: Attach after Start")
 	}
 	n.apps[id] = app
-	n.api[id] = &NodeAPI{net: n, id: id, timerGen: make(map[int]uint64)}
+	n.api[id] = &NodeAPI{net: n, id: id}
 }
 
 // App returns the application attached to id (nil if none).
@@ -144,6 +163,14 @@ func (n *Network) Start() {
 		panic("netsim: double Start")
 	}
 	n.started = true
+	// Freeze the link tables: force the topology's out-link lists and
+	// take a flat copy of the quality matrix for O(1) pair lookups.
+	nn := n.Topo.N
+	n.qualFlat = make([]float64, nn*nn)
+	for i := 0; i < nn; i++ {
+		copy(n.qualFlat[i*nn:(i+1)*nn], n.Topo.Quality[i])
+	}
+	n.Topo.OutLinks(0)
 	for i, app := range n.apps {
 		if app != nil {
 			app.Init(n.api[i])
@@ -172,6 +199,11 @@ func (n *Network) Restart(id NodeID) {
 	if a == nil {
 		return
 	}
+	if n.OnPurge != nil {
+		for _, j := range a.queue {
+			n.OnPurge(id, j.p)
+		}
+	}
 	a.queue = nil
 	a.busy = false
 	a.jobGen++
@@ -188,21 +220,28 @@ func (n *Network) Dead(id NodeID) bool { return n.dead[id] }
 
 // ScaleLink multiplies the delivery probability of the directed link
 // src→dst by f (clamped to [0,1] at use). Used to inject interference.
-func (n *Network) ScaleLink(src, dst NodeID, f float64) { n.linkScale[src][dst] = f }
+func (n *Network) ScaleLink(src, dst NodeID, f float64) {
+	n.linkScale[int(src)*n.Topo.N+int(dst)] = f
+}
 
 // ScaleAllLinks applies ScaleLink to every directed link, modelling a
 // network-wide interference epoch.
 func (n *Network) ScaleAllLinks(f float64) {
 	for i := range n.linkScale {
-		for j := range n.linkScale[i] {
-			n.linkScale[i][j] = f
-		}
+		n.linkScale[i] = f
 	}
 }
 
 // quality returns the effective delivery probability src→dst now.
 func (n *Network) quality(src, dst NodeID) float64 {
-	q := n.Topo.Quality[src][dst] * n.linkScale[src][dst]
+	i := int(src)*n.Topo.N + int(dst)
+	var base float64
+	if n.qualFlat != nil {
+		base = n.qualFlat[i]
+	} else {
+		base = n.Topo.Quality[src][dst] // pre-Start (tests poking directly)
+	}
+	q := base * n.linkScale[i]
 	if q < 0 {
 		return 0
 	}
@@ -273,9 +312,94 @@ func (n *Network) pruneActive(now Time) {
 	n.active = kept
 }
 
+// recvSlot is one receiver of an in-air frame.
+type recvSlot struct {
+	dst       NodeID
+	addressee bool
+}
+
+// delivery is the pooled end-of-airtime task for one transmission: a
+// single cloned packet fanned out to every node that will hear it.
+// Replacing the per-receiver clone + closure of the original design,
+// it is what makes delivery allocation-free in steady state.
+type delivery struct {
+	net  *Network
+	p    Packet // header copy taken at transmit time
+	recv []recvSlot
+	idx  int // position in net.inflight
+}
+
+// Run implements Task: deliver to every receiver, in the ascending-ID
+// order the slots were recorded in (identical to the per-receiver
+// event order of the pre-pooling design), then recycle.
+func (d *delivery) Run() {
+	n := d.net
+	for _, s := range d.recv {
+		if n.dead[s.dst] {
+			continue // died mid-air; misses the frame
+		}
+		if s.addressee {
+			n.Counters.CountReceive(uint16(s.dst), d.p.Class, d.p.Size)
+			n.apps[s.dst].Receive(&d.p)
+		} else {
+			n.Counters.CountSnoop(uint16(s.dst), d.p.Size)
+			n.apps[s.dst].Snoop(&d.p)
+		}
+	}
+	n.releaseDelivery(d)
+}
+
+func (n *Network) newDelivery(p *Packet) *delivery {
+	var d *delivery
+	if k := len(n.delivPool); k > 0 {
+		d = n.delivPool[k-1]
+		n.delivPool = n.delivPool[:k-1]
+	} else {
+		d = &delivery{net: n}
+	}
+	d.p = *p
+	d.recv = d.recv[:0]
+	d.idx = len(n.inflight)
+	n.inflight = append(n.inflight, d)
+	return d
+}
+
+func (n *Network) releaseDelivery(d *delivery) {
+	// Swap-remove from the in-flight list.
+	last := len(n.inflight) - 1
+	n.inflight[d.idx] = n.inflight[last]
+	n.inflight[d.idx].idx = d.idx
+	n.inflight = n.inflight[:last]
+	d.p = Packet{}
+	n.delivPool = append(n.delivPool, d)
+}
+
+// ForEachInFlight visits the header copy of every frame currently on
+// the air (transmitted, not yet delivered). Diagnostic/invariant use.
+func (n *Network) ForEachInFlight(fn func(p *Packet)) {
+	for _, d := range n.inflight {
+		fn(&d.p)
+	}
+}
+
+// ForEachQueued visits every packet waiting in any node's send queue,
+// including the head job whose transmission attempts are in progress.
+// Diagnostic/invariant use.
+func (n *Network) ForEachQueued(fn func(id NodeID, p *Packet)) {
+	for i, a := range n.api {
+		if a == nil {
+			continue
+		}
+		for _, j := range a.queue {
+			fn(NodeID(i), j.p)
+		}
+	}
+}
+
 // transmit puts one frame on the air from src and returns whether dst
 // received it (for unicast ack modelling). It fans the frame out to
-// every audible neighbour, invoking Receive or Snoop as appropriate.
+// every audible neighbour and schedules one delivery task at end of
+// airtime.
 func (n *Network) transmit(p *Packet, requireAck bool) bool {
 	src := p.Src
 	n.txSeq[src]++
@@ -289,12 +413,18 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 
 	delivered := false
 	rng := n.Sim.Rand()
-	for j := 0; j < n.Topo.N; j++ {
-		dst := NodeID(j)
-		if dst == src || n.dead[j] || n.apps[j] == nil {
+	var d *delivery
+	rowBase := int(src) * n.Topo.N
+	for _, lk := range n.Topo.OutLinks(src) {
+		dst := lk.Dst
+		j := int(dst)
+		if n.dead[j] || n.apps[j] == nil {
 			continue
 		}
-		q := n.quality(src, dst)
+		q := lk.Quality * n.linkScale[rowBase+j]
+		if q > 1 {
+			q = 1
+		}
 		if q <= 0 || rng.Float64() >= q {
 			continue
 		}
@@ -302,21 +432,11 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 			n.Counters.CountDrop("collision")
 			continue
 		}
-		cp := p.clone()
 		isAddressee := p.Dst == Broadcast || p.Dst == dst
-		// Deliver at end of airtime; a node that dies mid-air misses it.
-		n.Sim.At(tx.end, func() {
-			if n.dead[dst] {
-				return
-			}
-			if isAddressee {
-				n.Counters.CountReceive(uint16(dst), cp.Class, cp.Size)
-				n.apps[dst].Receive(cp)
-			} else {
-				n.Counters.CountSnoop(uint16(dst), cp.Size)
-				n.apps[dst].Snoop(cp)
-			}
-		})
+		if d == nil {
+			d = n.newDelivery(p)
+		}
+		d.recv = append(d.recv, recvSlot{dst: dst, addressee: isAddressee})
 		if isAddressee && p.Dst == dst {
 			// Model the link-layer ack on the reverse link; ack frames
 			// are short and more robust than data frames.
@@ -333,6 +453,10 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 		}
 	}
 	n.active = append(n.active, tx)
+	if d != nil {
+		// Deliver at end of airtime; a node that dies mid-air misses it.
+		n.Sim.AtTask(tx.end, d)
+	}
 	return delivered
 }
 
@@ -341,6 +465,37 @@ type sendJob struct {
 	p          *Packet
 	requireAck bool
 	done       func(bool)
+}
+
+// timerTask is the pooled scheduled form of one armed timer.
+type timerTask struct {
+	a   *NodeAPI
+	id  int
+	gen uint64
+}
+
+func (t *timerTask) Run() {
+	a, id, gen := t.a, t.id, t.gen
+	net := a.net
+	net.timerPool = append(net.timerPool, t)
+	if gen != a.timerGen[id] || net.dead[a.id] {
+		return
+	}
+	net.apps[a.id].Timer(id)
+}
+
+// stepTask is the pooled scheduled form of one MAC attempt step
+// (backoff expiry, carrier-sense re-check, or retransmission).
+type stepTask struct {
+	a           *NodeAPI
+	gen         uint64
+	try, defers int
+}
+
+func (s *stepTask) Run() {
+	a, gen, try, defers := s.a, s.gen, s.try, s.defers
+	a.net.stepPool = append(a.net.stepPool, s)
+	a.step(gen, try, defers)
 }
 
 // NodeAPI is the interface a node application uses to interact with
@@ -355,7 +510,7 @@ type sendJob struct {
 type NodeAPI struct {
 	net      *Network
 	id       NodeID
-	timerGen map[int]uint64
+	timerGen []uint64 // per-timer-ID arm generation, grown on demand
 	queue    []sendJob
 	busy     bool
 	jobGen   uint64 // invalidates in-flight attempt events on job change
@@ -427,14 +582,26 @@ func (a *NodeAPI) jobDone(ok bool) {
 	}
 }
 
+// scheduleStep arms one pooled MAC step after delay d.
+func (a *NodeAPI) scheduleStep(d Time, gen uint64, try, defers int) {
+	net := a.net
+	var s *stepTask
+	if k := len(net.stepPool); k > 0 {
+		s = net.stepPool[k-1]
+		net.stepPool = net.stepPool[:k-1]
+	} else {
+		s = &stepTask{}
+	}
+	s.a, s.gen, s.try, s.defers = a, gen, try, defers
+	net.Sim.AfterTask(d, s)
+}
+
 // attempt drives the head-of-queue job through backoff, carrier sense,
 // transmission and retries. Scheduled steps carry the job generation
 // so a drained or completed job's stale events are inert.
 func (a *NodeAPI) attempt(try, defers int) {
-	net := a.net
-	gen := a.jobGen
-	backoff := a.randBetween(net.Params.BackoffMin, net.Params.BackoffMax)
-	net.Sim.After(backoff, func() { a.step(gen, try, defers) })
+	backoff := a.randBetween(a.net.Params.BackoffMin, a.net.Params.BackoffMax)
+	a.scheduleStep(backoff, a.jobGen, try, defers)
 }
 
 func (a *NodeAPI) step(gen uint64, try, defers int) {
@@ -453,9 +620,8 @@ func (a *NodeAPI) step(gen uint64, try, defers int) {
 	if net.Params.CarrierSense && defers < net.Params.MaxDefers &&
 		net.channelBusyAt(a.id, net.Sim.Now()) {
 		// Channel busy: defer without spending a transmission.
-		net.Sim.After(a.randBetween(net.Params.BackoffMin, net.Params.BackoffMax), func() {
-			a.step(gen, try, defers+1)
-		})
+		a.scheduleStep(a.randBetween(net.Params.BackoffMin, net.Params.BackoffMax),
+			gen, try, defers+1)
 		return
 	}
 	ok := net.transmit(j.p, j.requireAck)
@@ -468,26 +634,33 @@ func (a *NodeAPI) step(gen uint64, try, defers int) {
 		a.jobDone(false)
 		return
 	}
-	delay := a.randBetween(net.Params.RetryDelayMin, net.Params.RetryDelayMax)
-	net.Sim.After(delay, func() { a.step(gen, try+1, defers) })
+	a.scheduleStep(a.randBetween(net.Params.RetryDelayMin, net.Params.RetryDelayMax),
+		gen, try+1, defers)
 }
 
 // SetTimer schedules Timer(id) to fire after d, replacing any pending
 // timer with the same id.
 func (a *NodeAPI) SetTimer(id int, d Time) {
+	a.timerGen = dense.Grow(a.timerGen, id)
 	a.timerGen[id]++
-	gen := a.timerGen[id]
 	net := a.net
-	net.Sim.After(d, func() {
-		if a.timerGen[id] != gen || net.dead[a.id] {
-			return
-		}
-		net.apps[a.id].Timer(id)
-	})
+	var t *timerTask
+	if k := len(net.timerPool); k > 0 {
+		t = net.timerPool[k-1]
+		net.timerPool = net.timerPool[:k-1]
+	} else {
+		t = &timerTask{}
+	}
+	t.a, t.id, t.gen = a, id, a.timerGen[id]
+	net.Sim.AfterTask(d, t)
 }
 
 // CancelTimer drops any pending timer with the given id.
-func (a *NodeAPI) CancelTimer(id int) { a.timerGen[id]++ }
+func (a *NodeAPI) CancelTimer(id int) {
+	if id < len(a.timerGen) {
+		a.timerGen[id]++
+	}
+}
 
 func (a *NodeAPI) randBetween(lo, hi Time) Time {
 	if hi <= lo {

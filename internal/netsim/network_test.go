@@ -10,7 +10,9 @@ import (
 // newTestRand gives topology property tests a seeded random stream.
 func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-// recorder is a minimal App capturing deliveries for tests.
+// recorder is a minimal App capturing deliveries for tests. Delivered
+// packets are owned by the simulator and recycled after the callback
+// returns, so the recorder keeps copies.
 type recorder struct {
 	api      *NodeAPI
 	received []*Packet
@@ -19,8 +21,8 @@ type recorder struct {
 }
 
 func (r *recorder) Init(api *NodeAPI) { r.api = api }
-func (r *recorder) Receive(p *Packet) { r.received = append(r.received, p) }
-func (r *recorder) Snoop(p *Packet)   { r.snooped = append(r.snooped, p) }
+func (r *recorder) Receive(p *Packet) { cp := *p; r.received = append(r.received, &cp) }
+func (r *recorder) Snoop(p *Packet)   { cp := *p; r.snooped = append(r.snooped, &cp) }
 func (r *recorder) Timer(id int)      { r.timers = append(r.timers, id) }
 
 // pairTopology builds a 3-node chain 0—1—2 with given qualities.

@@ -3,9 +3,7 @@ package netsim
 import "scoop/internal/metrics"
 
 // NodeID identifies a node. The basestation is always node 0, matching
-// the paper's single-basestation deployments. The query bitmap in the
-// Scoop header bounds networks to 128 nodes; the simulator enforces the
-// same limit.
+// the paper's single-basestation deployments.
 type NodeID uint16
 
 // Broadcast is the link-layer broadcast address.
@@ -14,9 +12,15 @@ const Broadcast NodeID = 0xFFFF
 // NoNode marks an unset NodeID field (e.g. "no parent yet").
 const NoNode NodeID = 0xFFFE
 
-// MaxNodes is the largest supported network size, bounded by the
-// 128-bit query bitmap in Scoop's query packets (paper §5.5).
-const MaxNodes = 128
+// MaxNodes is the largest supported network size. The paper's
+// implementation bounds networks to 128 nodes via the fixed 128-bit
+// query bitmap (paper §5.5); the scale tier (DESIGN.md §12) replaces
+// that field with a variable-length bitmap sized to the network — its
+// on-air size keeps the paper's 16-byte floor, so runs at or below
+// 128 nodes are bit-for-bit unchanged — and raises the simulator
+// bound to 1024 so GHT/TAG-regime experiments (hundreds to a
+// thousand nodes) are runnable.
+const MaxNodes = 1024
 
 // Packet is a link-layer frame. Protocol layers attach their content
 // as Payload; Size approximates the on-air byte count so the MAC can
@@ -28,6 +32,11 @@ const MaxNodes = 128
 // (paper §5.2), plus a per-sender monotonically increasing sequence
 // number that neighbours use to estimate link quality by counting gaps
 // (paper §5.2, "snooping").
+//
+// Ownership: the *Packet passed to App.Receive and App.Snoop is owned
+// by the simulator and recycled through a pool once the delivery
+// callback returns. Applications must not retain or mutate it; copy
+// the struct (payloads are immutable by convention and may be kept).
 type Packet struct {
 	Class metrics.Class // message class for accounting
 	Src   NodeID        // link-layer sender of this transmission
@@ -39,11 +48,4 @@ type Packet struct {
 
 	Size    int // approximate bytes on air, including headers
 	Payload any
-}
-
-// clone returns a shallow copy, so each receiver gets an independent
-// header (payloads are treated as immutable by convention).
-func (p *Packet) clone() *Packet {
-	q := *p
-	return &q
 }

@@ -10,12 +10,14 @@
 // seed: all node logic runs as callbacks on one virtual clock. Experiment
 // harnesses achieve parallelism by running independent trials (each with
 // its own Simulator) on separate goroutines.
+//
+// The event loop is allocation-conscious (DESIGN.md §12): events live in
+// a hand-rolled heap of plain structs (no interface boxing), and hot
+// callers schedule pooled Task objects via AtTask/AfterTask instead of
+// fresh closures.
 package netsim
 
-import (
-	"container/heap"
-	"math/rand"
-)
+import "math/rand"
 
 // Time is virtual simulation time in milliseconds.
 type Time int64
@@ -30,36 +32,29 @@ const (
 // Seconds converts a floating-point second count to virtual Time.
 func Seconds(s float64) Time { return Time(s * float64(Second)) }
 
+// Task is a schedulable unit of work. Hot paths implement it on pooled
+// structs so scheduling an event does not allocate a closure.
+type Task interface{ Run() }
+
 type event struct {
-	at  Time
-	seq uint64 // tie-break so equal-time events run in schedule order
-	fn  func()
+	at   Time
+	seq  uint64 // tie-break so equal-time events run in schedule order
+	fn   func()
+	task Task
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not usable; use NewSimulator.
 type Simulator struct {
 	now    Time
-	events eventHeap
+	events []event // binary min-heap ordered by (at, seq)
 	seq    uint64
 	rng    *rand.Rand
 	halted bool
@@ -78,30 +73,90 @@ func (s *Simulator) Now() Time { return s.now }
 // Rand returns the simulator's deterministic random stream.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at absolute virtual time t. Events scheduled
-// in the past run immediately at the current time (never before it).
-func (s *Simulator) At(t Time, fn func()) {
+// push inserts e into the event heap (sift-up on a plain slice; no
+// container/heap interface boxing on this per-event path).
+func (s *Simulator) push(e event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// pop removes and returns the earliest event. Callers check emptiness.
+func (s *Simulator) pop() event {
+	h := s.events
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // drop fn/task references for the GC
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && eventLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < last && eventLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	s.events = h
+	return top
+}
+
+func (s *Simulator) schedule(t Time, fn func(), task Task) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn, task: task})
 }
+
+// At schedules fn to run at absolute virtual time t. Events scheduled
+// in the past run immediately at the current time (never before it).
+func (s *Simulator) At(t Time, fn func()) { s.schedule(t, fn, nil) }
 
 // After schedules fn to run d milliseconds from now.
 func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// AtTask schedules task.Run at absolute virtual time t, without
+// allocating a closure. Semantics match At.
+func (s *Simulator) AtTask(t Time, task Task) { s.schedule(t, nil, task) }
+
+// AfterTask schedules task.Run d milliseconds from now.
+func (s *Simulator) AfterTask(d Time, task Task) { s.AtTask(s.now+d, task) }
+
+func (e event) run() {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	e.task.Run()
+}
 
 // Run processes events in time order until the clock reaches `until`
 // or the queue drains. Events scheduled exactly at `until` still run.
 func (s *Simulator) Run(until Time) {
 	for len(s.events) > 0 && !s.halted {
-		e := s.events[0]
-		if e.at > until {
+		if s.events[0].at > until {
 			break
 		}
-		heap.Pop(&s.events)
+		e := s.pop()
 		s.now = e.at
-		e.fn()
+		e.run()
 	}
 	if s.now < until {
 		s.now = until
@@ -114,9 +169,9 @@ func (s *Simulator) Step() bool {
 	if len(s.events) == 0 || s.halted {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	e := s.pop()
 	s.now = e.at
-	e.fn()
+	e.run()
 	return true
 }
 

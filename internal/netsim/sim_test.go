@@ -188,14 +188,26 @@ func TestSeconds(t *testing.T) {
 	}
 }
 
-func TestEventHeapInterface(t *testing.T) {
-	// Exercise the heap methods directly for coverage of edge paths.
-	h := &eventHeap{}
+func TestEventHeapOrdering(t *testing.T) {
+	// Push events in random time order and verify the hand-rolled heap
+	// pops them back sorted by (time, schedule order).
+	s := NewSimulator(1)
 	r := rand.New(rand.NewSource(3))
 	for i := 0; i < 50; i++ {
-		h.Push(event{at: Time(r.Intn(100)), seq: uint64(i)})
+		s.push(event{at: Time(r.Intn(100)), seq: uint64(i)})
 	}
-	if h.Len() != 50 {
-		t.Fatalf("Len = %d", h.Len())
+	if s.Pending() != 50 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	var prev event
+	for i := 0; i < 50; i++ {
+		e := s.pop()
+		if i > 0 && eventLess(e, prev) {
+			t.Fatalf("pop %d out of order: %v after %v", i, e.at, prev.at)
+		}
+		prev = e
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", s.Pending())
 	}
 }

@@ -1,0 +1,134 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// BenchResult is one micro-bench measurement. AllocsPerOp is the gated
+// number: it is a property of the code, not the machine, so CI can
+// hold a committed baseline to it. NsPerOp and BytesPerOp are recorded
+// for trend reading only.
+type BenchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"nsPerOp"`
+	BytesPerOp  int64  `json:"bytesPerOp"`
+	AllocsPerOp int64  `json:"allocsPerOp"`
+}
+
+// RateResult is one end-to-end sim-rate probe.
+type RateResult struct {
+	N                int     `json:"n"`
+	VirtualS         float64 `json:"virtualS"`
+	SimSecPerWallSec float64 `json:"simSecPerWallSec"`
+}
+
+// Artifact is the committed BENCH_scale.json: the first point of the
+// repo's performance trajectory (ROADMAP "BENCH"). Regenerate with
+// cmd/scoopperf after an intentional hot-path change.
+type Artifact struct {
+	Benches  []BenchResult `json:"benches"`
+	SimRates []RateResult  `json:"simRates"`
+}
+
+// Collect runs every micro bench and sim-rate probe and assembles the
+// artifact. progress, when non-nil, receives one line per finished
+// measurement.
+func Collect(progress func(string)) (Artifact, error) {
+	var a Artifact
+	note := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	for _, be := range Benches() {
+		r := testing.Benchmark(be.Fn)
+		br := BenchResult{
+			Name:        be.Name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		a.Benches = append(a.Benches, br)
+		note("%-20s %12d ns/op %12d B/op %10d allocs/op", br.Name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+	}
+	for _, p := range SimRates() {
+		rate, err := RunSimRate(p)
+		if err != nil {
+			return Artifact{}, err
+		}
+		rr := RateResult{N: p.N, VirtualS: float64(p.Duration) / 1000, SimSecPerWallSec: rate}
+		a.SimRates = append(a.SimRates, rr)
+		note("simrate n=%-5d %38.0f sim-s/wall-s", rr.N, rr.SimSecPerWallSec)
+	}
+	return a, nil
+}
+
+// WriteFile persists the artifact as indented JSON.
+func WriteFile(path string, a Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a committed artifact.
+func ReadFile(path string) (Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Artifact{}, fmt.Errorf("perfbench: parsing %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// GateTolerance is the relative allocs/op regression the CI gate
+// permits before failing (matching the issue's 15% contract — alloc
+// counts jitter slightly with growth-reallocation boundaries, never by
+// 15%, so real pooling regressions are caught).
+const GateTolerance = 0.15
+
+// Gate compares fresh measurements against the committed baseline on
+// allocs/op only. A missing baseline bench passes (new benches are
+// added freely); a missing current bench fails (a gate must not
+// silently retire). Returns human-readable violations.
+func Gate(current, baseline Artifact) []string {
+	cur := make(map[string]BenchResult, len(current.Benches))
+	for _, b := range current.Benches {
+		cur[b.Name] = b
+	}
+	var out []string
+	for _, base := range baseline.Benches {
+		c, ok := cur[base.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline but not measured", base.Name))
+			continue
+		}
+		// The +2 absolute slack keeps zero-alloc baselines gated (15%
+		// of zero is zero) without flagging one-allocation jitter.
+		if float64(c.AllocsPerOp) > float64(base.AllocsPerOp)*(1+GateTolerance)+2 {
+			pct := "from zero"
+			if base.AllocsPerOp > 0 {
+				pct = fmt.Sprintf("%+.1f%%", 100*(float64(c.AllocsPerOp)/float64(base.AllocsPerOp)-1))
+			}
+			out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d (%s, gate %.0f%%)",
+				base.Name, base.AllocsPerOp, c.AllocsPerOp, pct, 100*GateTolerance))
+		}
+	}
+	return out
+}
+
+// GateError folds violations into one error (nil when the gate passes).
+func GateError(violations []string) error {
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("perf gate: %d regression(s):\n  %s", len(violations), strings.Join(violations, "\n  "))
+}

@@ -1,0 +1,86 @@
+package perfbench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func art(allocs int64) Artifact {
+	return Artifact{Benches: []BenchResult{{Name: "x", AllocsPerOp: allocs}}}
+}
+
+func TestGateTolerates15Percent(t *testing.T) {
+	base := art(1000)
+	if v := Gate(art(1140), base); len(v) != 0 {
+		t.Fatalf("within-tolerance regression flagged: %v", v)
+	}
+	if v := Gate(art(1200), base); len(v) != 1 {
+		t.Fatalf("20%% regression not flagged: %v", v)
+	}
+	if v := Gate(art(300), base); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}
+
+func TestGateHoldsZeroAllocBaselines(t *testing.T) {
+	// A fully pooled (0 allocs/op) baseline must still catch
+	// regressions — 15% of zero is zero, so the gate adds a small
+	// absolute slack instead of skipping the comparison.
+	base := art(0)
+	if v := Gate(art(500), base); len(v) != 1 {
+		t.Fatalf("regression from zero-alloc baseline not flagged: %v", v)
+	}
+	if v := Gate(art(2), base); len(v) != 0 {
+		t.Fatalf("one-allocation jitter flagged against zero baseline: %v", v)
+	}
+}
+
+func TestGateFailsOnMissingBench(t *testing.T) {
+	base := art(1000)
+	v := Gate(Artifact{}, base)
+	if len(v) != 1 || !strings.Contains(v[0], "not measured") {
+		t.Fatalf("retired gate not flagged: %v", v)
+	}
+	// New benches without baseline entries pass (forward compatible).
+	if v := Gate(art(5), Artifact{}); len(v) != 0 {
+		t.Fatalf("new bench flagged: %v", v)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := Artifact{
+		Benches:  []BenchResult{{Name: "n", NsPerOp: 1, BytesPerOp: 2, AllocsPerOp: 3}},
+		SimRates: []RateResult{{N: 65, VirtualS: 600, SimSecPerWallSec: 1234}},
+	}
+	p := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(p, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benches) != 1 || got.Benches[0] != a.Benches[0] ||
+		len(got.SimRates) != 1 || got.SimRates[0] != a.SimRates[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestBenchesRunnable executes each registered bench, so a broken
+// bench fails tests rather than CI's perf job. Skipped under -short
+// (the 1000-node bench alone is seconds of work).
+func TestBenchesRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every hot-path bench")
+	}
+	for _, be := range Benches() {
+		be := be
+		t.Run(be.Name, func(t *testing.T) {
+			r := testing.Benchmark(be.Fn)
+			if r.N < 1 {
+				t.Fatal("bench did not run")
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+// Package perfbench defines the repo's hot-path performance
+// benchmarks as plain functions, so the same code runs both as `go
+// test -bench` benchmarks (netsim/core/root bench files wrap them) and
+// inside cmd/scoopperf, which records the numbers into the committed
+// BENCH_scale.json artifact and gates CI on allocs/op regressions.
+//
+// Two kinds of measurements exist:
+//
+//   - Micro benches (Benches): per-simulated-event cost of the netsim
+//     radio fan-out and the full core protocol stack, at several
+//     network sizes. allocs/op is machine-independent and gated;
+//     ns/op and bytes/op are recorded for trend reading only.
+//   - Sim-rate probes (SimRates): end-to-end virtual-time-per-
+//     wallclock-time of a full SCOOP experiment at N ∈ {65, 250,
+//     1000}, the scale-tier headline number. Wall-clock dependent, so
+//     recorded but never gated.
+package perfbench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scoop/internal/core"
+	"scoop/internal/exp"
+	"scoop/internal/metrics"
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+	"scoop/internal/workload"
+)
+
+// Bench is one named micro-benchmark.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Benches returns the gated hot-path micro benches in artifact order.
+func Benches() []Bench {
+	return []Bench{
+		{"netsim/flood/n65", func(b *testing.B) { benchNetsimFlood(b, 65) }},
+		{"netsim/flood/n250", func(b *testing.B) { benchNetsimFlood(b, 250) }},
+		{"netsim/flood/n1000", func(b *testing.B) { benchNetsimFlood(b, 1000) }},
+		{"core/scoop/n65", func(b *testing.B) { benchCoreScoop(b, 65) }},
+		{"core/scoop/n250", func(b *testing.B) { benchCoreScoop(b, 250) }},
+	}
+}
+
+// floodApp is a minimal netsim application that keeps the radio busy:
+// every node broadcasts a beacon-sized frame on a jittered timer for
+// the whole run, exercising the transmit fan-out, carrier sense,
+// collision checks and delivery scheduling with no protocol logic on
+// top.
+type floodApp struct {
+	api *netsim.NodeAPI
+}
+
+func (f *floodApp) Init(api *netsim.NodeAPI) {
+	f.api = api
+	api.SetTimer(0, netsim.Time(1+api.RandIntn(1000)))
+}
+func (f *floodApp) Receive(p *netsim.Packet) {}
+func (f *floodApp) Snoop(p *netsim.Packet)   {}
+func (f *floodApp) Timer(id int) {
+	f.api.Broadcast(&netsim.Packet{Class: metrics.Beacon, Size: 24})
+	f.api.SetTimer(0, netsim.Second+netsim.Time(f.api.RandIntn(500)))
+}
+
+// benchNetsimFlood measures the bare radio/event loop: n nodes
+// broadcasting once a second for one virtual minute. The reported
+// per-op numbers are per virtual minute of simulation.
+func benchNetsimFlood(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo := netsim.GridTopology(n, 2.5, 7)
+		sim := netsim.NewSimulator(11)
+		net := netsim.NewNetwork(sim, topo, metrics.NewCounters(), netsim.DefaultParams())
+		for id := 0; id < n; id++ {
+			net.Attach(netsim.NodeID(id), &floodApp{})
+		}
+		net.Start()
+		sim.Run(netsim.Minute)
+	}
+}
+
+// benchCoreScoop measures the full protocol stack end to end: a SCOOP
+// network (base + nodes, sampling, summaries, index dissemination,
+// data routing) over four virtual minutes. Per-op numbers are per
+// four-virtual-minute run.
+func benchCoreScoop(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo := netsim.GridTopology(n, 2.5, 7)
+		sim := netsim.NewSimulator(13)
+		net := netsim.NewNetwork(sim, topo, metrics.NewCounters(), netsim.DefaultParams())
+		src, err := workload.NewSource("real", n, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := src.Domain()
+		ccfg, err := policy.Config(policy.Scoop, n, lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := &core.RunStats{}
+		warm := netsim.Minute
+		net.Attach(0, core.NewBase(ccfg, stats, warm))
+		for id := 1; id < n; id++ {
+			net.Attach(netsim.NodeID(id), core.NewNode(ccfg, stats, src.Next, warm))
+		}
+		net.Start()
+		sim.Run(4 * netsim.Minute)
+	}
+}
+
+// SimRate is one end-to-end throughput probe: how many virtual
+// milliseconds of a full SCOOP experiment one wall-clock second buys.
+type SimRate struct {
+	N        int
+	Duration netsim.Time
+}
+
+// SimRates returns the scale-tier probe points. Durations shrink as N
+// grows so the whole artifact regenerates in well under a CI minute;
+// the 40-virtual-minute 1000-node acceptance run lives in
+// TestScaleTier1000 instead.
+func SimRates() []SimRate {
+	return []SimRate{
+		{N: 65, Duration: 10 * netsim.Minute},
+		{N: 250, Duration: 6 * netsim.Minute},
+		{N: 1000, Duration: 4 * netsim.Minute},
+	}
+}
+
+// RunSimRate executes one probe and returns virtual-seconds simulated
+// per wall-clock second.
+func RunSimRate(p SimRate) (float64, error) {
+	cfg := exp.Default()
+	cfg.N = p.N
+	cfg.Topology = "grid"
+	cfg.Duration = p.Duration
+	cfg.Warmup = p.Duration / 4
+	cfg.Trials = 1
+	cfg.Seed = 3
+	start := time.Now()
+	if _, err := exp.Run(cfg); err != nil {
+		return 0, fmt.Errorf("perfbench: sim-rate N=%d: %w", p.N, err)
+	}
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return float64(p.Duration) / 1000 / wall, nil
+}

@@ -109,15 +109,32 @@ func rangeMean(h histogram.Histogram, lo, hi int) (mean, halfW float64, ok bool)
 }
 
 // latestPerNode reduces a summary history to each node's freshest
-// snapshot inside the query's time window.
-func latestPerNode(snaps []SummarySnapshot, t0, t1 netsim.Time) map[uint16]SummarySnapshot {
-	out := make(map[uint16]SummarySnapshot)
+// snapshot inside the query's time window, in ascending node order.
+// The order is load-bearing: estimates sum floating-point mass across
+// nodes, and iterating a map here made the final bits of aggregate
+// answers depend on Go's randomized map order — the one nondeterminism
+// ever observed in committed sweep artifacts (DESIGN.md §2, §9).
+func latestPerNode(snaps []SummarySnapshot, t0, t1 netsim.Time) []SummarySnapshot {
+	byNode := make(map[uint16]SummarySnapshot)
+	maxNode := uint16(0)
 	for _, s := range snaps {
 		if s.SentAt < t0 || s.SentAt > t1 {
 			continue
 		}
-		if cur, ok := out[s.Node]; !ok || s.SentAt > cur.SentAt {
-			out[s.Node] = s
+		if cur, ok := byNode[s.Node]; !ok || s.SentAt > cur.SentAt {
+			byNode[s.Node] = s
+			if s.Node > maxNode {
+				maxNode = s.Node
+			}
+		}
+	}
+	out := make([]SummarySnapshot, 0, len(byNode))
+	for id := uint16(0); len(out) < len(byNode); id++ {
+		if s, ok := byNode[id]; ok {
+			out = append(out, s)
+		}
+		if id == maxNode {
+			break
 		}
 	}
 	return out
@@ -275,7 +292,7 @@ func extremeInRange(h histogram.Histogram, lo, hi int, wantMax bool) (v, absErr 
 // quantileFromSummaries merges per-node histogram mass into one value
 // CDF over the query range and reads the q-quantile off it. The error
 // bound is the widest contributing bin relative to the answer.
-func quantileFromSummaries(q AggQuery, latest map[uint16]SummarySnapshot, windowSec float64) Estimate {
+func quantileFromSummaries(q AggQuery, latest []SummarySnapshot, windowSec float64) Estimate {
 	frac := q.Quantile
 	if frac <= 0 || frac >= 1 {
 		return Estimate{}

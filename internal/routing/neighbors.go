@@ -3,6 +3,12 @@
 // basestation built from periodic beacons, Woo-style snoop-based link
 // quality estimation, a bounded neighbor table, and a bounded
 // descendants list used to route packets down the tree.
+//
+// Both bounded tables are small flat arrays maintained in place
+// (DESIGN.md §12): an Observe on the per-delivery hot path is a linear
+// scan of at most the capacity (32 in the paper's experiments), with
+// no hashing, no allocation and no rebuild-from-scratch — at 1000
+// nodes every delivered or snooped frame lands here.
 package routing
 
 import (
@@ -21,6 +27,7 @@ type NeighborInfo struct {
 }
 
 type neighborState struct {
+	id        netsim.NodeID
 	lastSeq   uint32
 	received  int
 	missed    int
@@ -44,11 +51,12 @@ func (s *neighborState) quality() float64 {
 // quality from sequence-number gaps. Capacity is bounded (32 in the
 // paper's experiments); the stalest entry is evicted when full, and
 // entries not heard from for evictAfter are dropped, "thus adapting to
-// changes in network connectivity".
+// changes in network connectivity". Entries live in a flat bounded
+// slice in insertion order, compacted in place on eviction.
 type NeighborTable struct {
 	cap        int
 	evictAfter netsim.Time
-	entries    map[netsim.NodeID]*neighborState
+	entries    []neighborState
 }
 
 // NewNeighborTable returns a table bounded to capacity entries.
@@ -59,25 +67,37 @@ func NewNeighborTable(capacity int, evictAfter netsim.Time) *NeighborTable {
 	return &NeighborTable{
 		cap:        capacity,
 		evictAfter: evictAfter,
-		entries:    make(map[netsim.NodeID]*neighborState),
+		entries:    make([]neighborState, 0, capacity),
 	}
+}
+
+// find returns the index of id's entry, or -1.
+func (t *NeighborTable) find(id netsim.NodeID) int {
+	for i := range t.entries {
+		if t.entries[i].id == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // Observe records that a packet with sequence number seq was heard from
 // id at time now.
 func (t *NeighborTable) Observe(id netsim.NodeID, seq uint32, now netsim.Time) {
-	s, ok := t.entries[id]
-	if !ok {
+	i := t.find(id)
+	if i < 0 {
 		if len(t.entries) >= t.cap {
 			t.evictStalest(now)
 			if len(t.entries) >= t.cap {
 				return // table still full of fresher entries
 			}
 		}
-		s = &neighborState{lastSeq: seq, received: 1, lastHeard: now}
-		t.entries[id] = s
+		t.entries = append(t.entries, neighborState{
+			id: id, lastSeq: seq, received: 1, lastHeard: now,
+		})
 		return
 	}
+	s := &t.entries[i]
 	if seq > s.lastSeq {
 		miss := int(seq-s.lastSeq) - 1
 		if miss > 16 {
@@ -98,18 +118,25 @@ func (t *NeighborTable) Observe(id netsim.NodeID, seq uint32, now netsim.Time) {
 	}
 }
 
+// evictStalest drops the least recently heard entry. Ties break toward
+// the earliest-inserted entry — a fixed, deterministic rule where the
+// old map-backed table left the victim to random iteration order.
 func (t *NeighborTable) evictStalest(now netsim.Time) {
-	var victim netsim.NodeID
+	victim := -1
 	oldest := netsim.Time(1<<62 - 1)
-	found := false
-	for id, s := range t.entries {
-		if s.lastHeard < oldest {
-			oldest, victim, found = s.lastHeard, id, true
+	for i := range t.entries {
+		if t.entries[i].lastHeard < oldest {
+			oldest, victim = t.entries[i].lastHeard, i
 		}
 	}
-	if found && (t.evictAfter == 0 || now-oldest >= 0) {
-		delete(t.entries, victim)
+	if victim >= 0 && (t.evictAfter == 0 || now-oldest >= 0) {
+		t.remove(victim)
 	}
+}
+
+// remove deletes entry i, preserving insertion order.
+func (t *NeighborTable) remove(i int) {
+	t.entries = append(t.entries[:i], t.entries[i+1:]...)
 }
 
 // Expire drops entries not heard from within the eviction window.
@@ -117,69 +144,94 @@ func (t *NeighborTable) Expire(now netsim.Time) {
 	if t.evictAfter <= 0 {
 		return
 	}
-	for id, s := range t.entries {
-		if now-s.lastHeard > t.evictAfter {
-			delete(t.entries, id)
+	kept := t.entries[:0]
+	for _, s := range t.entries {
+		if now-s.lastHeard <= t.evictAfter {
+			kept = append(kept, s)
 		}
 	}
+	t.entries = kept
 }
 
 // Quality returns the current link-quality estimate for id (0 when
 // unknown).
 func (t *NeighborTable) Quality(id netsim.NodeID) float64 {
-	if s, ok := t.entries[id]; ok {
-		return s.quality()
+	if i := t.find(id); i >= 0 {
+		return t.entries[i].quality()
 	}
 	return 0
 }
 
 // Contains reports whether id is currently tracked.
-func (t *NeighborTable) Contains(id netsim.NodeID) bool {
-	_, ok := t.entries[id]
-	return ok
-}
+func (t *NeighborTable) Contains(id netsim.NodeID) bool { return t.find(id) >= 0 }
 
 // Len reports the number of tracked neighbors.
 func (t *NeighborTable) Len() int { return len(t.entries) }
 
+// best orders entries by descending quality, then ascending ID.
+func best(a, b NeighborInfo) bool {
+	if a.Quality != b.Quality {
+		return a.Quality > b.Quality
+	}
+	return a.ID < b.ID
+}
+
 // Best returns up to n entries sorted by descending quality, the list
-// shipped in summary messages (12 in the paper's experiments).
+// shipped in summary messages (12 in the paper's experiments). The
+// result is freshly allocated — callers embed it in message payloads
+// that outlive the table state — but the selection is an incremental
+// top-n insertion over the bounded table, not a full sort of a
+// rebuilt copy.
 func (t *NeighborTable) Best(n int) []NeighborInfo {
-	all := make([]NeighborInfo, 0, len(t.entries))
-	for id, s := range t.entries {
-		all = append(all, NeighborInfo{ID: id, Quality: s.quality()})
+	if n > len(t.entries) {
+		n = len(t.entries)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Quality != all[j].Quality {
-			return all[i].Quality > all[j].Quality
+	out := make([]NeighborInfo, 0, n)
+	for i := range t.entries {
+		cand := NeighborInfo{ID: t.entries[i].id, Quality: t.entries[i].quality()}
+		if len(out) == n {
+			if n == 0 || !best(cand, out[n-1]) {
+				continue
+			}
+			out = out[:n-1]
 		}
-		return all[i].ID < all[j].ID
-	})
-	if len(all) > n {
-		all = all[:n]
+		// Insertion into the (short) sorted prefix.
+		k := len(out)
+		out = append(out, cand)
+		for k > 0 && best(out[k], out[k-1]) {
+			out[k], out[k-1] = out[k-1], out[k]
+			k--
+		}
 	}
-	return all
+	return out
 }
 
 // IDs returns all tracked neighbor IDs in ascending order.
 func (t *NeighborTable) IDs() []netsim.NodeID {
 	ids := make([]netsim.NodeID, 0, len(t.entries))
-	for id := range t.entries {
-		ids = append(ids, id)
+	for i := range t.entries {
+		ids = append(ids, t.entries[i].id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// descendant is one DescendantSet entry: origin is reached via child.
+type descendant struct {
+	origin  netsim.NodeID
+	child   netsim.NodeID
+	touched netsim.Time
 }
 
 // DescendantSet maps descendants to the child branch they are reached
 // through, learned by tracking the origin of packets routed up the
 // tree (paper §5.1). Bounded capacity (32 in the experiments) with
 // stalest-entry eviction; overflow merely degrades routing, it never
-// breaks it (packets fall back to the parent path).
+// breaks it (packets fall back to the parent path). Entries live in a
+// flat bounded slice like the neighbor table's.
 type DescendantSet struct {
 	cap     int
-	via     map[netsim.NodeID]netsim.NodeID
-	touched map[netsim.NodeID]netsim.Time
+	entries []descendant
 }
 
 // NewDescendantSet returns a set bounded to capacity entries.
@@ -187,51 +239,62 @@ func NewDescendantSet(capacity int) *DescendantSet {
 	if capacity <= 0 {
 		panic("routing: non-positive descendant set capacity")
 	}
-	return &DescendantSet{
-		cap:     capacity,
-		via:     make(map[netsim.NodeID]netsim.NodeID),
-		touched: make(map[netsim.NodeID]netsim.Time),
+	return &DescendantSet{cap: capacity, entries: make([]descendant, 0, capacity)}
+}
+
+func (d *DescendantSet) find(origin netsim.NodeID) int {
+	for i := range d.entries {
+		if d.entries[i].origin == origin {
+			return i
+		}
 	}
+	return -1
 }
 
 // Record notes that packets from origin arrive via child, i.e. origin
 // is in child's subtree.
 func (d *DescendantSet) Record(origin, child netsim.NodeID, now netsim.Time) {
-	if _, ok := d.via[origin]; !ok && len(d.via) >= d.cap {
-		var victim netsim.NodeID
-		oldest := netsim.Time(1<<62 - 1)
-		for id, t := range d.touched {
-			if t < oldest {
-				oldest, victim = t, id
+	i := d.find(origin)
+	if i < 0 {
+		if len(d.entries) >= d.cap {
+			victim, oldest := 0, netsim.Time(1<<62-1)
+			for k := range d.entries {
+				if d.entries[k].touched < oldest {
+					oldest, victim = d.entries[k].touched, k
+				}
 			}
+			d.entries = append(d.entries[:victim], d.entries[victim+1:]...)
 		}
-		delete(d.via, victim)
-		delete(d.touched, victim)
+		d.entries = append(d.entries, descendant{origin: origin, child: child, touched: now})
+		return
 	}
-	d.via[origin] = child
-	d.touched[origin] = now
+	d.entries[i].child = child
+	d.entries[i].touched = now
 }
 
 // NextHop returns the child branch leading to dst, if known.
 func (d *DescendantSet) NextHop(dst netsim.NodeID) (netsim.NodeID, bool) {
-	c, ok := d.via[dst]
-	return c, ok
+	if i := d.find(dst); i >= 0 {
+		return d.entries[i].child, true
+	}
+	return 0, false
 }
 
 // Forget drops a descendant (e.g. when delivery via its branch fails).
 func (d *DescendantSet) Forget(dst netsim.NodeID) {
-	delete(d.via, dst)
-	delete(d.touched, dst)
+	if i := d.find(dst); i >= 0 {
+		d.entries = append(d.entries[:i], d.entries[i+1:]...)
+	}
 }
 
 // Len reports the number of tracked descendants.
-func (d *DescendantSet) Len() int { return len(d.via) }
+func (d *DescendantSet) Len() int { return len(d.entries) }
 
 // IDs returns all descendants in ascending order.
 func (d *DescendantSet) IDs() []netsim.NodeID {
-	ids := make([]netsim.NodeID, 0, len(d.via))
-	for id := range d.via {
-		ids = append(ids, id)
+	ids := make([]netsim.NodeID, 0, len(d.entries))
+	for i := range d.entries {
+		ids = append(ids, d.entries[i].origin)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids

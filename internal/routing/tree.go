@@ -64,7 +64,10 @@ type Tree struct {
 
 	// outEst[k] is how well k hears us (our outbound delivery
 	// probability to k), learned from k's beacon estimate exchange.
-	outEst map[netsim.NodeID]float64
+	// Dense by node ID (with a known-flag array), consulted on every
+	// routed data message.
+	outEst []float64
+	outSet []bool
 }
 
 // NewTree creates the routing state for one node. isBase marks the
@@ -77,7 +80,8 @@ func NewTree(api *netsim.NodeAPI, isBase bool, cfg Config) *Tree {
 		Neighbors:   NewNeighborTable(cfg.NeighborCap, cfg.EvictAfter),
 		Descendants: NewDescendantSet(cfg.DescendantCap),
 		parent:      netsim.NoNode,
-		outEst:      make(map[netsim.NodeID]float64),
+		outEst:      make([]float64, api.N()),
+		outSet:      make([]bool, api.N()),
 	}
 	if isBase {
 		t.etx = 0
@@ -167,6 +171,7 @@ func (t *Tree) onBeacon(from netsim.NodeID, b Beacon) {
 	for _, e := range b.Estimates {
 		if e.ID == me {
 			t.outEst[from] = e.Quality
+			t.outSet[from] = true
 		}
 	}
 	if t.isBase {
@@ -211,8 +216,8 @@ func (t *Tree) onBeacon(from netsim.NodeID, b Beacon) {
 // neighbor id: the neighbor's advertised estimate when available,
 // otherwise the inbound estimate discounted for asymmetry.
 func (t *Tree) OutQuality(id netsim.NodeID) float64 {
-	if q, ok := t.outEst[id]; ok {
-		return q
+	if t.outSet[id] {
+		return t.outEst[id]
 	}
 	return t.Neighbors.Quality(id) * 0.8
 }

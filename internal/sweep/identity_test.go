@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scoop/internal/netsim"
+	"scoop/internal/policy"
+)
+
+// identityGrid is the pinned N=65 grid whose artifact is committed at
+// testdata/sweep-identity-n65.json. The artifact was generated BEFORE
+// the scale-tier hot-path overhaul (object pooling, dense node
+// indices, flattened link tables), so regenerating it byte-identically
+// proves the overhaul changed no simulated behaviour at the paper's
+// scale — the determinism constraint of DESIGN.md §2/§12, asserted
+// directly rather than via the 10%-tolerance CI gates.
+func identityGrid() Grid {
+	return Grid{
+		Name:           "identity-n65",
+		Policies:       []policy.Name{policy.Scoop, policy.Local},
+		Topologies:     []string{"uniform"},
+		Sizes:          []int{65},
+		LossRates:      []float64{0, 0.2},
+		Sources:        []string{"real"},
+		Duration:       10 * netsim.Minute,
+		Warmup:         3 * netsim.Minute,
+		SampleInterval: 15 * netsim.Second,
+		QueryInterval:  15 * netsim.Second,
+		Trials:         1,
+		Seed:           42,
+	}
+}
+
+// TestCellResultIdentityN65 regenerates the pinned cells and requires
+// byte-for-byte equality with the committed artifact — not "within
+// tolerance". If an intentional protocol change fails this test,
+// regenerate the artifact (see the committed file's grid above) in the
+// same commit and say why in the message.
+func TestCellResultIdentityN65(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "sweep-identity-n65.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(identityGrid(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "identity.json")
+	if err := WriteFile(tmp, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("N=65 cells are not byte-identical to the pre-overhaul artifact.\n"+
+			"If this change to simulated behaviour is intentional, regenerate "+
+			"testdata/sweep-identity-n65.json and justify it in the commit.\n"+
+			"got %d bytes, want %d bytes", len(got), len(want))
+	}
+}
+
+// TestRunRepeatable runs the identity grid twice in-process and
+// requires equal artifacts — determinism independent of the committed
+// file (catches map-iteration or scheduling nondeterminism even after
+// an intentional regeneration).
+func TestRunRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("identity test already covers one regeneration")
+	}
+	a, err := Run(identityGrid(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(identityGrid(), Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := filepath.Join(t.TempDir(), "a.json")
+	pb := filepath.Join(t.TempDir(), "b.json")
+	if err := WriteFile(pa, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(pb, b); err != nil {
+		t.Fatal(err)
+	}
+	ba, err := os.ReadFile(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same grid, different artifacts across parallelism levels")
+	}
+}

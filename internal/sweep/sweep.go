@@ -53,6 +53,13 @@ type Grid struct {
 	QueryMixes []float64
 	Sources    []string // workload skews ("unique", "real", "random", ...)
 
+	// ScaleSizes is the scale-tier axis: for each size it appends
+	// scoop/hash/local cells on the multi-hop "grid" topology at zero
+	// injected loss over the first Source — the GHT/TAG regime up to
+	// netsim.MaxNodes (1024). Kept separate from Sizes so the paper's
+	// dense cross-product is not multiplied by thousand-node cells.
+	ScaleSizes []int
+
 	// Shared per-cell run parameters (see exp.Config).
 	Duration       netsim.Time
 	Warmup         netsim.Time
@@ -148,9 +155,26 @@ func (g Grid) Cells() []Cell {
 	reindex := orDefault(g.Reindex, true)
 	mixes := orDefault(g.QueryMixes, 0)
 	sources := orDefault(g.Sources, "real")
-	total := len(policies) * len(topos) * len(sizes) * len(losses) *
-		len(churns) * len(drifts) * len(reindex) * len(mixes) * len(sources)
+	total := len(policies)*len(topos)*len(sizes)*len(losses)*
+		len(churns)*len(drifts)*len(reindex)*len(mixes)*len(sources) +
+		3*len(g.ScaleSizes)
 	cells := make([]Cell, 0, total)
+	appendScaleCells := func() {
+		seen := make(map[string]bool, len(cells))
+		for _, c := range cells {
+			seen[c.Key()] = true
+		}
+		for _, n := range g.ScaleSizes {
+			for _, p := range []policy.Name{policy.Scoop, policy.Hash, policy.Local} {
+				c := Cell{Index: len(cells), Policy: p, Topology: "grid",
+					N: n, Source: sources[0]}
+				if seen[c.Key()] {
+					continue // already covered by the main grid
+				}
+				cells = append(cells, c)
+			}
+		}
+	}
 	for _, p := range policies {
 		for _, topo := range topos {
 			for _, n := range sizes {
@@ -195,6 +219,7 @@ func (g Grid) Cells() []Cell {
 			}
 		}
 	}
+	appendScaleCells()
 	return cells
 }
 

@@ -1,0 +1,19 @@
+package scoop
+
+// Scale-tier hot-path benchmarks: the same measurements cmd/scoopperf
+// records into BENCH_scale.json, exposed to `go test -bench` so local
+// work gets allocs/op feedback without running the artifact tool.
+//
+//	go test -bench 'HotPaths' -benchtime 1x .
+
+import (
+	"testing"
+
+	"scoop/internal/perfbench"
+)
+
+func BenchmarkHotPaths(b *testing.B) {
+	for _, be := range perfbench.Benches() {
+		b.Run(be.Name, be.Fn)
+	}
+}

@@ -76,7 +76,7 @@ type ExperimentConfig struct {
 	Policy   Policy
 	Source   Source
 	Topology Topology
-	Nodes    int // network size including the basestation (≤128)
+	Nodes    int // network size including the basestation (≤ netsim.MaxNodes)
 
 	Duration time.Duration // total virtual run time
 	Warmup   time.Duration // tree stabilisation before sampling

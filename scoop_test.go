@@ -53,7 +53,7 @@ func TestRunExperimentValidation(t *testing.T) {
 		t.Fatal("accepted 1-node network")
 	}
 	cfg = quickExperiment()
-	cfg.Nodes = 300
+	cfg.Nodes = 2000 // above the scale-tier bound (netsim.MaxNodes = 1024)
 	if _, err := RunExperiment(cfg); err == nil {
 		t.Fatal("accepted oversized network")
 	}
