@@ -216,8 +216,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep, err := sweep.Run(c.grid, sweep.Options{
 		Parallel: c.parallel,
 		Progress: func(r sweep.CellResult) {
-			fmt.Fprintf(stderr, "  [%3d/%d] %-40s msgs=%8.0f data=%.2f wall=%.0fms\n",
+			line := fmt.Sprintf("  [%3d/%d] %-40s msgs=%8.0f data=%.2f wall=%.0fms",
 				r.Index+1, len(cells), r.Key(), r.Msgs, r.DataSuccess, r.WallMS)
+			if r.ReindexBuilds > 0 {
+				// Reindex cost: values recomputed vs total across the
+				// cell's rebuilds, SPT sources relaxed, wall time.
+				line += fmt.Sprintf(" reindex=%d/%dv/%dspt/%.0fms",
+					r.ReindexRecomputed, r.ReindexValues, r.ReindexSPT, r.ReindexWallMS)
+			}
+			fmt.Fprintln(stderr, line)
 		},
 	})
 	if err != nil {

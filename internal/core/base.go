@@ -66,6 +66,15 @@ type Base struct {
 	qidNext  uint16
 	remaps   int // scheduled remaps run so far (RemapLimit bookkeeping)
 
+	// Reindex pipeline state, reused across rebuilds: the link-quality
+	// graph (Reset each epoch), the incremental index builder with its
+	// solver/contributor/owner scratch, and the per-node statistics
+	// slice buildInput refills.
+	graph      *index.Graph
+	builder    index.Builder
+	statsInput []index.NodeStat
+	profProb   []float64
+
 	// Aggregate query engine: outstanding agg queries under gossip,
 	// per-query answer assembly, and partial-message dedup.
 	aggOut       []*AggQueryMsg // dense by query ID
@@ -112,6 +121,10 @@ func (b *Base) Init(api *netsim.NodeAPI) {
 	b.aggOut = nil
 	b.pendingAgg = nil
 	b.seenAggParts.reset()
+	b.graph = index.NewGraph(api.N())
+	b.builder = index.Builder{DirtyEpsilon: b.cfg.ReindexEpsilon}
+	b.statsInput = make([]index.NodeStat, api.N())
+	b.profProb = make([]float64, b.cfg.DomainMax-b.cfg.DomainMin+1)
 	b.mapGos = trickle.New(api, timerMapping, b.cfg.MappingTrickle, b.sendChunk)
 	b.qGos = trickle.New(api, timerQuery, b.cfg.QueryTrickle, b.sendQuery)
 	if b.cfg.Preload != nil {
@@ -261,10 +274,18 @@ func (b *Base) Remap() {
 	id := b.nextID + 1
 	var ix *index.Index
 	if b.cfg.StoreLocalFallback {
-		ix = index.ChooseIndex(id, in)
+		ix = b.builder.ChooseIndex(id, &in)
 	} else {
-		ix = index.Build(id, in)
+		ix = b.builder.Build(id, &in)
 	}
+	bs := b.builder.LastStats()
+	b.stats.ReindexValues += int64(bs.Values)
+	b.stats.ReindexRecomputed += int64(bs.Recomputed)
+	b.stats.ReindexSPTSources += int64(bs.SPTSources)
+	if bs.FullRebuild {
+		b.stats.ReindexFull++
+	}
+	b.stats.ReindexWallNanos += bs.WallNanos
 	if b.cur != nil && index.Similarity(ix, b.cur) >= b.cfg.SimilaritySuppress {
 		b.stats.IndexesSuppressed++
 		return
@@ -286,9 +307,14 @@ func (b *Base) Remap() {
 
 // buildInput assembles the indexing algorithm's input from the latest
 // summaries (histograms, rates, link qualities) and the query log.
+// Every buffer it touches — the link graph, the per-node statistics
+// slice, the query-probability row — is basestation-owned scratch
+// reused across rebuilds, so the steady-state reindex loop stays off
+// the allocator.
 func (b *Base) buildInput() index.BuildInput {
 	n := b.api.N()
-	g := index.NewGraph(n)
+	g := b.graph
+	g.Reset()
 	// Summaries older than StatStaleAfter are excluded: their nodes
 	// have stopped reporting (dead, partitioned), so the next index
 	// epoch must neither trust their links nor assign them ownership.
@@ -312,7 +338,10 @@ func (b *Base) buildInput() index.BuildInput {
 	for _, nb := range b.tree.Neighbors.Best(n) {
 		g.Report(nb.ID, b.api.ID(), nb.Quality)
 	}
-	nodes := make([]index.NodeStat, n)
+	nodes := b.statsInput
+	for i := range nodes {
+		nodes[i] = index.NodeStat{}
+	}
 	for id, s := range b.latest {
 		if s == nil || !fresh(s) {
 			continue
@@ -324,7 +353,7 @@ func (b *Base) buildInput() index.BuildInput {
 		Base:     b.api.ID(),
 		Nodes:    nodes,
 		Query:    b.queryProfile(),
-		Xmits:    g.Xmits(),
+		Graph:    g, // the builder runs the sparse shortest-path pass
 		MinValue: b.cfg.DomainMin,
 		MaxValue: b.cfg.DomainMax,
 	}
@@ -337,9 +366,12 @@ func (b *Base) queryProfile() index.QueryProfile {
 	if len(window) > b.cfg.QueryStatsWindow {
 		window = window[len(window)-b.cfg.QueryStatsWindow:]
 	}
+	for i := range b.profProb {
+		b.profProb[i] = 0
+	}
 	prof := index.QueryProfile{
 		MinValue: b.cfg.DomainMin,
-		Prob:     make([]float64, b.cfg.DomainMax-b.cfg.DomainMin+1),
+		Prob:     b.profProb,
 	}
 	if len(window) == 0 {
 		return prof

@@ -82,6 +82,15 @@ type Config struct {
 	// experiments set it to a few summary intervals.
 	StatStaleAfter netsim.Time
 
+	// ReindexEpsilon is the relative change below which the
+	// incremental index builder treats contributor weights, query
+	// probabilities and xmits entries as unchanged between rebuilds
+	// (index.Builder.DirtyEpsilon). 0 — the default, and what every
+	// committed baseline runs — means exact: incremental rebuilds are
+	// bit-identical to from-scratch ones. Positive values trade that
+	// exactness for fewer recomputations under noisy link estimators.
+	ReindexEpsilon float64
+
 	// ReplyMaxReadings caps readings carried in one reply message.
 	ReplyMaxReadings int
 	// QueryStatsWindow is how many recent queries feed the query
@@ -225,6 +234,17 @@ type RunStats struct {
 	IndexesBuilt      int64
 	IndexesSuppressed int64
 	SummaryAnswered   int64 // queries answered from summaries alone
+
+	// Reindex cost probe (index.BuildStats, summed across rebuilds):
+	// how much work the basestation's index-construction pipeline
+	// actually did. ReindexWallNanos is wall-clock (machine-dependent,
+	// operator visibility only — it must never enter a committed
+	// artifact); the other counters are deterministic.
+	ReindexValues     int64 // value-domain entries across all rebuilds
+	ReindexRecomputed int64 // values whose best-owner search re-ran
+	ReindexSPTSources int64 // Dijkstra sources relaxed (0 when links were stable)
+	ReindexFull       int64 // rebuilds that ran without usable incremental state
+	ReindexWallNanos  int64 // wall-clock spent building indexes
 
 	// Aggregate query engine counters.
 	AggQueriesIssued    int64 // aggregate queries issued at the base

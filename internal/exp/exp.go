@@ -761,6 +761,11 @@ func addStats(dst, src *core.RunStats) {
 	dst.IndexesBuilt += src.IndexesBuilt
 	dst.IndexesSuppressed += src.IndexesSuppressed
 	dst.SummaryAnswered += src.SummaryAnswered
+	dst.ReindexValues += src.ReindexValues
+	dst.ReindexRecomputed += src.ReindexRecomputed
+	dst.ReindexSPTSources += src.ReindexSPTSources
+	dst.ReindexFull += src.ReindexFull
+	dst.ReindexWallNanos += src.ReindexWallNanos
 	dst.AggQueriesIssued += src.AggQueriesIssued
 	dst.AggQueriesHeard += src.AggQueriesHeard
 	dst.AggRepliesSent += src.AggRepliesSent

@@ -87,6 +87,68 @@ func BenchmarkBuild128Nodes(b *testing.B) {
 	}
 }
 
+// rebuildBenchScenario builds an n-node ~12-degree graph plus full
+// statistics, the reindex-pipeline comparison scenario (mirrors the
+// perfbench index/rebuild shape).
+func rebuildBenchScenario(n int, seed int64) (*Graph, BuildInput) {
+	r := rand.New(rand.NewSource(seed))
+	domain := 151
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < 12; d++ {
+			if j := r.Intn(n); j != i {
+				g.Report(netsim.NodeID(i), netsim.NodeID(j), 0.2+0.75*r.Float64())
+			}
+		}
+	}
+	nodes := make([]NodeStat, n)
+	for i := 1; i < n; i++ {
+		vals := make([]int, 30)
+		center := r.Intn(domain)
+		for k := range vals {
+			vals[k] = clampInt(center+k%21-10, 0, domain-1)
+		}
+		nodes[i] = NodeStat{Hist: histogram.Build(vals, 10), Rate: 1.0 / 15}
+	}
+	in := BuildInput{
+		N: n, Base: 0, Nodes: nodes,
+		Query:    QueryProfile{Rate: 1.0 / 15, MinValue: 0, Prob: uniformProb(domain)},
+		MinValue: 0, MaxValue: domain - 1,
+	}
+	return g, in
+}
+
+// BenchmarkRebuildPipelineDense1000 measures the pre-overhaul
+// basestation pipeline at the scale tier: dense Floyd–Warshall plus
+// the naive per-(owner,value) cost scan — the baseline the ≥5×
+// index/rebuild/n1000 speedup claim is measured against.
+//
+//	go test -bench 'RebuildPipeline' -benchtime 3x ./internal/index
+func BenchmarkRebuildPipelineDense1000(b *testing.B) {
+	g, in := rebuildBenchScenario(1000, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := in
+		in.Xmits = g.XmitsDense()
+		naiveOwners(in)
+	}
+}
+
+// BenchmarkRebuildPipelineSparse1000 is the same full (cold) rebuild
+// through the new pipeline — sparse SPT plus the contributor-table
+// owner search — without incremental credit (fresh Builder per op;
+// the steady-state warm path is perfbench's index/rebuild/n1000).
+func BenchmarkRebuildPipelineSparse1000(b *testing.B) {
+	g, in := rebuildBenchScenario(1000, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bl Builder
+		in := in
+		in.Graph = g
+		bl.BuildOwners(&in)
+	}
+}
+
 // BenchmarkXmitsAllPairs measures the Floyd–Warshall ETX pass alone.
 func BenchmarkXmitsAllPairs(b *testing.B) {
 	r := rand.New(rand.NewSource(4))

@@ -42,10 +42,15 @@ type BuildInput struct {
 	// Nodes holds the last-known statistics, indexed by NodeID; a
 	// zero entry means no summary has arrived from that node. A dense
 	// slice (not a map) keeps cost summation order deterministic.
-	Nodes    []NodeStat
-	Query    QueryProfile
-	Xmits    [][]float64 // all-pairs expected transmissions (Graph.Xmits)
-	MinValue int         // attribute value domain, inclusive
+	Nodes []NodeStat
+	Query QueryProfile
+	// Xmits is the all-pairs expected-transmission matrix. Callers
+	// may leave it nil and set Graph instead; the build then runs the
+	// sparse shortest-path pass itself (with a Builder, reusing its
+	// scratch) and fills Xmits in.
+	Xmits    [][]float64
+	Graph    *Graph
+	MinValue int // attribute value domain, inclusive
 	MaxValue int
 }
 
@@ -105,9 +110,18 @@ type contribTable struct {
 	weights []float64 // prob(v)·rate per (value, producer)
 }
 
-func buildContribs(in BuildInput) contribTable {
+// build fills the table from the input's histograms, reusing the
+// receiver's slices across rebuilds (the Builder double-buffers two
+// tables so the previous build's weights survive for dirty diffing).
+func (t *contribTable) build(in *BuildInput) {
 	V := in.domainSize()
-	t := contribTable{off: make([]int32, V+1)}
+	if cap(t.off) < V+1 {
+		t.off = make([]int32, V+1)
+	}
+	t.off = t.off[:V+1]
+	t.off[0] = 0
+	t.prods = t.prods[:0]
+	t.weights = t.weights[:0]
 	for i := 0; i < V; i++ {
 		v := in.MinValue + i
 		for p := range in.Nodes {
@@ -121,7 +135,6 @@ func buildContribs(in BuildInput) contribTable {
 		}
 		t.off[i+1] = int32(len(t.prods))
 	}
-	return t
 }
 
 // cost mirrors BuildInput.Cost over the precomputed contributors.
@@ -155,55 +168,54 @@ func (t *contribTable) cost(in *BuildInput, o netsim.NodeID, vi int) float64 {
 // and compact.
 //
 // The paper's complexity is O(V·n²) (V values, n owners, n
-// producers); with the precomputed contributor lists the inner sum
-// only visits producers that actually emit the value, which is what
-// keeps the PC-class basestation affordable at n = 1000.
+// producers); the implementation visits only producers that actually
+// emit each value (contribTable) and, through a Builder, only values
+// whose cost inputs changed since the last build. This one-shot form
+// runs a throwaway Builder; the basestation keeps a warm one.
 func BuildOwners(in BuildInput) []netsim.NodeID {
-	owners := make([]netsim.NodeID, in.domainSize())
-	ct := buildContribs(in)
-	prev := netsim.NodeID(0)
-	hasPrev := false
-	for i := range owners {
-		best := in.Base
-		bestCost := ct.cost(&in, in.Base, i)
-		for o := 0; o < in.N; o++ {
-			oid := netsim.NodeID(o)
-			if oid == in.Base {
-				continue
-			}
-			if c := ct.cost(&in, oid, i); c < bestCost {
-				best, bestCost = oid, c
-			}
-		}
-		if hasPrev && prev != best {
-			if c := ct.cost(&in, prev, i); c <= bestCost*(1+contiguityTolerance) {
-				best = prev
-			}
-		}
-		owners[i] = best
-		prev, hasPrev = best, true
-	}
-	return owners
+	var b Builder
+	return append([]netsim.NodeID(nil), b.BuildOwners(&in)...)
 }
 
 // Build runs BuildOwners and compacts the result into an Index with
 // the given generation ID.
 func Build(id uint16, in BuildInput) *Index {
-	return New(id, in.MinValue, BuildOwners(in))
+	var b Builder
+	return b.Build(id, &in)
 }
 
 // EvaluateIndexCost returns the total expected messages per second of
 // an arbitrary (non-local) index under the observed statistics —
 // used to compare against the store-local alternative, to cost the
-// analytical HASH baseline, and in ablation benches.
+// analytical HASH baseline, and in ablation benches. The contributor
+// table is built once for the whole evaluation instead of re-scanning
+// every node's histogram per (owner, value) pair.
 func EvaluateIndexCost(ix *Index, in BuildInput) float64 {
+	in.fillXmits()
+	var ct contribTable
+	ct.build(&in)
+	return evalIndexCost(&ct, ix, &in)
+}
+
+// fillXmits honors the BuildInput contract for direct cost queries:
+// when the caller set Graph instead of Xmits, run the sparse pass.
+func (in *BuildInput) fillXmits() {
+	if in.Xmits == nil && in.Graph != nil {
+		in.Xmits = in.Graph.Xmits()
+	}
+}
+
+// evalIndexCost sums the per-value cost of the index's owner choices
+// over a precomputed contributor table (FP-identical to the naive
+// BuildInput.Cost scan).
+func evalIndexCost(ct *contribTable, ix *Index, in *BuildInput) float64 {
 	total := 0.0
-	for v := in.MinValue; v <= in.MaxValue; v++ {
-		o, ok := ix.Owner(v)
+	for i := 0; i < in.domainSize(); i++ {
+		o, ok := ix.Owner(in.MinValue + i)
 		if !ok {
 			o = in.Base // unmapped values default to the base
 		}
-		c := in.Cost(o, v)
+		c := ct.cost(in, o, i)
 		if c >= Inf {
 			return Inf
 		}
@@ -220,6 +232,7 @@ func StoreLocalCost(in BuildInput) float64 {
 	if in.Query.Rate == 0 {
 		return 0
 	}
+	in.fillXmits()
 	flood := float64(in.N - 1) // every non-base node re-broadcasts once
 	replies := 0.0
 	for p := 0; p < in.N; p++ {
@@ -240,11 +253,10 @@ func StoreLocalCost(in BuildInput) float64 {
 // (paper §4: "the basestation, therefore, also evaluates the expected
 // cost of a 'store-local' storage index and uses it if the expected
 // cost is lower"). Experiments that disable the fallback call Build
-// directly.
+// directly. The evaluation shares the contributor table the owner
+// search already built, so the comparison is free of redundant
+// histogram scans.
 func ChooseIndex(id uint16, in BuildInput) *Index {
-	ix := Build(id, in)
-	if StoreLocalCost(in) < EvaluateIndexCost(ix, in) {
-		return NewLocal(id)
-	}
-	return ix
+	var b Builder
+	return b.ChooseIndex(id, &in)
 }

@@ -1,0 +1,400 @@
+package index
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"scoop/internal/dynamics"
+	"scoop/internal/histogram"
+	"scoop/internal/netsim"
+)
+
+// naiveOwners is the pre-overhaul reference: the paper's Figure 2 loop
+// over BuildInput.Cost with no contributor table, no incremental state
+// and no parallelism. The incremental Builder must reproduce it bit
+// for bit (same xmits matrix in, same owners out).
+func naiveOwners(in BuildInput) []netsim.NodeID {
+	owners := make([]netsim.NodeID, in.domainSize())
+	prev := netsim.NodeID(0)
+	hasPrev := false
+	for i := range owners {
+		v := in.MinValue + i
+		best := in.Base
+		bestCost := in.Cost(in.Base, v)
+		for o := 0; o < in.N; o++ {
+			oid := netsim.NodeID(o)
+			if oid == in.Base {
+				continue
+			}
+			if c := in.Cost(oid, v); c < bestCost {
+				best, bestCost = oid, c
+			}
+		}
+		if hasPrev && prev != best {
+			if c := in.Cost(prev, v); c <= bestCost*(1+contiguityTolerance) {
+				best = prev
+			}
+		}
+		owners[i] = best
+		prev, hasPrev = best, true
+	}
+	return owners
+}
+
+// world is the mutable scenario the property test evolves: per-node
+// sampling stats and a live link-quality map, from which each step's
+// Graph and BuildInput are regenerated.
+type world struct {
+	n        int
+	domain   int
+	rates    []float64
+	centers  []int // histogram centers; -1 = node down
+	links    map[[2]int]float64
+	qCenter  float64
+	qRate    float64
+	r        *rand.Rand
+	g        *Graph // reused across steps, like the basestation's
+	hists    []histogram.Histogram
+	histDirt []bool
+}
+
+func newWorld(n, domain int, seed int64) *world {
+	w := &world{
+		n: n, domain: domain,
+		rates:    make([]float64, n),
+		centers:  make([]int, n),
+		links:    make(map[[2]int]float64),
+		qCenter:  0.5,
+		qRate:    1.0 / 15,
+		r:        rand.New(rand.NewSource(seed)),
+		g:        NewGraph(n),
+		hists:    make([]histogram.Histogram, n),
+		histDirt: make([]bool, n),
+	}
+	for i := 1; i < n; i++ {
+		w.rates[i] = 1.0 / 15
+		w.centers[i] = w.r.Intn(domain)
+		w.histDirt[i] = true
+	}
+	for i := 0; i < n; i++ {
+		deg := 3 + w.r.Intn(4)
+		for d := 0; d < deg; d++ {
+			j := w.r.Intn(n)
+			if j != i {
+				w.links[[2]int{i, j}] = 0.2 + 0.75*w.r.Float64()
+			}
+		}
+	}
+	return w
+}
+
+// input regenerates the Graph (via Reset, like core.Base) and the
+// BuildInput for the current world state.
+func (w *world) input() BuildInput {
+	w.g.Reset()
+	// Deterministic link order (map iteration is randomized).
+	keys := make([][2]int, 0, len(w.links))
+	for k := range w.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		return keys[a][0] < keys[b][0] ||
+			(keys[a][0] == keys[b][0] && keys[a][1] < keys[b][1])
+	})
+	for _, k := range keys {
+		if w.centers[k[0]] < 0 || w.centers[k[1]] < 0 {
+			continue // dead endpoints report no links
+		}
+		w.g.Report(netsim.NodeID(k[0]), netsim.NodeID(k[1]), w.links[k])
+	}
+	nodes := make([]NodeStat, w.n)
+	for i := 1; i < w.n; i++ {
+		if w.centers[i] < 0 {
+			continue
+		}
+		if w.histDirt[i] {
+			vals := make([]int, 20)
+			for k := range vals {
+				v := w.centers[i] + k%11 - 5
+				if v < 0 {
+					v = 0
+				}
+				if v >= w.domain {
+					v = w.domain - 1
+				}
+				vals[k] = v
+			}
+			w.hists[i] = histogram.Build(vals, 10)
+			w.histDirt[i] = false
+		}
+		nodes[i] = NodeStat{Hist: w.hists[i], Rate: w.rates[i]}
+	}
+	prob := make([]float64, w.domain)
+	lo := int(w.qCenter*float64(w.domain)) - w.domain/10
+	for v := lo; v < lo+w.domain/5; v++ {
+		if v >= 0 && v < w.domain {
+			prob[v] = 5.0 / float64(w.domain)
+		}
+	}
+	return BuildInput{
+		N: w.n, Base: 0,
+		Nodes:    nodes,
+		Query:    QueryProfile{Rate: w.qRate, MinValue: 0, Prob: prob},
+		MinValue: 0, MaxValue: w.domain - 1,
+	}
+}
+
+// apply maps a dynamics event onto the world, the same perturbation
+// vocabulary the churn/drift engine injects into live runs.
+func (w *world) apply(e dynamics.Event) {
+	switch e.Kind {
+	case dynamics.NodeDown:
+		if int(e.Node) < w.n {
+			w.centers[e.Node] = -1
+		}
+	case dynamics.NodeUp:
+		if int(e.Node) < w.n {
+			w.centers[e.Node] = w.r.Intn(w.domain)
+			w.histDirt[e.Node] = true
+		}
+	case dynamics.DataShift:
+		shift := int(e.Value * float64(w.domain))
+		for i := 1; i < w.n; i++ {
+			if w.centers[i] < 0 {
+				continue
+			}
+			c := w.centers[i] + shift
+			if c < 0 {
+				c = 0
+			}
+			if c >= w.domain {
+				c = w.domain - 1
+			}
+			if c != w.centers[i] {
+				w.centers[i] = c
+				w.histDirt[i] = true
+			}
+		}
+	case dynamics.QueryShift:
+		w.qCenter = e.Value
+	case dynamics.NetLoss:
+		for k, q := range w.links {
+			w.links[k] = q * (1 - e.Value)
+		}
+	case dynamics.LinkLoss:
+		k := [2]int{int(e.Src) % w.n, int(e.Dst) % w.n}
+		if q, ok := w.links[k]; ok {
+			w.links[k] = q * (1 - e.Value)
+		}
+	}
+}
+
+// TestBuilderMatchesScratch is the incremental-rebuild property test:
+// across randomized churn/drift event sequences (built by the
+// internal/dynamics script generator), every rebuild of a warm Builder
+// must produce exactly the owners a from-scratch naive build computes
+// from the same inputs — including the steps where nothing changed at
+// all and the builder recomputes nothing.
+func TestBuilderMatchesScratch(t *testing.T) {
+	sawIncremental, sawZeroDirty, sawSPTSkip := false, false, false
+	for seed := int64(1); seed <= 6; seed++ {
+		n := 16 + int(seed)*7
+		w := newWorld(n, 60, seed)
+		script := dynamics.Standard(n, 60_000, 1_200_000, 0.2, 0.5, seed)
+		var b Builder
+		events := script.Events
+		// Process events in batches, with repeated no-change rebuilds
+		// interleaved so the zero-dirty fast path is exercised too.
+		step := 0
+		for len(events) > 0 || step < 3 {
+			batch := 0
+			if len(events) > 0 {
+				batch = 1 + w.r.Intn(3)
+				if batch > len(events) {
+					batch = len(events)
+				}
+				for _, e := range events[:batch] {
+					w.apply(e)
+				}
+				events = events[batch:]
+			}
+			step++
+
+			in := w.input()
+			in.Graph = w.g
+			got := append([]netsim.NodeID(nil), b.BuildOwners(&in)...)
+			st := b.LastStats()
+
+			ref := in
+			ref.Graph = nil
+			ref.Xmits = copyRows(in.Xmits)
+			want := naiveOwners(ref)
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d step %d: incremental owner[%d] = %d, scratch = %d (recomputed %d/%d, full=%v)",
+						seed, step, i, got[i], want[i], st.Recomputed, st.Values, st.FullRebuild)
+				}
+			}
+			if !st.FullRebuild && st.Recomputed < st.Values {
+				sawIncremental = true
+			}
+			if st.Recomputed == 0 {
+				sawZeroDirty = true
+			}
+			if st.SPTSources == 0 {
+				sawSPTSkip = true
+			}
+		}
+	}
+	if !sawIncremental {
+		t.Error("no step exercised a partial (incremental) recompute")
+	}
+	if !sawZeroDirty {
+		t.Error("no step exercised the zero-dirty fast path")
+	}
+	if !sawSPTSkip {
+		t.Error("no step skipped the shortest-path pass on an unchanged graph")
+	}
+}
+
+// TestBuilderFullRebuildOnShapeChange: a network-size or domain change
+// must abandon incremental state.
+func TestBuilderFullRebuildOnShapeChange(t *testing.T) {
+	w := newWorld(20, 40, 3)
+	var b Builder
+	in := w.input()
+	in.Graph = w.g
+	b.BuildOwners(&in)
+	if !b.LastStats().FullRebuild {
+		t.Fatal("first build must be full")
+	}
+	in2 := w.input()
+	in2.Graph = w.g
+	b.BuildOwners(&in2)
+	if b.LastStats().FullRebuild {
+		t.Fatal("unchanged rebuild reported full")
+	}
+	w2 := newWorld(24, 40, 4)
+	in3 := w2.input()
+	in3.Graph = w2.g
+	got := append([]netsim.NodeID(nil), b.BuildOwners(&in3)...)
+	if !b.LastStats().FullRebuild {
+		t.Fatal("network-size change did not force a full rebuild")
+	}
+	ref := in3
+	ref.Graph = nil
+	ref.Xmits = copyRows(in3.Xmits)
+	want := naiveOwners(ref)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("owner[%d] after shape change = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBuilderChooseIndexMatchesPackage: the builder's fused
+// choose-index path must agree with the package-level one.
+func TestBuilderChooseIndexMatchesPackage(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		w := newWorld(14, 30, seed)
+		in := w.input()
+		in.Graph = w.g
+		var b Builder
+		got := b.ChooseIndex(5, &in)
+
+		ref := w.input()
+		ref.Xmits = copyRows(w.g.Xmits())
+		want := ChooseIndex(5, ref)
+		if got.Local != want.Local || len(got.Entries) != len(want.Entries) {
+			t.Fatalf("seed %d: builder ChooseIndex %v, package %v", seed, got, want)
+		}
+		for i := range want.Entries {
+			if got.Entries[i] != want.Entries[i] {
+				t.Fatalf("seed %d: entry %d differs: %v vs %v", seed, i, got.Entries[i], want.Entries[i])
+			}
+		}
+	}
+}
+
+// TestBuilderDirtyEpsilon: with a loose epsilon, sub-threshold weight
+// jitter must not dirty any value's argmin search (the contiguity
+// pass still re-runs against fresh costs, so individual range borders
+// may shift — the documented approximation), while a structural change
+// must still dirty its values.
+func TestBuilderDirtyEpsilon(t *testing.T) {
+	w := newWorld(20, 40, 9)
+	var b Builder
+	b.DirtyEpsilon = 0.05
+	in := w.input()
+	in.Graph = w.g
+	b.BuildOwners(&in)
+
+	// Jitter every rate by 1% — far below the 5% epsilon.
+	for i := 1; i < w.n; i++ {
+		w.rates[i] *= 1.01
+	}
+	in2 := w.input()
+	in2.Graph = w.g
+	second := append([]netsim.NodeID(nil), b.BuildOwners(&in2)...)
+	if st := b.LastStats(); st.Recomputed != 0 {
+		t.Fatalf("sub-epsilon jitter recomputed %d values", st.Recomputed)
+	}
+	for i, o := range second {
+		if int(o) >= w.n {
+			t.Fatalf("value %d assigned to nonexistent owner %d", i, o)
+		}
+	}
+
+	// A structural change (node death) must still dirty its values.
+	w.centers[3] = -1
+	in3 := w.input()
+	in3.Graph = w.g
+	b.BuildOwners(&in3)
+	if st := b.LastStats(); st.Recomputed == 0 {
+		t.Fatal("node death dirtied nothing")
+	}
+}
+
+// TestBuilderGOMAXPROCSDeterminism pins the parallel owner search: a
+// scenario big enough that both the SPT fan-out and the dirty-value
+// argmin clear the parallel grain must build bit-identical owners at
+// GOMAXPROCS=1 and GOMAXPROCS=8 (forced, so single-core CI still
+// exercises the concurrent path).
+func TestBuilderGOMAXPROCSDeterminism(t *testing.T) {
+	run := func(procs int) []netsim.NodeID {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		w := newWorld(300, 151, 21)
+		var b Builder
+		in := w.input()
+		in.Graph = w.g
+		first := append([]netsim.NodeID(nil), b.BuildOwners(&in)...)
+		// One incremental step too, so the dirty argmin path is pinned
+		// as well as the full one.
+		for i := 1; i < 20; i++ {
+			w.centers[i] = (w.centers[i] + 30) % w.domain
+			w.histDirt[i] = true
+		}
+		in2 := w.input()
+		in2.Graph = w.g
+		return append(first, b.BuildOwners(&in2)...)
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("owner %d differs across GOMAXPROCS: %d vs %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func copyRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}

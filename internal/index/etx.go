@@ -14,18 +14,33 @@ const Inf = math.MaxFloat64 / 4
 // neighbors with estimated inbound quality) plus the origin/parent
 // fields in Scoop packet headers (paper §5.2). Quality[i][j] estimates
 // the delivery probability of one transmission i→j.
+//
+// Quality's row slices share one flat backing array (the same trick
+// the xmits matrix uses), so an n-node graph is two allocations and
+// Reset can recycle it across index rebuilds without churning the
+// allocator.
 type Graph struct {
 	N       int
 	Quality [][]float64
+	flat    []float64
 }
 
 // NewGraph returns an n-node graph with no links.
 func NewGraph(n int) *Graph {
-	g := &Graph{N: n, Quality: make([][]float64, n)}
+	g := &Graph{N: n, Quality: make([][]float64, n), flat: make([]float64, n*n)}
 	for i := range g.Quality {
-		g.Quality[i] = make([]float64, n)
+		g.Quality[i] = g.flat[i*n : (i+1)*n : (i+1)*n]
 	}
 	return g
+}
+
+// Reset clears every link observation so the graph can be rebuilt from
+// the next batch of summaries. The basestation keeps one Graph alive
+// across rebuilds instead of reallocating an n×n matrix each epoch.
+func (g *Graph) Reset() {
+	for i := range g.flat {
+		g.flat[i] = 0
+	}
 }
 
 // Report records a link-quality observation: node `to` reported
@@ -55,15 +70,27 @@ const minUsableQuality = 0.125
 // indexing algorithm in Figure 2 of the paper consumes. Edge cost is
 // the ETX of the hop, 1/quality; unusable pairs get Inf.
 //
-// The O(n³) Floyd–Warshall pass is the basestation's job in Scoop —
-// "the Scoop basestation requires more memory and CPU power than
-// current mote hardware can provide" — and is trivially affordable at
-// n ≤ 128.
+// Nodes report only their ~12 best neighbors (paper §5.2), so the
+// graph is sparse: per-source Dijkstra over a CSR adjacency is
+// O(n·(E + n log n)) instead of the dense Floyd–Warshall's O(n³),
+// which is what keeps 1000-node index rebuilds off the simulation's
+// critical path. Convenience wrapper over a throwaway solver; the
+// basestation's Builder keeps a warm solver with reusable scratch.
 func (g *Graph) Xmits() [][]float64 {
+	var s spSolver
+	return s.allPairs(g)
+}
+
+// XmitsDense is the original dense Floyd–Warshall pass, kept as the
+// reference implementation the sparse solver is equivalence-tested
+// against (and for ablation benches). Its results agree with Xmits up
+// to floating-point association: both compute shortest-path sums of
+// the same edge costs, but FW may round a different parenthesisation
+// of the same path.
+func (g *Graph) XmitsDense() [][]float64 {
 	n := g.N
 	// One flat backing array: row slices share it, so the O(n²) matrix
-	// is a single allocation and the k-loop walks contiguous memory —
-	// this pass runs on every index rebuild and is O(n³) at n = 1000.
+	// is a single allocation and the k-loop walks contiguous memory.
 	flat := make([]float64, n*n)
 	d := make([][]float64, n)
 	for i := range d {

@@ -1,0 +1,285 @@
+package index
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the sparse all-pairs shortest-path pass that
+// replaced the dense Floyd–Warshall: a CSR adjacency built from the
+// Graph's link observations, per-source Dijkstra over a reusable
+// binary heap, fanned out across a bounded worker pool.
+//
+// Determinism rules (DESIGN.md, reindex pipeline):
+//   - Each source's distance row depends only on the CSR arrays, which
+//     are built by a row-major scan of the quality matrix — workers
+//     write disjoint rows, so the result is bit-identical whatever
+//     GOMAXPROCS is (pinned by TestXmitsGOMAXPROCSDeterminism).
+//   - The heap orders by (distance, node ID): floating-point distance
+//     ties pop the lower node ID first, so even the relaxation order —
+//     not just the final distances — is fully specified.
+//   - Path sums are left folds from the source (dist[u] + w(u,v)),
+//     which FW does not guarantee; the two passes agree exactly on
+//     exactly-representable edge costs and to ~1 ulp otherwise.
+
+// csr is a compressed-sparse-row adjacency: edges of row i live in
+// to[head[i]:head[i+1]] (ascending target order) with cost w (ETX,
+// 1/quality). All slices are reused across rebuilds.
+type csr struct {
+	n    int
+	head []int32
+	to   []int32
+	w    []float64
+}
+
+// build fills the CSR from the graph's quality matrix, reusing the
+// receiver's slices. Only links at or above minUsableQuality become
+// edges (the same rule the dense pass applies).
+func (c *csr) build(g *Graph) {
+	n := g.N
+	c.n = n
+	if cap(c.head) < n+1 {
+		c.head = make([]int32, n+1)
+	}
+	c.head = c.head[:n+1]
+	edges := 0
+	for i := 0; i < n; i++ {
+		c.head[i] = int32(edges)
+		row := g.Quality[i]
+		for j := 0; j < n; j++ {
+			if row[j] >= minUsableQuality {
+				edges++
+			}
+		}
+	}
+	c.head[n] = int32(edges)
+	if cap(c.to) < edges {
+		c.to = make([]int32, edges)
+		c.w = make([]float64, edges)
+	}
+	c.to = c.to[:edges]
+	c.w = c.w[:edges]
+	e := 0
+	for i := 0; i < n; i++ {
+		row := g.Quality[i]
+		for j := 0; j < n; j++ {
+			if q := row[j]; q >= minUsableQuality {
+				c.to[e] = int32(j)
+				c.w[e] = 1.0 / q
+				e++
+			}
+		}
+	}
+}
+
+// equal reports whether two CSR snapshots describe the same weighted
+// graph (exact float comparison: the dirty-tracking layer treats any
+// changed edge as a changed graph).
+func (c *csr) equal(o *csr) bool {
+	if c.n != o.n || len(c.to) != len(o.to) {
+		return false
+	}
+	for i := range c.head {
+		if c.head[i] != o.head[i] {
+			return false
+		}
+	}
+	for i := range c.to {
+		if c.to[i] != o.to[i] || c.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// spItem is one heap entry: a tentative distance to a node.
+type spItem struct {
+	d  float64
+	id int32
+}
+
+// spLess is the heap order: distance, then node ID — the explicit
+// FP-tie rule that makes the relaxation order deterministic.
+func spLess(a, b spItem) bool {
+	return a.d < b.d || (a.d == b.d && a.id < b.id)
+}
+
+// spHeap is a hand-rolled binary min-heap over spItems (no interface
+// boxing; the slice is per-worker scratch reused across sources).
+type spHeap []spItem
+
+func (h *spHeap) push(it spItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !spLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *spHeap) pop() spItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && spLess(s[l], s[min]) {
+			min = l
+		}
+		if r < last && spLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// dijkstra fills dist (one row of the all-pairs matrix, length c.n)
+// with left-fold shortest-path sums from src, leaving unreachable
+// nodes at exactly Inf. Lazy-deletion variant: stale heap entries are
+// skipped on pop. heap is caller-owned scratch.
+func dijkstra(c *csr, src int32, dist []float64, heap *spHeap) {
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	*heap = (*heap)[:0]
+	heap.push(spItem{d: 0, id: src})
+	for len(*heap) > 0 {
+		it := heap.pop()
+		if it.d > dist[it.id] {
+			continue // stale entry superseded by a shorter path
+		}
+		for e := c.head[it.id]; e < c.head[it.id+1]; e++ {
+			v := c.to[e]
+			if nd := it.d + c.w[e]; nd < dist[v] {
+				dist[v] = nd
+				heap.push(spItem{d: nd, id: v})
+			}
+		}
+	}
+}
+
+// parallelGrain is the minimum amount of per-item work (in rough
+// "inner operations" units) below which parallelFor stays serial: the
+// paper-scale 63-node rebuilds that dominate sweep grids must not pay
+// goroutine scheduling for microsecond loops.
+const parallelGrain = 1 << 17
+
+// maxWorkers is the widest fan-out parallelFor will use, so callers
+// can pre-size per-worker scratch before spawning anything. Callers
+// must pass the same value to parallelFor rather than re-reading
+// GOMAXPROCS there — a concurrent GOMAXPROCS change between sizing
+// and fan-out would otherwise hand workers out-of-range indices.
+func maxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelFor splits [0,items) into one contiguous chunk per worker
+// and runs fn(worker, lo, hi) concurrently with worker < workers
+// (the caller's scratch bound). totalWork below parallelGrain (or a
+// single worker) runs inline. fn must write only to item-indexed
+// state, which makes the result independent of scheduling.
+func parallelFor(workers, items, totalWork int, fn func(worker, lo, hi int)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 || totalWork < parallelGrain {
+		fn(0, 0, items)
+		return
+	}
+	chunk := (items + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= items {
+			break
+		}
+		hi := lo + chunk
+		if hi > items {
+			hi = items
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// solveAllPairs runs per-source Dijkstra for every row of the matrix.
+// rows must hold adj.n slices of length adj.n; heaps grows to one
+// scratch heap per worker. Workers write disjoint rows, so the result
+// is scheduling-independent.
+func solveAllPairs(adj *csr, rows [][]float64, heaps *[]spHeap) {
+	n := adj.n
+	maxW := maxWorkers()
+	if cap(*heaps) < maxW {
+		*heaps = make([]spHeap, maxW)
+	}
+	*heaps = (*heaps)[:maxW]
+	// Rough per-source cost: one heap operation per edge plus the row
+	// init; n sources total.
+	work := n * (len(adj.to) + n)
+	parallelFor(maxW, n, work, func(worker, lo, hi int) {
+		heap := &(*heaps)[worker]
+		for src := lo; src < hi; src++ {
+			dijkstra(adj, int32(src), rows[src], heap)
+		}
+	})
+}
+
+// xbuf is one all-pairs distance matrix: a flat backing array plus its
+// row views. The Builder double-buffers two of these so the previous
+// rebuild's matrix survives for dirty-row comparison.
+type xbuf struct {
+	flat []float64
+	rows [][]float64
+}
+
+// ensure sizes the buffer for an n-node matrix, reusing backing
+// storage when possible.
+func (x *xbuf) ensure(n int) {
+	if cap(x.flat) < n*n {
+		x.flat = make([]float64, n*n)
+	}
+	x.flat = x.flat[:n*n]
+	if cap(x.rows) < n {
+		x.rows = make([][]float64, n)
+	}
+	x.rows = x.rows[:n]
+	for i := 0; i < n; i++ {
+		x.rows[i] = x.flat[i*n : (i+1)*n : (i+1)*n]
+	}
+}
+
+// spSolver runs the sparse all-pairs pass with reusable scratch: the
+// CSR arrays, the flat distance matrix, and one heap per worker.
+type spSolver struct {
+	adj   csr
+	buf   xbuf
+	heaps []spHeap
+}
+
+// allPairs computes the full xmits matrix for g. The returned row
+// slices view the solver's flat buffer and are invalidated by the next
+// call.
+func (s *spSolver) allPairs(g *Graph) [][]float64 {
+	s.adj.build(g)
+	s.buf.ensure(g.N)
+	solveAllPairs(&s.adj, s.buf.rows, &s.heaps)
+	return s.buf.rows
+}

@@ -1,0 +1,159 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"scoop/internal/netsim"
+)
+
+// sparseGraph builds an n-node graph where each node reports roughly
+// degree out-links — the shape real summaries produce (paper §5.2:
+// ~12 best neighbors per node).
+func sparseGraph(n, degree int, r *rand.Rand, quality func() float64) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < degree; d++ {
+			j := r.Intn(n)
+			if j == i {
+				continue
+			}
+			g.Report(netsim.NodeID(i), netsim.NodeID(j), quality())
+		}
+	}
+	return g
+}
+
+// exactQuality draws qualities whose ETX edge costs are powers of two
+// (1, 2, 4, 8): every path sum is exactly representable, so any
+// parenthesisation of the same sum — Floyd–Warshall's or Dijkstra's —
+// yields the same float64 bit pattern.
+func exactQuality(r *rand.Rand) func() float64 {
+	vals := []float64{1.0, 0.5, 0.25, 0.125}
+	return func() float64 { return vals[r.Intn(len(vals))] }
+}
+
+// TestXmitsMatchesDenseExact: on graphs with exactly-representable
+// edge costs the sparse pass must be bit-identical to Floyd–Warshall,
+// including exact Inf for unreachable pairs and 0 diagonals.
+func TestXmitsMatchesDenseExact(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(60)
+		g := sparseGraph(n, 2+r.Intn(6), r, exactQuality(r))
+		sparse := g.Xmits()
+		dense := g.XmitsDense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if sparse[i][j] != dense[i][j] {
+					t.Fatalf("seed %d: xmits[%d][%d] sparse %v != dense %v",
+						seed, i, j, sparse[i][j], dense[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestXmitsMatchesDenseFloat: with arbitrary float qualities the two
+// passes may parenthesise a path sum differently, so they are required
+// to agree only to within a few ulps (1e-12 relative) — and exactly on
+// reachability.
+func TestXmitsMatchesDenseFloat(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(80)
+		q := func() float64 { return 0.13 + 0.87*r.Float64() }
+		g := sparseGraph(n, 2+r.Intn(8), r, q)
+		sparse := g.Xmits()
+		dense := g.XmitsDense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s, d := sparse[i][j], dense[i][j]
+				if (s >= Inf) != (d >= Inf) {
+					t.Fatalf("seed %d: reachability of [%d][%d] differs: sparse %v dense %v",
+						seed, i, j, s, d)
+				}
+				if s >= Inf {
+					continue
+				}
+				if diff := math.Abs(s - d); diff > 1e-12*math.Max(s, 1) {
+					t.Fatalf("seed %d: xmits[%d][%d] sparse %v vs dense %v (diff %g)",
+						seed, i, j, s, d, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestXmitsDegenerate covers the edge shapes the solver must not trip
+// on: an empty graph, a single node, and a fully unusable link set.
+func TestXmitsDegenerate(t *testing.T) {
+	if x := NewGraph(1).Xmits(); x[0][0] != 0 {
+		t.Fatalf("single node self distance %v", x[0][0])
+	}
+	g := NewGraph(3)
+	g.Report(0, 1, 0.05) // below minUsableQuality: no edge
+	x := g.Xmits()
+	if x[0][1] < Inf || x[1][2] < Inf {
+		t.Fatal("unusable links produced finite distances")
+	}
+	if x[0][0] != 0 || x[1][1] != 0 || x[2][2] != 0 {
+		t.Fatal("non-zero diagonal")
+	}
+}
+
+// TestXmitsGOMAXPROCSDeterminism pins the parallel fan-out: the same
+// graph must produce a bit-identical matrix at GOMAXPROCS=1 (serial)
+// and GOMAXPROCS=8. GOMAXPROCS is forced to 8 — not left at the host
+// default — so the concurrent path runs even on single-core CI. The
+// graph is big enough to clear the parallel grain so the pool
+// actually engages.
+func TestXmitsGOMAXPROCSDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 400
+	q := func() float64 { return 0.13 + 0.87*r.Float64() }
+	g := sparseGraph(n, 12, r, q)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := snapshot(g.Xmits())
+	runtime.GOMAXPROCS(8)
+	parallel := snapshot(g.Xmits())
+	runtime.GOMAXPROCS(prev)
+
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("entry %d differs across GOMAXPROCS: serial %v parallel %v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestGraphReset verifies the reuse contract: a Reset graph behaves
+// exactly like a fresh one.
+func TestGraphReset(t *testing.T) {
+	g := NewGraph(4)
+	g.Report(0, 1, 0.9)
+	g.Report(1, 2, 0.8)
+	g.Reset()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if g.Quality[i][j] != 0 {
+				t.Fatalf("Quality[%d][%d] = %v after Reset", i, j, g.Quality[i][j])
+			}
+		}
+	}
+	g.Report(0, 1, 0.5)
+	if x := g.Xmits(); x[0][1] != 2 {
+		t.Fatalf("xmits after Reset+Report = %v, want 2", x[0][1])
+	}
+}
+
+func snapshot(rows [][]float64) []float64 {
+	var out []float64
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}

@@ -95,10 +95,27 @@ func ReadFile(path string) (Artifact, error) {
 // 15%, so real pooling regressions are caught).
 const GateTolerance = 0.15
 
-// Gate compares fresh measurements against the committed baseline on
-// allocs/op only. A missing baseline bench passes (new benches are
-// added freely); a missing current bench fails (a gate must not
-// silently retire). Returns human-readable violations.
+// NsGateTolerance is the relative ns/op regression permitted for the
+// benches under NsGatedPrefix. ns/op is machine-dependent, which is
+// why most benches only gate allocs/op — but the index/rebuild loops
+// pin GOMAXPROCS=1 (no core-count scaling), do uniform per-op work
+// (a fixed four-epoch cycle), and are cache-resident CPU loops whose
+// run-to-run jitter is a few percent, so a 20% ceiling catches a real
+// algorithmic regression (an accidental fall back to the dense O(n³)
+// pass costs >5×) without flagging scheduler noise. Clock-speed
+// differences between the baselining machine and CI remain — after a
+// legitimate hardware change, re-baseline from the uploaded artifact.
+const NsGateTolerance = 0.20
+
+// NsGatedPrefix selects the benches whose ns/op is gated in addition
+// to allocs/op.
+const NsGatedPrefix = "index/rebuild/"
+
+// Gate compares fresh measurements against the committed baseline:
+// allocs/op for every bench, plus ns/op for the NsGatedPrefix set. A
+// missing baseline bench passes (new benches are added freely); a
+// missing current bench fails (a gate must not silently retire).
+// Returns human-readable violations.
 func Gate(current, baseline Artifact) []string {
 	cur := make(map[string]BenchResult, len(current.Benches))
 	for _, b := range current.Benches {
@@ -120,6 +137,12 @@ func Gate(current, baseline Artifact) []string {
 			}
 			out = append(out, fmt.Sprintf("%s: allocs/op %d -> %d (%s, gate %.0f%%)",
 				base.Name, base.AllocsPerOp, c.AllocsPerOp, pct, 100*GateTolerance))
+		}
+		if strings.HasPrefix(base.Name, NsGatedPrefix) && base.NsPerOp > 0 &&
+			float64(c.NsPerOp) > float64(base.NsPerOp)*(1+NsGateTolerance) {
+			out = append(out, fmt.Sprintf("%s: ns/op %d -> %d (%+.1f%%, gate %.0f%%)",
+				base.Name, base.NsPerOp, c.NsPerOp,
+				100*(float64(c.NsPerOp)/float64(base.NsPerOp)-1), 100*NsGateTolerance))
 		}
 	}
 	return out

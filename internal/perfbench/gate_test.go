@@ -48,6 +48,31 @@ func TestGateFailsOnMissingBench(t *testing.T) {
 	}
 }
 
+func nsArt(name string, ns int64) Artifact {
+	return Artifact{Benches: []BenchResult{{Name: name, NsPerOp: ns, AllocsPerOp: 10}}}
+}
+
+func TestGateNsForRebuildBenches(t *testing.T) {
+	name := NsGatedPrefix + "n1000"
+	base := nsArt(name, 1_000_000)
+	if v := Gate(nsArt(name, 1_150_000), base); len(v) != 0 {
+		t.Fatalf("within-tolerance ns regression flagged: %v", v)
+	}
+	if v := Gate(nsArt(name, 1_300_000), base); len(v) != 1 ||
+		!strings.Contains(v[0], "ns/op") {
+		t.Fatalf("30%% ns regression not flagged: %v", v)
+	}
+	if v := Gate(nsArt(name, 400_000), base); len(v) != 0 {
+		t.Fatalf("ns improvement flagged: %v", v)
+	}
+	// Benches outside the prefix stay ungated on ns/op (machine
+	// dependence would make the gate flaky for simulator-heavy loops).
+	other := nsArt("core/scoop/n65", 1_000_000)
+	if v := Gate(nsArt("core/scoop/n65", 5_000_000), other); len(v) != 0 {
+		t.Fatalf("non-rebuild bench ns-gated: %v", v)
+	}
+}
+
 func TestArtifactRoundTrip(t *testing.T) {
 	a := Artifact{
 		Benches:  []BenchResult{{Name: "n", NsPerOp: 1, BytesPerOp: 2, AllocsPerOp: 3}},

@@ -146,7 +146,12 @@ func TestChurnCellRunsDeterministically(t *testing.T) {
 	if c.DeliveryDuring == 0 && c.DeliveryAfter == 0 {
 		t.Fatal("transition metrics missing for a perturbed cell")
 	}
+	if c.ReindexBuilds == 0 || c.ReindexValues == 0 {
+		t.Fatal("reindex cost probe missing for a scoop cell")
+	}
+	// Wall-clock fields are the only legitimately nondeterministic ones.
 	a.Cells[0].WallMS, b.Cells[0].WallMS = 0, 0
+	a.Cells[0].ReindexWallMS, b.Cells[0].ReindexWallMS = 0, 0
 	if a.Cells[0] != b.Cells[0] {
 		t.Fatalf("sweep cell not deterministic:\n%+v\n%+v", a.Cells[0], b.Cells[0])
 	}

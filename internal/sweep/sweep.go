@@ -335,6 +335,18 @@ type CellResult struct {
 	// scheduling- and machine-dependent, so it never enters the JSON
 	// artifact.
 	WallMS float64 `json:"-"`
+
+	// Reindex cost probe (index.BuildStats via core.RunStats, summed
+	// across the cell's trials): how much index-construction work the
+	// basestation did, and what the incremental pipeline skipped.
+	// Operator visibility only — like WallMS these stay out of the
+	// JSON artifact, both because ReindexWallMS is machine-dependent
+	// and so pre-overhaul baselines remain byte-comparable.
+	ReindexBuilds     int64   `json:"-"`
+	ReindexValues     int64   `json:"-"`
+	ReindexRecomputed int64   `json:"-"`
+	ReindexSPT        int64   `json:"-"`
+	ReindexWallMS     float64 `json:"-"`
 }
 
 // Key returns the cell identity key (see Cell.Key).
@@ -444,6 +456,12 @@ func runCell(g Grid, c Cell) (CellResult, error) {
 		OwnerHit:     res.Stats.OwnerHitRate(),
 
 		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+
+		ReindexBuilds:     res.Stats.IndexesBuilt,
+		ReindexValues:     res.Stats.ReindexValues,
+		ReindexRecomputed: res.Stats.ReindexRecomputed,
+		ReindexSPT:        res.Stats.ReindexSPTSources,
+		ReindexWallMS:     float64(res.Stats.ReindexWallNanos) / 1e6,
 	}
 	if res.Agg.Issued > 0 {
 		out.AggAnswered = float64(res.Agg.Answered) / float64(res.Agg.Issued)
