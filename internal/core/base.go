@@ -208,6 +208,20 @@ func (b *Base) onSummary(m *SummaryMsg) {
 // randomness, so iteration must be deterministic). Shared by the base
 // and node inconsistency-detection paths so the Trickle rule cannot
 // drift between them.
+// sortedChunkKeys returns the chunk map's keys in ascending order.
+// Chunk purges call Trickle.Remove per key and each call re-arms the
+// shared timer, so the iteration must be deterministic (DESIGN.md §2);
+// base.Remap and node.onChunk share this helper so the rule cannot
+// drift between them.
+func sortedChunkKeys(chunks map[trickle.Key]index.Chunk) []trickle.Key {
+	ks := make([]trickle.Key, 0, len(chunks))
+	for k := range chunks {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
 func resetChunks(chunks map[trickle.Key]index.Chunk, curID uint16, g *trickle.Trickle) {
 	var ks []trickle.Key
 	for k, c := range chunks {
@@ -293,8 +307,10 @@ func (b *Base) Remap() {
 	b.nextID = id
 	b.cur = ix
 	b.records = append(b.records, indexRecord{ix: ix, at: b.api.Now()})
-	// Replace the gossip set with the new generation's chunks.
-	for k := range b.chunks {
+	// Replace the gossip set with the new generation's chunks, in key
+	// order: each Trickle.Remove re-arms the shared timer, so the
+	// purge sequence must not depend on map iteration order.
+	for _, k := range sortedChunkKeys(b.chunks) {
 		delete(b.chunks, k)
 		b.mapGos.Remove(k)
 	}

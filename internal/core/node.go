@@ -495,9 +495,11 @@ func (n *Node) onChunk(c index.Chunk) {
 		if n.cur == nil || complete.ID > n.cur.ID {
 			n.cur = complete
 		}
-		// Stop gossiping superseded generations.
-		for k, ch := range n.chunks {
-			if ch.IndexID < n.cur.ID {
+		// Stop gossiping superseded generations, in key order: each
+		// Trickle.Remove re-arms the shared timer, so the purge
+		// sequence must not depend on map iteration order.
+		for _, k := range sortedChunkKeys(n.chunks) {
+			if n.chunks[k].IndexID < n.cur.ID {
 				delete(n.chunks, k)
 				n.mapGos.Remove(k)
 			}

@@ -451,10 +451,10 @@ func FigureScale(scale Scale, seed int64) (Table, map[int][]Result) {
 			cfg.Topology = "grid"
 			cfg.Seed = seed
 			scale.apply(&cfg)
-			start := time.Now()
+			start := time.Now() //scoop:allow walltime scale-figure throughput probe, printed to the operator only
 			r := MustRun(cfg)
 			if p == policy.Scoop {
-				wall = time.Since(start).Seconds()
+				wall = time.Since(start).Seconds() //scoop:allow walltime scale-figure throughput probe, printed to the operator only
 				// Trials run concurrently, so the throughput column is
 				// aggregate virtual seconds simulated per wall second.
 				simSec = float64(cfg.Duration) / 1000 * float64(cfg.Trials)

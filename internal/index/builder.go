@@ -118,7 +118,7 @@ func (b *Builder) evaluate(ix *Index, in *BuildInput) float64 {
 // The returned slice is builder-owned scratch, invalidated by the
 // next call.
 func (b *Builder) BuildOwners(in *BuildInput) []netsim.NodeID {
-	start := time.Now()
+	start := time.Now() //scoop:allow walltime BuildStats wall probe, json:"-" everywhere — never enters artifacts (DESIGN.md §14)
 	n := in.N
 	V := in.domainSize()
 	b.stats = BuildStats{Values: V}
@@ -210,7 +210,7 @@ func (b *Builder) BuildOwners(in *BuildInput) []netsim.NodeID {
 
 	b.prevValid, b.prevN, b.prevBase = true, n, in.Base
 	b.prevMin, b.prevMax = in.MinValue, in.MaxValue
-	b.stats.WallNanos = time.Since(start).Nanoseconds()
+	b.stats.WallNanos = time.Since(start).Nanoseconds() //scoop:allow walltime BuildStats wall probe, json:"-" everywhere — never enters artifacts (DESIGN.md §14)
 	return b.owners
 }
 

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrandCtors are the math/rand package-level functions that do
+// NOT draw from the process-global source: they build explicit,
+// seedable generators, which is exactly how randomness is supposed to
+// flow here.
+var globalrandCtors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes an explicit *rand.Rand
+}
+
+// Globalrand enforces the DESIGN.md §2 randomness contract in
+// deterministic packages: every random draw must come from the
+// per-trial seeded stream (a *rand.Rand constructed from a seed that
+// flows in as a parameter — netsim.Simulator.Rand, workload
+// generators, dynamics scripts). Two things break that:
+//
+//   - package-level math/rand functions (rand.Intn, rand.Shuffle,
+//     rand.Float64, …), which draw from the process-global source and
+//     make runs depend on whatever else used it;
+//   - rand.NewSource with a constant seed, which silently decouples a
+//     component from the trial seed — two trials of different seeds
+//     would share its stream.
+//
+// Method calls on an explicit *rand.Rand are always fine.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "process-global or constant-seeded math/rand in a deterministic package (DESIGN.md §2)",
+	Run: func(pass *Pass) {
+		if !pass.Deterministic {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgFunc(pass.Info, sel)
+				if fn == nil || fn.Pkg().Path() != "math/rand" {
+					return true
+				}
+				if !globalrandCtors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "math/rand.%s draws from the process-global source: randomness must flow from the per-trial seeded stream (DESIGN.md §2)", fn.Name())
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgFunc(pass.Info, sel)
+				if fn == nil || fn.Pkg().Path() != "math/rand" || fn.Name() != "NewSource" {
+					return true
+				}
+				if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+					pass.Reportf(call.Pos(), "rand.NewSource with a constant seed decouples this stream from the trial seed: derive it from the seed that flows in (DESIGN.md §2)")
+				}
+				return true
+			})
+		}
+	},
+}

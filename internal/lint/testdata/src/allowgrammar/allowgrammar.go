@@ -1,0 +1,25 @@
+// Package allowgrammar is a scooplint fixture for the //scoop:allow
+// grammar itself: the rule is mandatory, the rule must exist, the
+// reason must be non-empty — and a malformed allow never suppresses
+// the finding it sits next to. Checked programmatically (not via want
+// comments: the grammar findings land on the comment's own line).
+package allowgrammar
+
+import "time"
+
+//scoop:allow
+
+//scoop:allow nosuchrule the reason is fine but the rule is not
+
+// unsuppressed carries a reasonless allow: both the grammar finding
+// and the underlying walltime finding must survive.
+func unsuppressed() time.Time {
+	//scoop:allow walltime
+	return time.Now()
+}
+
+// suppressed is the well-formed counterpart.
+func suppressed() time.Time {
+	//scoop:allow walltime fixture: demonstrates a well-formed allow
+	return time.Now()
+}

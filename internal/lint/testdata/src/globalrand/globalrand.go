@@ -1,0 +1,58 @@
+// Package globalrand is a scooplint fixture: process-global and
+// constant-seeded randomness in deterministic packages. Loaded with
+// the deterministic flag forced on.
+package globalrand
+
+import "math/rand"
+
+// draw uses the process-global source: two trials sharing the
+// process would perturb each other's streams.
+func draw() int {
+	return rand.Intn(10) // want `process-global source`
+}
+
+// shuffle is the same defect through a different entry point.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `process-global source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// value without a call is still a reference to the global source.
+func picker() func() float64 {
+	return rand.Float64 // want `process-global source`
+}
+
+// fixedSeed decouples this stream from the trial seed: every trial,
+// whatever its seed, gets the same sequence here.
+func fixedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `constant seed`
+}
+
+// derivedConst is still a compile-time constant underneath.
+func derivedConst() *rand.Rand {
+	const base = 6
+	return rand.New(rand.NewSource(base * 7)) // want `constant seed`
+}
+
+// seeded is the blessed pattern: the seed flows in from the trial.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// derived seeds (per-cell offsets) are fine too — not constants.
+func derived(seed int64, cell int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000 + int64(cell)))
+}
+
+// explicit streams are the whole point: methods on *rand.Rand are
+// never flagged.
+func use(r *rand.Rand) int {
+	return r.Intn(10) + int(r.Int63n(5))
+}
+
+// allowedJitter is a reviewed exception (e.g. non-simulation tooling
+// living in a deterministic package for packaging reasons).
+func allowedJitter() float64 {
+	return rand.Float64() //scoop:allow globalrand operator-facing jitter, never inside a trial
+}

@@ -144,6 +144,7 @@ func (t *Trickle) startInterval(st *itemState, tau netsim.Time) {
 func (t *Trickle) rearm() {
 	var next netsim.Time = -1
 	now := t.api.Now()
+	//scoop:allow maprange pure min over virtual deadlines, order-independent (no RNG, no FP, no sends)
 	for _, st := range t.items {
 		if st.retired {
 			continue
