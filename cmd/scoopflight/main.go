@@ -1,0 +1,227 @@
+// Command scoopflight replays and summarises flight-recorder traces —
+// the JSONL event streams scoopsim -trace and exp.Config.TraceSinks
+// write. It filters by node, message class, event kind, or one
+// reading's lifecycle, prints matching events, and aggregates into
+// windowed telemetry.
+//
+// Examples:
+//
+//	scoopflight trace.jsonl                      # whole-run summary
+//	scoopflight -node 7 -print 20 trace.jsonl    # first 20 events on node 7
+//	scoopflight -class data -window 60s trace.jsonl
+//	scoopflight -reading 12@615001 -print -1 trace.jsonl
+//	scoopflight -kind packet-drop trace.jsonl    # where frames died
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"scoop/internal/metrics"
+	"scoop/internal/telemetry"
+	"scoop/internal/trace"
+)
+
+// filter is the event predicate assembled from the flags.
+type filter struct {
+	node    int // -1: any
+	class   metrics.Class
+	byClass bool
+	kinds   map[trace.Kind]bool
+	reading *trace.ReadingID
+}
+
+func (f *filter) keep(e trace.Event) bool {
+	if f.node >= 0 && int(e.Node) != f.node {
+		return false
+	}
+	if f.byClass && (!e.Kind.CarriesClass() || e.Class != f.class) {
+		return false
+	}
+	if f.kinds != nil && !f.kinds[e.Kind] {
+		return false
+	}
+	if f.reading != nil {
+		if !e.Kind.CarriesReading() || e.Producer != f.reading.Producer {
+			return false
+		}
+		if f.reading.Time >= 0 && e.SampleT != f.reading.Time {
+			return false
+		}
+	}
+	return true
+}
+
+// parseReading parses "producer" or "producer@sampletime".
+func parseReading(s string) (*trace.ReadingID, error) {
+	prod, at, hasAt := strings.Cut(s, "@")
+	p, err := strconv.ParseUint(prod, 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("scoopflight: bad -reading producer %q", prod)
+	}
+	id := &trace.ReadingID{Producer: uint16(p), Time: -1}
+	if hasAt {
+		t, err := strconv.ParseInt(at, 10, 64)
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("scoopflight: bad -reading sample time %q", at)
+		}
+		id.Time = t
+	}
+	return id, nil
+}
+
+func parseKinds(s string) (map[trace.Kind]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[trace.Kind]bool)
+	for _, name := range strings.Split(s, ",") {
+		k, ok := trace.ParseKind(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("scoopflight: unknown event kind %q", name)
+		}
+		out[k] = true
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scoopflight", flag.ContinueOnError)
+	var (
+		nodeF    = fs.Int("node", -1, "keep only events on this node (-1: all)")
+		classF   = fs.String("class", "", "keep only packet events of this message class (data, summary, mapping, query, reply, aggreply, beacon)")
+		kindF    = fs.String("kind", "", "keep only these event kinds (comma-separated wire names)")
+		readingF = fs.String("reading", "", "follow one reading's lifecycle: producer[@sampletime]")
+		windowF  = fs.Duration("window", 0, "aggregate kept events into windows of this (virtual) width and print the telemetry table")
+		printF   = fs.Int("print", 0, "print this many kept events as JSONL (-1: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scoopflight: want exactly one trace file, got %d args", fs.NArg())
+	}
+
+	flt := filter{node: *nodeF}
+	if *classF != "" {
+		c, ok := metrics.ParseClass(*classF)
+		if !ok {
+			return fmt.Errorf("scoopflight: unknown message class %q", *classF)
+		}
+		flt.class, flt.byClass = c, true
+	}
+	var err error
+	if flt.kinds, err = parseKinds(*kindF); err != nil {
+		return err
+	}
+	if *readingF != "" {
+		if flt.reading, err = parseReading(*readingF); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+
+	kept := events[:0:0]
+	for _, e := range events {
+		if flt.keep(e) {
+			kept = append(kept, e)
+		}
+	}
+
+	if *printF != 0 {
+		n := *printF
+		if n < 0 || n > len(kept) {
+			n = len(kept)
+		}
+		var buf []byte
+		for _, e := range kept[:n] {
+			buf = trace.AppendJSON(buf[:0], e)
+			buf = append(buf, '\n')
+			if _, err := out.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *windowF > 0 {
+		s := telemetry.NewSeries(windowMS(*windowF))
+		for _, e := range kept {
+			s.Record(e)
+		}
+		return s.WriteTable(out)
+	}
+
+	return summarise(out, events, kept)
+}
+
+// windowMS converts the -window duration to virtual milliseconds
+// (minimum 1 ms, the trace clock's resolution).
+func windowMS(d time.Duration) int64 {
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// summarise prints the whole-run digest: span, per-kind counts and the
+// drop breakdown, over the kept subset.
+func summarise(out io.Writer, all, kept []trace.Event) error {
+	fmt.Fprintf(out, "events: %d kept of %d\n", len(kept), len(all))
+	if len(kept) == 0 {
+		return nil
+	}
+	fmt.Fprintf(out, "span:   t=%d..%d (%.1fs)\n",
+		kept[0].T, kept[len(kept)-1].T, float64(kept[len(kept)-1].T-kept[0].T)/1000)
+
+	var byKind [256]int64
+	var drops [metrics.NumDropCauses]int64
+	var bytes int64
+	for _, e := range kept {
+		byKind[e.Kind]++
+		switch e.Kind {
+		case trace.PacketDrop, trace.PacketPurge:
+			drops[e.Cause]++
+		case trace.PacketSend:
+			bytes += int64(e.Size)
+		}
+	}
+	for _, k := range trace.Kinds() {
+		if n := byKind[k]; n > 0 {
+			fmt.Fprintf(out, "  %-18s %d\n", k, n)
+		}
+	}
+	if bytes > 0 {
+		fmt.Fprintf(out, "sent:   %d bytes on air\n", bytes)
+	}
+	for c := metrics.DropCause(0); int(c) < metrics.NumDropCauses; c++ {
+		if drops[c] > 0 {
+			fmt.Fprintf(out, "drops:  %-8s %d\n", c, drops[c])
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scoop/internal/metrics"
+	"scoop/internal/trace"
+)
+
+// writeTrace builds a small JSONL trace fixture on disk.
+func writeTrace(t *testing.T, events []trace.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := trace.NewJSONL(f)
+	for _, e := range events {
+		sink.Record(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixture(t *testing.T) string {
+	return writeTrace(t, []trace.Event{
+		{T: 100, Kind: trace.PacketSend, Node: 1, Peer: 2, Class: metrics.Data, Size: 30},
+		{T: 110, Kind: trace.PacketRecv, Node: 2, Peer: 1, Class: metrics.Data, Size: 30},
+		{T: 120, Kind: trace.PacketDrop, Node: 3, Peer: 1, Class: metrics.Query, Cause: metrics.DropRetries, Size: 24},
+		{T: 200, Kind: trace.ReadingSampled, Node: 4, Producer: 4, SampleT: 200, Value: 55},
+		{T: 260, Kind: trace.ReadingStored, Node: 7, Flag: trace.StoreOwner, Producer: 4, SampleT: 200, Value: 55},
+		{T: 70_000, Kind: trace.PacketSend, Node: 2, Peer: 1, Class: metrics.Reply, Size: 40},
+	})
+}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestSummary(t *testing.T) {
+	out := runCLI(t, fixture(t))
+	for _, want := range []string{"events: 6 kept of 6", "packet-send", "reading-stored", "drops:  retries  1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNodeFilter(t *testing.T) {
+	out := runCLI(t, "-node", "2", fixture(t))
+	if !strings.Contains(out, "events: 2 kept of 6") {
+		t.Fatalf("node filter wrong:\n%s", out)
+	}
+}
+
+func TestClassFilter(t *testing.T) {
+	out := runCLI(t, "-class", "data", fixture(t))
+	if !strings.Contains(out, "events: 2 kept of 6") {
+		t.Fatalf("class filter wrong:\n%s", out)
+	}
+	// Class filtering excludes non-packet kinds even though their zero
+	// Class field decodes as data.
+	if strings.Contains(out, "reading-sampled") {
+		t.Fatalf("class filter leaked a reading event:\n%s", out)
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	out := runCLI(t, "-kind", "packet-drop", fixture(t))
+	if !strings.Contains(out, "events: 1 kept of 6") {
+		t.Fatalf("kind filter wrong:\n%s", out)
+	}
+}
+
+func TestReadingFilter(t *testing.T) {
+	out := runCLI(t, "-reading", "4@200", "-print", "-1", fixture(t))
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 2 printed JSONL events + the summary block.
+	if len(lines) < 3 || !strings.Contains(lines[0], `"kind":"reading-sampled"`) ||
+		!strings.Contains(lines[1], `"kind":"reading-stored"`) {
+		t.Fatalf("reading filter output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "events: 2 kept of 6") {
+		t.Fatalf("reading filter count wrong:\n%s", out)
+	}
+}
+
+func TestWindowTable(t *testing.T) {
+	out := runCLI(t, "-window", "60s", fixture(t))
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 windows (0s, 60s)
+		t.Fatalf("want header + 2 windows:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "rate") || !strings.HasPrefix(strings.TrimSpace(lines[1]), "0s") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-class", "nope", "x.jsonl"},
+		{"-kind", "nope", "x.jsonl"},
+		{"-reading", "abc", "x.jsonl"},
+		{},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted bad input", args)
+		}
+	}
+}

@@ -35,6 +35,7 @@ func parseFlags(args []string) (scoop.ExperimentConfig, error) {
 		nodePct  = fs.Float64("nodepct", -1, "node-list queries over this fraction of nodes (<0: value-range queries)")
 		trials   = fs.Int("trials", 3, "independent trials to average")
 		seed     = fs.Int64("seed", 1, "random seed")
+		traceF   = fs.String("trace", "", "write the first trial's flight-recorder events to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return scoop.ExperimentConfig{}, err
@@ -49,6 +50,7 @@ func parseFlags(args []string) (scoop.ExperimentConfig, error) {
 		SampleInterval: *sample,
 		QueryInterval:  *query,
 		NodePercent:    *nodePct,
+		TraceJSONL:     *traceF,
 		Trials:         *trials,
 		Seed:           *seed,
 	}, nil

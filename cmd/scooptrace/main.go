@@ -11,8 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"scoop/internal/histogram"
 	"scoop/internal/workload"
 )
 
@@ -27,7 +30,7 @@ func main() {
 	flag.Parse()
 
 	if *inspect != "" {
-		if err := inspectTrace(*inspect); err != nil {
+		if err := inspectTrace(*inspect, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "scooptrace:", err)
 			os.Exit(1)
 		}
@@ -46,7 +49,7 @@ func main() {
 	}
 }
 
-func inspectTrace(path string) error {
+func inspectTrace(path string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -57,11 +60,13 @@ func inspectTrace(path string) error {
 		return err
 	}
 	lo, hi := r.Domain()
-	fmt.Printf("trace %s: %d nodes, domain [%d,%d]\n", path, r.NumNodes(), lo, hi)
+	fmt.Fprintf(out, "trace %s: %d nodes, domain [%d,%d]\n", path, r.NumNodes(), lo, hi)
+	var all []int
 	for id := 0; id < r.NumNodes(); id++ {
 		series := r.Series(id)
+		all = append(all, series...)
 		if len(series) == 0 {
-			fmt.Printf("  node %3d: empty\n", id)
+			fmt.Fprintf(out, "  node %3d: empty\n", id)
 			continue
 		}
 		min, max, sum := series[0], series[0], 0
@@ -74,8 +79,38 @@ func inspectTrace(path string) error {
 			}
 			sum += v
 		}
-		fmt.Printf("  node %3d: n=%d mean=%.1f min=%d max=%d\n",
+		fmt.Fprintf(out, "  node %3d: n=%d mean=%.1f min=%d max=%d\n",
 			id, len(series), float64(sum)/float64(len(series)), min, max)
 	}
+	writeDomainHistogram(out, all)
 	return nil
+}
+
+// writeDomainHistogram renders the whole-trace value distribution with
+// the same equal-width binning nodes use for summary messages, so the
+// shape a basestation would infer is visible at a glance.
+func writeDomainHistogram(out io.Writer, values []int) {
+	h := histogram.Build(values, histogram.DefaultBins)
+	if h.Empty() {
+		return
+	}
+	fmt.Fprintf(out, "domain histogram: %d readings, bin width %d\n", h.Total(), h.BinWidth())
+	peak := 0
+	for _, c := range h.Counts {
+		if int(c) > peak {
+			peak = int(c)
+		}
+	}
+	for i, c := range h.Counts {
+		blo := h.Min + i*h.BinWidth()
+		bhi := blo + h.BinWidth() - 1
+		if i == len(h.Counts)-1 && bhi < h.Max {
+			bhi = h.Max // integer-width rounding spills into the last bin
+		}
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", int(c)*40/peak)
+		}
+		fmt.Fprintf(out, "  [%6d,%6d] %6d %s\n", blo, bhi, c, bar)
+	}
 }

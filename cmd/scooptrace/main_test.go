@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"scoop/internal/workload"
@@ -29,13 +30,26 @@ func TestGenerateInspectRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := inspectTrace(path); err != nil {
+	var sb strings.Builder
+	if err := inspectTrace(path, &sb); err != nil {
 		t.Fatalf("inspectTrace: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "8 nodes") {
+		t.Fatalf("inspect output missing node count:\n%s", out)
+	}
+	if !strings.Contains(out, "domain histogram: 160 readings") {
+		t.Fatalf("inspect output missing domain histogram:\n%s", out)
+	}
+	// The peak bin renders a full-width bar.
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Fatalf("histogram bars missing:\n%s", out)
 	}
 }
 
 func TestInspectMissingFile(t *testing.T) {
-	if err := inspectTrace(filepath.Join(t.TempDir(), "absent.trace")); err == nil {
+	var sb strings.Builder
+	if err := inspectTrace(filepath.Join(t.TempDir(), "absent.trace"), &sb); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }

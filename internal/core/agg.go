@@ -8,6 +8,7 @@ import (
 	"scoop/internal/netsim"
 	"scoop/internal/query"
 	"scoop/internal/storage"
+	"scoop/internal/trace"
 	"scoop/internal/trickle"
 	"scoop/internal/workload"
 )
@@ -118,6 +119,8 @@ func (n *Node) onAggPartial(m *AggReplyMsg) {
 		e.hops = h
 	}
 	n.stats.AggCombined++
+	n.cfg.Trace.Emit(trace.Event{Kind: trace.AggCombined, Node: uint16(n.api.ID()),
+		Peer: uint16(m.Node), ID: m.QueryID, Value: int64(e.contribs)})
 	n.armAggFlush(n.api.Now() + n.cfg.AggFlushDelay)
 }
 
@@ -229,6 +232,8 @@ func (n *Node) transmitAggReply(m *AggReplyMsg, to netsim.NodeID, attempt int) {
 		Payload:      m,
 	}, func(ok bool) {
 		if !ok && attempt < aggSendRetries {
+			n.cfg.Trace.Emit(trace.Event{Kind: trace.AggResent, Node: uint16(n.api.ID()),
+				ID: m.QueryID, Aux: int64(attempt + 1)})
 			n.transmitAggReply(m, to, attempt+1)
 		}
 	})
@@ -285,6 +290,7 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 		Est:               est,
 		ErrBudget:         q.ErrBudget,
 		Force:             b.cfg.AggForcePlan,
+		Trace:             b.cfg.Trace,
 	})
 
 	switch dec.Plan {
@@ -340,6 +346,8 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 		pa.part = scanPartial(b.store, q.ValueLo, q.ValueHi, q.TimeLo, q.TimeHi)
 		b.pendingAgg = dense.Grow(b.pendingAgg, int(msg.ID))
 		b.pendingAgg[msg.ID] = pa
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.QueryIssued, Node: uint16(b.api.ID()),
+			Flag: uint8(dec.Plan), ID: msg.ID, Value: int64(pa.expected)})
 		if pa.expected > 0 {
 			b.aggOut = dense.Grow(b.aggOut, int(msg.ID))
 			b.aggOut[msg.ID] = msg
@@ -375,6 +383,8 @@ func (b *Base) onAggReply(m *AggReplyMsg) {
 		pa.answered = true
 		b.stats.AggAnswered++
 		b.stats.AggFirstAnswerMS += int64(b.api.Now() - pa.issued)
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.QueryAnswered, Node: uint16(b.api.ID()),
+			ID: m.QueryID, Value: int64(pa.contribs)})
 	}
 }
 

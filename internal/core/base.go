@@ -7,8 +7,10 @@ import (
 	"scoop/internal/index"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
+	"scoop/internal/query"
 	"scoop/internal/routing"
 	"scoop/internal/storage"
+	"scoop/internal/trace"
 	"scoop/internal/trickle"
 	"scoop/internal/workload"
 )
@@ -122,7 +124,7 @@ func (b *Base) Init(api *netsim.NodeAPI) {
 	b.pendingAgg = nil
 	b.seenAggParts.reset()
 	b.graph = index.NewGraph(api.N())
-	b.builder = index.Builder{DirtyEpsilon: b.cfg.ReindexEpsilon}
+	b.builder = index.Builder{DirtyEpsilon: b.cfg.ReindexEpsilon, Trace: b.cfg.Trace}
 	b.statsInput = make([]index.NodeStat, api.N())
 	b.profProb = make([]float64, b.cfg.DomainMax-b.cfg.DomainMin+1)
 	b.mapGos = trickle.New(api, timerMapping, b.cfg.MappingTrickle, b.sendChunk)
@@ -241,13 +243,17 @@ func (b *Base) onData(m *DataMsg) {
 	for _, r := range m.Readings {
 		b.store.Store(r)
 		b.stats.MarkStored(r.Producer, r.Time)
+		site := trace.StoreOwner
 		if m.Owner == b.api.ID() {
 			b.stats.StoredAtOwner++
 		} else {
 			// The network failed to find the owner; the reading washed
 			// up at the root (the paper's ~15% case).
 			b.stats.StoredAtBase++
+			site = trace.StoreBase
 		}
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.ReadingStored, Node: uint16(b.api.ID()),
+			Flag: site, Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
 	}
 }
 
@@ -264,6 +270,12 @@ func (b *Base) onReply(m *ReplyMsg) {
 	pq.total += m.Count
 	b.stats.RepliesReceived++
 	b.stats.TuplesReturned += int64(m.Count)
+	if rec := b.cfg.Trace; rec != nil {
+		for _, r := range m.Readings {
+			rec.Emit(trace.Event{Kind: trace.ReadingDelivered, Node: uint16(b.api.ID()),
+				ID: m.QueryID, Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
+		}
+	}
 }
 
 // LastQueryID returns the ID of the most recently issued query.
@@ -302,6 +314,7 @@ func (b *Base) Remap() {
 	b.stats.ReindexWallNanos += bs.WallNanos
 	if b.cur != nil && index.Similarity(ix, b.cur) >= b.cfg.SimilaritySuppress {
 		b.stats.IndexesSuppressed++
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.IndexSuppressed, Node: uint16(b.api.ID()), ID: id})
 		return
 	}
 	b.nextID = id
@@ -314,11 +327,14 @@ func (b *Base) Remap() {
 		delete(b.chunks, k)
 		b.mapGos.Remove(k)
 	}
-	for _, c := range ix.Chunks(b.cfg.ChunkEntries) {
+	chunks := ix.Chunks(b.cfg.ChunkEntries)
+	for _, c := range chunks {
 		k := mapKey(c.IndexID, c.Num)
 		b.chunks[k] = c
 		b.mapGos.Add(k)
 	}
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.IndexAdopted, Node: uint16(b.api.ID()),
+		ID: id, Value: int64(len(chunks))})
 }
 
 // buildInput assembles the indexing algorithm's input from the latest
@@ -454,6 +470,8 @@ func (b *Base) issueTupleQuery(q workload.Query, targets []netsim.NodeID) []nets
 	pq := &pendingQuery{expected: expected, replied: make([]bool, b.api.N())}
 	b.pending = dense.Grow(b.pending, int(msg.ID))
 	b.pending[msg.ID] = pq
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.QueryIssued, Node: uint16(b.api.ID()),
+		Flag: uint8(query.PlanTuple), ID: msg.ID, Value: int64(expected)})
 	// The base also scans its own store (readings it owns plus
 	// washed-up data) at no message cost.
 	b.scanLocal(msg, pq)
@@ -506,6 +524,8 @@ func (b *Base) AnswerFromStore(q workload.Query) int {
 		return true
 	})
 	b.stats.TuplesReturned += int64(count)
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.QueryAnswered, Node: uint16(b.api.ID()),
+		Value: int64(count)})
 	return count
 }
 
@@ -621,6 +641,8 @@ func (b *Base) sendChunk(key trickle.Key) {
 		return
 	}
 	m := &MappingMsg{Chunk: c}
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.ChunkSent, Node: uint16(b.api.ID()),
+		ID: c.IndexID, Value: int64(c.Num)})
 	b.api.Broadcast(&netsim.Packet{
 		Class:        metrics.Mapping,
 		Origin:       b.api.ID(),

@@ -9,10 +9,12 @@ package core
 
 import (
 	"scoop/internal/index"
+	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/query"
 	"scoop/internal/routing"
 	"scoop/internal/storage"
+	"scoop/internal/trace"
 	"scoop/internal/trickle"
 )
 
@@ -130,6 +132,13 @@ type Config struct {
 	// that shows what the adaptive loop buys under drift and churn.
 	// 0 means unlimited.
 	RemapLimit int
+
+	// Trace, when non-nil, receives flight-recorder events from every
+	// protocol decision point: reading lifecycle, query planning and
+	// answering, aggregate combining, chunk dissemination and index
+	// adoption (DESIGN.md §16). One recorder per simulation run; nil
+	// disables tracing at the cost of one branch per site.
+	Trace *trace.Recorder
 
 	// Tree configures the routing-tree substrate.
 	Tree routing.Config
@@ -284,12 +293,13 @@ func (s *RunStats) noteProduced(producer uint16, t int64) {
 }
 
 // loseReadings accounts a batch of readings as lost for the given
-// reason (sender-perceived: an ack loss can mark a reading lost that
+// cause (sender-perceived: an ack loss can mark a reading lost that
 // was in fact stored; conservation checkers treat the accounts as
 // at-least-once).
-func (s *RunStats) loseReadings(rs []storage.Reading, reason string) {
+func (s *RunStats) loseReadings(rs []storage.Reading, cause metrics.DropCause) {
 	s.LostData += int64(len(rs))
 	if s.Probe != nil {
+		reason := cause.String()
 		for _, r := range rs {
 			s.Probe.LostReading(r.Producer, r.Time, reason)
 		}

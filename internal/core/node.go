@@ -11,6 +11,7 @@ import (
 	"scoop/internal/netsim"
 	"scoop/internal/routing"
 	"scoop/internal/storage"
+	"scoop/internal/trace"
 	"scoop/internal/trickle"
 )
 
@@ -113,13 +114,18 @@ func (n *Node) Tree() *routing.Tree { return n.tree }
 // Init implements netsim.App.
 func (n *Node) Init(api *netsim.NodeAPI) {
 	// Reboot accounting: readings batched in RAM when the mote loses
-	// power are gone for good — tell the conservation probe before the
-	// buffers are recreated. (LostData itself counts only radio-path
-	// losses, as before.)
-	if p := n.stats.Probe; p != nil {
+	// power are gone for good — tell the conservation probe and the
+	// flight recorder before the buffers are recreated. (LostData
+	// itself counts only radio-path losses, as before.)
+	if n.stats.Probe != nil || n.cfg.Trace != nil {
 		for _, rs := range n.batchq {
 			for _, r := range rs {
-				p.LostReading(r.Producer, r.Time, "reboot")
+				if p := n.stats.Probe; p != nil {
+					p.LostReading(r.Producer, r.Time, metrics.DropReboot.String())
+				}
+				n.cfg.Trace.Emit(trace.Event{Kind: trace.ReadingLost,
+					Node: uint16(api.ID()), Cause: metrics.DropReboot,
+					Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
 			}
 		}
 	}
@@ -273,6 +279,8 @@ func (n *Node) takeSample() {
 	now := n.api.Now()
 	v := n.sample(n.api.ID(), now)
 	n.stats.noteProduced(uint16(n.api.ID()), int64(now))
+	n.cfg.Trace.Emit(trace.Event{Kind: trace.ReadingSampled, Node: uint16(n.api.ID()),
+		Producer: uint16(n.api.ID()), SampleT: int64(now), Value: int64(v)})
 	n.recent.Add(v)
 	n.samplesSinceSummary++
 	r := storage.Reading{Producer: uint16(n.api.ID()), Value: v, Time: int64(now)}
@@ -283,6 +291,8 @@ func (n *Node) takeSample() {
 		n.store.Store(r)
 		n.stats.StoredLocal++
 		n.stats.MarkStored(r.Producer, r.Time)
+		n.cfg.Trace.Emit(trace.Event{Kind: trace.ReadingStored, Node: uint16(n.api.ID()),
+			Flag: trace.StoreLocal, Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
 		return
 	}
 	// Batch readings destined for the same owner (paper: up to 5).
@@ -335,12 +345,25 @@ func (n *Node) flushBatch() {
 	n.api.CancelTimer(timerBatch)
 }
 
+// loseReadings accounts a batch of readings as lost in RunStats and
+// emits one reading-lost trace event per reading.
+func (n *Node) loseReadings(rs []storage.Reading, cause metrics.DropCause) {
+	n.stats.loseReadings(rs, cause)
+	if rec := n.cfg.Trace; rec != nil {
+		me := uint16(n.api.ID())
+		for _, r := range rs {
+			rec.Emit(trace.Event{Kind: trace.ReadingLost, Node: me, Cause: cause,
+				Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
+		}
+	}
+}
+
 // handleData applies the paper's six routing rules to a received (or
 // locally produced) data message.
 func (n *Node) handleData(m *DataMsg) {
 	// TTL guard against transient routing loops.
 	if int(m.Hops) > n.cfg.MaxHops {
-		n.stats.loseReadings(m.Readings, "ttl")
+		n.loseReadings(m.Readings, metrics.DropTTL)
 		return
 	}
 	// Rule 1: a newer index here rewrites the destination. Readings in
@@ -376,11 +399,15 @@ func (n *Node) routeData(m *DataMsg) {
 		for _, r := range m.Readings {
 			n.store.Store(r)
 			n.stats.MarkStored(r.Producer, r.Time)
+			site := trace.StoreOwner
 			if netsim.NodeID(r.Producer) == me {
 				n.stats.StoredLocal++
+				site = trace.StoreLocal
 			} else {
 				n.stats.StoredAtOwner++
 			}
+			n.cfg.Trace.Emit(trace.Event{Kind: trace.ReadingStored, Node: uint16(me),
+				Flag: site, Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
 		}
 		return
 	}
@@ -418,12 +445,12 @@ func (n *Node) treeRouteData(m *DataMsg) {
 
 func (n *Node) sendToParent(m *DataMsg) {
 	if !n.tree.HasRoute() {
-		n.stats.loseReadings(m.Readings, "noroute")
+		n.loseReadings(m.Readings, metrics.DropNoRoute)
 		return
 	}
 	n.sendData(m, n.tree.Parent(), func(ok bool) {
 		if !ok {
-			n.stats.loseReadings(m.Readings, "radio")
+			n.loseReadings(m.Readings, metrics.DropRadio)
 		}
 	})
 }
@@ -513,6 +540,8 @@ func (n *Node) sendChunk(key trickle.Key) {
 	if !ok {
 		return
 	}
+	n.cfg.Trace.Emit(trace.Event{Kind: trace.ChunkSent, Node: uint16(n.api.ID()),
+		ID: c.IndexID, Value: int64(c.Num)})
 	m := &MappingMsg{Chunk: c}
 	n.api.Broadcast(&netsim.Packet{
 		Class:        metrics.Mapping,
@@ -622,6 +651,8 @@ func (n *Node) answer(q *QueryMsg) {
 		carried = carried[:n.cfg.ReplyMaxReadings]
 	}
 	m := &ReplyMsg{QueryID: q.ID, Node: n.api.ID(), Count: len(matches), Readings: carried}
+	n.cfg.Trace.Emit(trace.Event{Kind: trace.QueryAnswered, Node: uint16(n.api.ID()),
+		ID: q.ID, Value: int64(len(matches))})
 	if !n.tree.HasRoute() {
 		return
 	}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"scoop/internal/netsim"
+	"scoop/internal/trace"
 )
 
 // Kind discriminates perturbation events.
@@ -188,6 +189,11 @@ type Targets struct {
 	// the hook the experiment harness uses to mark perturbations on
 	// its transition-metrics timeline.
 	Observer func(Event)
+	// Trace, when non-nil, receives a Perturb event for every applied
+	// loss or drift perturbation (Flag: the Kind, Value: the knob
+	// scaled by 1e6). Churn is not re-emitted here: netsim's
+	// Kill/Restart already record NodeDown/NodeRestart.
+	Trace *trace.Recorder
 }
 
 // Attach schedules every event onto sim. Events are applied in (time,
@@ -212,6 +218,10 @@ func (s *Script) Attach(sim *netsim.Simulator, t Targets) {
 		sim.At(e.At, func() {
 			if !apply(e, t, base) {
 				return
+			}
+			if e.Kind != NodeDown && e.Kind != NodeUp {
+				t.Trace.Emit(trace.Event{Kind: trace.Perturb, Node: uint16(e.Src),
+					Flag: uint8(e.Kind), Value: int64(e.Value * 1e6)})
 			}
 			if t.Observer != nil {
 				t.Observer(e)

@@ -19,6 +19,7 @@ import (
 	"scoop/internal/policy"
 	"scoop/internal/query"
 	"scoop/internal/storage"
+	"scoop/internal/trace"
 	"scoop/internal/workload"
 )
 
@@ -107,10 +108,28 @@ type Config struct {
 	// artifact sweeps.
 	CheckInvariants bool
 
+	// Trace switches on the flight recorder: every trial gets its own
+	// trace.Recorder clocked by the trial's simulator, threaded
+	// through the network, the protocol stack and the dynamics
+	// scheduler. With no TraceSinks factory, events land in a bounded
+	// in-memory ring surfaced as TrialResult.Trace.
+	Trace bool
+	// TraceSinks, when non-nil, builds the sink set for one trial
+	// (called once per trial, concurrently across trials). Returning
+	// an empty set disables tracing for that trial — the usual way to
+	// trace only trial 0 of a multi-trial cell. Ignored unless Trace.
+	TraceSinks func(trial int) []trace.Sink
+	// TraceReading, when non-nil, narrows the trace to the lifecycle
+	// of matching readings (see trace.Recorder.Follow).
+	TraceReading *trace.ReadingID
+
 	// Modify, when non-nil, adjusts the derived core configuration —
 	// the hook ablation benches use (batching off, shortcut off, …).
 	Modify func(*core.Config)
 }
+
+// traceRingCap bounds the default in-memory trace ring per trial.
+const traceRingCap = 4096
 
 // ForceInvariants turns invariant checking on for every Run in the
 // process regardless of Config, so a test binary can assert the whole
@@ -242,6 +261,9 @@ type TrialResult struct {
 	QueryBytes    int64
 	ReplyBytes    int64
 	AggReplyBytes int64
+	// Trace holds the last traceRingCap flight-recorder events when
+	// the config enabled tracing without a custom sink set.
+	Trace *trace.Ring
 }
 
 // Result aggregates an experiment cell.
@@ -394,6 +416,29 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		cfg.Modify(&ccfg)
 	}
 
+	// Flight recorder: one recorder per trial, clocked by this trial's
+	// simulator, fanned out to the configured sinks (default: a
+	// bounded in-memory ring handed back on the TrialResult).
+	var rec *trace.Recorder
+	var ring *trace.Ring
+	if cfg.Trace {
+		var sinks []trace.Sink
+		if cfg.TraceSinks != nil {
+			sinks = cfg.TraceSinks(trial)
+		} else {
+			ring = trace.NewRing(traceRingCap)
+			sinks = []trace.Sink{ring}
+		}
+		if len(sinks) > 0 {
+			rec = trace.New(func() int64 { return int64(sim.Now()) }, sinks...)
+			rec.Follow(cfg.TraceReading)
+		} else {
+			ring = nil
+		}
+	}
+	net.Trace = rec
+	ccfg.Trace = rec
+
 	stats := &core.RunStats{}
 	var chk *invariant.Checker
 	if cfg.CheckInvariants || ForceInvariants {
@@ -436,6 +481,7 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		tg := dynamics.Targets{
 			Net:      net,
 			LossBase: 1 - cfg.LinkLoss,
+			Trace:    rec,
 			Observer: func(ev dynamics.Event) {
 				tr.Timeline.AddMark(int64(sim.Now()), ev.Kind.String())
 			},
@@ -554,6 +600,13 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	}
 
 	sim.Run(cfg.Duration)
+
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return TrialResult{}, fmt.Errorf("exp: closing trace sinks (trial %d): %w", trial, err)
+		}
+		tr.Trace = ring
+	}
 
 	// Settle the aggregate answers against ground truth captured at
 	// issue time. An aggregate over an empty match set has no defined

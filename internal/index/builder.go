@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"scoop/internal/netsim"
+	"scoop/internal/trace"
 )
 
 // BuildStats describes what one index rebuild actually did — the
@@ -46,6 +47,13 @@ type Builder struct {
 	// recomputations under noisy link estimators; committed sweep
 	// baselines all run with 0.
 	DirtyEpsilon float64
+
+	// Trace, when non-nil, receives ReindexBegin/ReindexEnd events
+	// for every BuildOwners call. The wall-clock probe in BuildStats
+	// never enters the trace (DESIGN.md §16): ReindexEnd carries only
+	// the deterministic counters (Values, Recomputed, SPTSources,
+	// FullRebuild).
+	Trace *trace.Recorder
 
 	// Sparse shortest-path state, double-buffered so the previous
 	// matrix survives for row comparison.
@@ -122,6 +130,7 @@ func (b *Builder) BuildOwners(in *BuildInput) []netsim.NodeID {
 	n := in.N
 	V := in.domainSize()
 	b.stats = BuildStats{Values: V}
+	b.Trace.Emit(trace.Event{Kind: trace.ReindexBegin, Node: uint16(in.Base), Value: int64(V)})
 
 	full := !b.prevValid || b.prevN != n || b.prevBase != in.Base ||
 		b.prevMin != in.MinValue || b.prevMax != in.MaxValue
@@ -211,6 +220,14 @@ func (b *Builder) BuildOwners(in *BuildInput) []netsim.NodeID {
 	b.prevValid, b.prevN, b.prevBase = true, n, in.Base
 	b.prevMin, b.prevMax = in.MinValue, in.MaxValue
 	b.stats.WallNanos = time.Since(start).Nanoseconds() //scoop:allow walltime BuildStats wall probe, json:"-" everywhere — never enters artifacts (DESIGN.md §14)
+	if b.Trace != nil {
+		flag := uint8(0)
+		if full {
+			flag = 1
+		}
+		b.Trace.Emit(trace.Event{Kind: trace.ReindexEnd, Node: uint16(in.Base), Flag: flag,
+			Size: int32(V), Value: int64(b.stats.Recomputed), Aux: int64(b.stats.SPTSources)})
+	}
 	return b.owners
 }
 

@@ -58,6 +58,8 @@ var deterministicDirs = map[string]bool{
 	"internal/histogram": true,
 	"internal/storage":   true,
 	"internal/policy":    true,
+	"internal/trace":     true,
+	"internal/telemetry": true,
 }
 
 // Package is one type-checked package under analysis.

@@ -11,7 +11,6 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"scoop/internal/dense"
@@ -61,6 +60,82 @@ func Classes() []Class {
 	return []Class{Data, Summary, Mapping, Query, Reply, AggReply, Beacon}
 }
 
+// NumClasses is the number of message classes, for observers that keep
+// per-class tables (telemetry windows, trace summaries).
+const NumClasses = int(numClasses)
+
+// ParseClass maps a class name (as produced by Class.String) back to
+// the Class, reporting whether the name was recognised.
+func ParseClass(s string) (Class, bool) {
+	for c := Class(0); c < numClasses; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// DropCause identifies why a packet or reading was lost. A closed enum
+// (rather than the free strings it replaced) means a typo'd cause can
+// no longer silently split a counter, and trace events share the same
+// values.
+type DropCause uint8
+
+// Drop causes. The packet-level causes (collision, queue, retries) are
+// counted by the MAC in Counters; the reading-level causes (ttl,
+// noroute, radio, reboot) account end-to-end data loss in core and
+// feed reading-loss trace events and invariant probes.
+const (
+	DropCollision DropCause = iota // frame destroyed by an overlapping transmission
+	DropQueue                      // send queue full (saturation)
+	DropRetries                    // unicast gave up after MaxAttempts
+	DropTTL                        // data message exceeded MaxHops
+	DropNoRoute                    // no parent/owner route available
+	DropRadio                      // link-layer send failed (ack never seen)
+	DropReboot                     // state lost to a node reboot
+	numDropCauses
+)
+
+// NumDropCauses is the number of drop causes, for per-cause tables.
+const NumDropCauses = int(numDropCauses)
+
+// String returns the lower-case cause name used in reports and traces.
+func (c DropCause) String() string {
+	switch c {
+	case DropCollision:
+		return "collision"
+	case DropQueue:
+		return "queue"
+	case DropRetries:
+		return "retries"
+	case DropTTL:
+		return "ttl"
+	case DropNoRoute:
+		return "noroute"
+	case DropRadio:
+		return "radio"
+	case DropReboot:
+		return "reboot"
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// ParseDropCause maps a cause name (as produced by DropCause.String)
+// back to the DropCause, reporting whether the name was recognised.
+func ParseDropCause(s string) (DropCause, bool) {
+	for c := DropCause(0); c < numDropCauses; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// AllDropCauses lists every drop cause in enum order.
+func AllDropCauses() []DropCause {
+	return []DropCause{DropCollision, DropQueue, DropRetries, DropTTL, DropNoRoute, DropRadio, DropReboot}
+}
+
 // Counters accumulates per-class and per-node message counts for one
 // simulation run. Per-node tallies live in flat slices keyed by dense
 // node ID (grown on demand), so the per-transmission and per-delivery
@@ -85,15 +160,15 @@ type Counters struct {
 	recvBytesBy  []int64
 	snoopBytesBy []int64
 
-	// Delivery bookkeeping for loss-rate experiments (cold path; a map
-	// keyed by free-form cause is fine here).
-	dropped map[string]int64
+	// Delivery bookkeeping for loss-rate experiments, keyed by the
+	// closed DropCause enum.
+	dropped [numDropCauses]int64
 }
 
 // NewCounters returns empty counters ready for use. Per-node tables
 // grow to the highest node ID observed.
 func NewCounters() *Counters {
-	return &Counters{dropped: make(map[string]int64)}
+	return &Counters{}
 }
 
 // CountSend records one transmission of class c and the given frame
@@ -158,9 +233,8 @@ func (m *Counters) SentBytesBy(id uint16) int64 { return at(m.sentBytesBy, int(i
 // ReceivedBytesBy returns the bytes delivered to node id.
 func (m *Counters) ReceivedBytesBy(id uint16) int64 { return at(m.recvBytesBy, int(id)) }
 
-// CountDrop records a lost packet with a free-form cause
-// ("loss", "collision", "retries", "dead", ...).
-func (m *Counters) CountDrop(cause string) { m.dropped[cause]++ }
+// CountDrop records a lost packet under the given cause.
+func (m *Counters) CountDrop(cause DropCause) { m.dropped[cause]++ }
 
 // Sent returns the number of transmissions of class c across all nodes.
 func (m *Counters) Sent(c Class) int64 { return m.sent[c] }
@@ -213,15 +287,16 @@ func (m *Counters) TotalWithBeacons() int64 {
 }
 
 // Drops returns the drop count recorded under the given cause.
-func (m *Counters) Drops(cause string) int64 { return m.dropped[cause] }
+func (m *Counters) Drops(cause DropCause) int64 { return m.dropped[cause] }
 
-// DropCauses returns all causes with nonzero drops, sorted.
-func (m *Counters) DropCauses() []string {
-	causes := make([]string, 0, len(m.dropped))
-	for k := range m.dropped {
-		causes = append(causes, k)
+// DropCauses returns all causes with nonzero drops, in enum order.
+func (m *Counters) DropCauses() []DropCause {
+	causes := make([]DropCause, 0, NumDropCauses)
+	for c := DropCause(0); c < numDropCauses; c++ {
+		if m.dropped[c] != 0 {
+			causes = append(causes, c)
+		}
 	}
-	sort.Strings(causes)
 	return causes
 }
 
@@ -251,8 +326,8 @@ func (m *Counters) Merge(other *Counters) {
 	m.sentBytesBy = addInto(m.sentBytesBy, other.sentBytesBy)
 	m.recvBytesBy = addInto(m.recvBytesBy, other.recvBytesBy)
 	m.snoopBytesBy = addInto(m.snoopBytesBy, other.snoopBytesBy)
-	for k, v := range other.dropped {
-		m.dropped[k] += v
+	for c := DropCause(0); c < numDropCauses; c++ {
+		m.dropped[c] += other.dropped[c]
 	}
 }
 

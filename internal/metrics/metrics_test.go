@@ -44,15 +44,45 @@ func TestTotalExcludesBeacons(t *testing.T) {
 
 func TestDrops(t *testing.T) {
 	m := NewCounters()
-	m.CountDrop("collision")
-	m.CountDrop("collision")
-	m.CountDrop("queue")
-	if m.Drops("collision") != 2 || m.Drops("queue") != 1 || m.Drops("none") != 0 {
+	m.CountDrop(DropCollision)
+	m.CountDrop(DropCollision)
+	m.CountDrop(DropQueue)
+	if m.Drops(DropCollision) != 2 || m.Drops(DropQueue) != 1 || m.Drops(DropRetries) != 0 {
 		t.Fatal("drop counts wrong")
 	}
 	causes := m.DropCauses()
-	if len(causes) != 2 || causes[0] != "collision" || causes[1] != "queue" {
+	if len(causes) != 2 || causes[0] != DropCollision || causes[1] != DropQueue {
 		t.Fatalf("causes = %v", causes)
+	}
+}
+
+func TestDropCauseStrings(t *testing.T) {
+	for _, c := range AllDropCauses() {
+		got, ok := ParseDropCause(c.String())
+		if !ok || got != c {
+			t.Fatalf("ParseDropCause(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseDropCause("nonsense"); ok {
+		t.Fatal("parsed a bogus cause")
+	}
+	if DropCause(99).String() == "" {
+		t.Fatal("unknown cause has empty name")
+	}
+	if len(AllDropCauses()) != NumDropCauses {
+		t.Fatalf("AllDropCauses = %v", AllDropCauses())
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, c := range Classes() {
+		got, ok := ParseClass(c.String())
+		if !ok || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseClass("nonsense"); ok {
+		t.Fatal("parsed a bogus class")
 	}
 }
 
@@ -62,7 +92,7 @@ func TestMerge(t *testing.T) {
 	b.CountSend(1, Data, 10)
 	b.CountSend(2, Summary, 10)
 	b.CountReceive(0, Summary, 10)
-	b.CountDrop("queue")
+	b.CountDrop(DropQueue)
 	a.Merge(b)
 	if a.Sent(Data) != 2 || a.Sent(Summary) != 1 {
 		t.Fatal("merged sends wrong")
@@ -70,8 +100,59 @@ func TestMerge(t *testing.T) {
 	if a.SentBy(1, Data) != 2 || a.SentBy(2, Summary) != 1 {
 		t.Fatal("merged per-node sends wrong")
 	}
-	if a.Received(Summary) != 1 || a.Drops("queue") != 1 {
+	if a.Received(Summary) != 1 || a.Drops(DropQueue) != 1 {
 		t.Fatal("merged receives/drops wrong")
+	}
+}
+
+// TestMergeBytesAndDrops covers the byte-tally and per-cause merge
+// paths the sweep engine relies on when folding per-trial counters.
+func TestMergeBytesAndDrops(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.CountSend(1, Data, 100)
+	a.CountSnoop(2, 40)
+	a.CountDrop(DropRetries)
+	b.CountSend(3, Reply, 60)
+	b.CountReceive(1, Reply, 60)
+	b.CountSnoop(2, 10)
+	b.CountDrop(DropRetries)
+	b.CountDrop(DropTTL)
+	a.Merge(b)
+	if a.SentBytes() != 160 || a.SentBytesClass(Data) != 100 || a.SentBytesClass(Reply) != 60 {
+		t.Fatalf("merged sent bytes: total=%d data=%d reply=%d",
+			a.SentBytes(), a.SentBytesClass(Data), a.SentBytesClass(Reply))
+	}
+	if a.ReceivedBytes() != 60 || a.ReceivedBytesBy(1) != 60 {
+		t.Fatalf("merged recv bytes: %d / %d", a.ReceivedBytes(), a.ReceivedBytesBy(1))
+	}
+	if a.SnoopedBytes() != 50 || a.SnoopedBytesBy(2) != 50 {
+		t.Fatalf("merged snoop bytes: %d / %d", a.SnoopedBytes(), a.SnoopedBytesBy(2))
+	}
+	if a.SentBytesBy(1) != 100 || a.SentBytesBy(3) != 60 {
+		t.Fatalf("merged per-node sent bytes: %d / %d", a.SentBytesBy(1), a.SentBytesBy(3))
+	}
+	if a.Drops(DropRetries) != 2 || a.Drops(DropTTL) != 1 {
+		t.Fatalf("merged drops: retries=%d ttl=%d", a.Drops(DropRetries), a.Drops(DropTTL))
+	}
+	if got := a.DropCauses(); len(got) != 2 || got[0] != DropRetries || got[1] != DropTTL {
+		t.Fatalf("merged causes = %v", got)
+	}
+}
+
+// TestMergeGrowsDense verifies Merge grows the destination's per-node
+// tables when the source saw higher node IDs than the destination.
+func TestMergeGrowsDense(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.CountSend(1, Data, 10)
+	b.CountSend(40, Query, 25)
+	b.CountReceive(41, Query, 25)
+	b.CountSnoop(42, 25)
+	a.Merge(b)
+	if a.SentBy(40, Query) != 1 || a.ReceivedBy(41, Query) != 1 {
+		t.Fatal("merge did not grow per-node count tables")
+	}
+	if a.SentBytesBy(40) != 25 || a.ReceivedBytesBy(41) != 25 || a.SnoopedBytesBy(42) != 25 {
+		t.Fatal("merge did not grow per-node byte tables")
 	}
 }
 
@@ -99,6 +180,29 @@ func TestSnapshotAndBreakdown(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "data=3") {
 		t.Fatalf("string = %q", b.String())
+	}
+}
+
+// TestBreakdownAddScale pins every field of the element-wise Add and
+// Scale used when the sweep engine averages per-trial breakdowns.
+func TestBreakdownAddScale(t *testing.T) {
+	a := Breakdown{Data: 1, Summary: 2, Mapping: 3, Query: 4, Reply: 5, AggReply: 6, Beacon: 7}
+	b := Breakdown{Data: 10, Summary: 20, Mapping: 30, Query: 40, Reply: 50, AggReply: 60, Beacon: 70}
+	sum := a.Add(b)
+	want := Breakdown{Data: 11, Summary: 22, Mapping: 33, Query: 44, Reply: 55, AggReply: 66, Beacon: 77}
+	if sum != want {
+		t.Fatalf("Add = %+v, want %+v", sum, want)
+	}
+	if sum.Total() != 11+22+33+44+55+66 {
+		t.Fatalf("Add total = %f (beacons must stay excluded)", sum.Total())
+	}
+	scaled := want.Scale(0.5)
+	wantScaled := Breakdown{Data: 5.5, Summary: 11, Mapping: 16.5, Query: 22, Reply: 27.5, AggReply: 33, Beacon: 38.5}
+	if scaled != wantScaled {
+		t.Fatalf("Scale = %+v, want %+v", scaled, wantScaled)
+	}
+	if (Breakdown{}).Add(Breakdown{}) != (Breakdown{}) {
+		t.Fatal("zero Add not zero")
 	}
 }
 

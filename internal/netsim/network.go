@@ -5,6 +5,7 @@ import (
 
 	"scoop/internal/dense"
 	"scoop/internal/metrics"
+	"scoop/internal/trace"
 )
 
 // App is the protocol logic running on one simulated node. All methods
@@ -108,6 +109,13 @@ type Network struct {
 	// conservative.
 	OnPurge func(id NodeID, p *Packet)
 
+	// Trace, when non-nil, receives a flight-recorder event for every
+	// transmission, delivery, snoop, drop, purge and node kill/restart.
+	// Hot-path emission sites are guarded by a nil check, so the
+	// disabled path costs one branch and zero allocations. Set before
+	// Start.
+	Trace *trace.Recorder
+
 	apps      []App
 	api       []*NodeAPI
 	dead      []bool
@@ -180,7 +188,10 @@ func (n *Network) Start() {
 
 // Kill marks a node dead: it stops sending, receiving and firing
 // timers. Used for failure-injection experiments.
-func (n *Network) Kill(id NodeID) { n.dead[id] = true }
+func (n *Network) Kill(id NodeID) {
+	n.dead[id] = true
+	n.Trace.Emit(trace.Event{Kind: trace.NodeDown, Node: uint16(id)})
+}
 
 // Revive brings a dead node back (its protocol state is whatever the
 // app retained).
@@ -203,6 +214,13 @@ func (n *Network) Restart(id NodeID) {
 		for _, j := range a.queue {
 			n.OnPurge(id, j.p)
 		}
+	}
+	if n.Trace != nil {
+		for _, j := range a.queue {
+			n.Trace.Emit(trace.Event{Kind: trace.PacketPurge, Node: uint16(id),
+				Class: j.p.Class, Cause: metrics.DropReboot, Size: int32(j.p.Size)})
+		}
+		n.Trace.Emit(trace.Event{Kind: trace.NodeRestart, Node: uint16(id)})
 	}
 	a.queue = nil
 	a.busy = false
@@ -340,9 +358,17 @@ func (d *delivery) Run() {
 		}
 		if s.addressee {
 			n.Counters.CountReceive(uint16(s.dst), d.p.Class, d.p.Size)
+			if n.Trace != nil {
+				n.Trace.Emit(trace.Event{Kind: trace.PacketRecv, Node: uint16(s.dst),
+					Peer: uint16(d.p.Src), Class: d.p.Class, Size: int32(d.p.Size)})
+			}
 			n.apps[s.dst].Receive(&d.p)
 		} else {
 			n.Counters.CountSnoop(uint16(s.dst), d.p.Size)
+			if n.Trace != nil {
+				n.Trace.Emit(trace.Event{Kind: trace.PacketSnoop, Node: uint16(s.dst),
+					Peer: uint16(d.p.Src), Class: d.p.Class, Size: int32(d.p.Size)})
+			}
 			n.apps[s.dst].Snoop(&d.p)
 		}
 	}
@@ -410,6 +436,10 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 	tx := transmission{src: src, start: now, end: now + dur}
 
 	n.Counters.CountSend(uint16(src), p.Class, p.Size)
+	if n.Trace != nil {
+		n.Trace.Emit(trace.Event{Kind: trace.PacketSend, Node: uint16(src),
+			Peer: uint16(p.Dst), Class: p.Class, Size: int32(p.Size)})
+	}
 
 	delivered := false
 	rng := n.Sim.Rand()
@@ -429,7 +459,12 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 			continue
 		}
 		if n.collided(src, dst, tx.start, tx.end) {
-			n.Counters.CountDrop("collision")
+			n.Counters.CountDrop(metrics.DropCollision)
+			if n.Trace != nil {
+				n.Trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(dst),
+					Peer: uint16(src), Class: p.Class, Cause: metrics.DropCollision,
+					Size: int32(p.Size)})
+			}
 			continue
 		}
 		isAddressee := p.Dst == Broadcast || p.Dst == dst
@@ -554,7 +589,12 @@ func (a *NodeAPI) Broadcast(p *Packet) {
 
 func (a *NodeAPI) enqueue(j sendJob) {
 	if len(a.queue) >= a.net.Params.QueueCap {
-		a.net.Counters.CountDrop("queue")
+		a.net.Counters.CountDrop(metrics.DropQueue)
+		if a.net.Trace != nil {
+			a.net.Trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(a.id),
+				Peer: uint16(j.p.Dst), Class: j.p.Class, Cause: metrics.DropQueue,
+				Size: int32(j.p.Size)})
+		}
 		if j.done != nil {
 			j.done(false)
 		}
@@ -630,7 +670,12 @@ func (a *NodeAPI) step(gen uint64, try, defers int) {
 		return
 	}
 	if try >= net.Params.MaxAttempts {
-		net.Counters.CountDrop("retries")
+		net.Counters.CountDrop(metrics.DropRetries)
+		if net.Trace != nil {
+			net.Trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(a.id),
+				Peer: uint16(j.p.Dst), Class: j.p.Class, Cause: metrics.DropRetries,
+				Size: int32(j.p.Size)})
+		}
 		a.jobDone(false)
 		return
 	}

@@ -108,7 +108,7 @@ func TestUnicastRespectsMaxAttempts(t *testing.T) {
 	if got := ctr.Sent(metrics.Data); got != 3 {
 		t.Fatalf("attempts = %d, want exactly MaxAttempts=3", got)
 	}
-	if ctr.Drops("retries") != 1 {
+	if ctr.Drops(metrics.DropRetries) != 1 {
 		t.Fatalf("retries drop not recorded")
 	}
 }
@@ -276,7 +276,7 @@ func TestCollisionsDropOverlapping(t *testing.T) {
 			net.api[2].Send(&Packet{Class: metrics.Data, Dst: 1, Size: 200}, nil)
 		}
 		sim.Run(Minute)
-		collisions += ctr.Drops("collision")
+		collisions += ctr.Drops(metrics.DropCollision)
 	}
 	if collisions == 0 {
 		t.Fatal("no collisions under heavy hidden-terminal load")
@@ -301,7 +301,7 @@ func TestCollisionsDisabled(t *testing.T) {
 		net.api[2].Send(&Packet{Class: metrics.Data, Dst: 1, Size: 200}, nil)
 	}
 	sim.Run(Minute)
-	if ctr.Drops("collision") != 0 {
+	if ctr.Drops(metrics.DropCollision) != 0 {
 		t.Fatal("collisions recorded while disabled")
 	}
 }
@@ -367,7 +367,7 @@ func TestQueueCapDropsOnOverflow(t *testing.T) {
 		net.api[0].Send(&Packet{Class: metrics.Data, Dst: 1, Size: 30}, nil)
 	}
 	sim.Run(Minute)
-	if ctr.Drops("queue") == 0 {
+	if ctr.Drops(metrics.DropQueue) == 0 {
 		t.Fatal("no queue drops despite 20 sends into a 4-deep queue")
 	}
 	// But the queue keeps draining: some packets were sent.

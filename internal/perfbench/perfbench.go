@@ -30,6 +30,7 @@ import (
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
+	"scoop/internal/trace"
 	"scoop/internal/workload"
 )
 
@@ -56,6 +57,35 @@ func Benches() []Bench {
 		{"index/rebuild/n65", func(b *testing.B) { benchIndexRebuild(b, 65) }},
 		{"index/rebuild/n250", func(b *testing.B) { benchIndexRebuild(b, 250) }},
 		{"index/rebuild/n1000", func(b *testing.B) { benchIndexRebuild(b, 1000) }},
+		{"trace/emit/disabled", benchTraceDisabled},
+		{"trace/emit/ring", benchTraceRing},
+	}
+}
+
+// benchTraceDisabled pins the flight recorder's disabled-path cost:
+// Emit on a nil Recorder must stay zero allocs/op (the hot netsim
+// sites additionally skip Event construction behind a nil check; this
+// measures the protocol-layer sites that call Emit unconditionally).
+func benchTraceDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var rec *trace.Recorder
+	for i := 0; i < b.N; i++ {
+		rec.Emit(trace.Event{Kind: trace.PacketSend, Node: 1, Peer: 2,
+			Class: metrics.Data, Size: 30})
+	}
+}
+
+// benchTraceRing pins the enabled-path cost with the default ring
+// sink: stamping, fan-out and ring insertion must stay zero allocs/op
+// so tracing never perturbs the allocation behaviour it observes.
+func benchTraceRing(b *testing.B) {
+	b.ReportAllocs()
+	var now int64
+	rec := trace.New(func() int64 { now++; return now }, trace.NewRing(4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Emit(trace.Event{Kind: trace.PacketSend, Node: 1, Peer: 2,
+			Class: metrics.Data, Size: 30})
 	}
 }
 

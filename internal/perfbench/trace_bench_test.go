@@ -1,0 +1,8 @@
+package perfbench
+
+import "testing"
+
+// Wrappers so `go test -bench` can drive the trace benches directly
+// (scoopperf runs them via Benches()).
+func BenchmarkTraceEmitDisabled(b *testing.B) { benchTraceDisabled(b) }
+func BenchmarkTraceEmitRing(b *testing.B)     { benchTraceRing(b) }

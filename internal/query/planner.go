@@ -1,6 +1,10 @@
 package query
 
-import "fmt"
+import (
+	"fmt"
+
+	"scoop/internal/trace"
+)
 
 // Plan is a physical query plan.
 type Plan uint8
@@ -80,6 +84,10 @@ type PlanInput struct {
 	// planner still refuses a summary plan with no valid estimate and
 	// an aggregate plan for OpSelect, falling back to its own choice.
 	Force Plan
+	// Trace, when non-nil, receives a QueryPlanned event for every
+	// Choose call: Flag is the chosen plan, Value the predicted
+	// on-air bytes (truncated), Aux the target count.
+	Trace *trace.Recorder
 }
 
 // Decision is the planner's verdict: the chosen plan, its predicted
@@ -99,6 +107,13 @@ type Decision struct {
 // returned, possibly truncated, tuple set — partials cannot carry a
 // quantile).
 func Choose(in PlanInput) Decision {
+	d := choose(in)
+	in.Trace.Emit(trace.Event{Kind: trace.QueryPlanned, Flag: uint8(d.Plan),
+		Value: int64(d.EstBytes), Aux: int64(in.Targets)})
+	return d
+}
+
+func choose(in PlanInput) Decision {
 	if in.AvgDepth < 1 {
 		in.AvgDepth = 1
 	}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"scoop/internal/metrics"
+	"scoop/internal/trace"
+)
+
+func TestSeriesBucketsByWindow(t *testing.T) {
+	s := NewSeries(1000)
+	s.Record(trace.Event{T: 10, Kind: trace.PacketSend, Class: metrics.Data, Size: 30})
+	s.Record(trace.Event{T: 900, Kind: trace.PacketRecv, Class: metrics.Data, Size: 30})
+	s.Record(trace.Event{T: 2500, Kind: trace.PacketSend, Class: metrics.Query, Size: 24})
+	s.Record(trace.Event{T: 2600, Kind: trace.PacketDrop, Cause: metrics.DropCollision})
+	ws := s.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3 (contiguous with gap filled)", len(ws))
+	}
+	if ws[0].Start != 0 || ws[0].End != 1000 || ws[2].Start != 2000 {
+		t.Fatalf("window bounds wrong: %+v", ws)
+	}
+	if ws[0].SentByClass[metrics.Data] != 1 || ws[0].Received != 1 {
+		t.Fatalf("window 0 = %+v", ws[0])
+	}
+	if ws[1].Sent() != 0 {
+		t.Fatal("gap window not empty")
+	}
+	if ws[2].SentByClass[metrics.Query] != 1 || ws[2].DropsByCause[metrics.DropCollision] != 1 {
+		t.Fatalf("window 2 = %+v", ws[2])
+	}
+	if ws[2].Bytes() != 24 || ws[2].Drops() != 1 {
+		t.Fatalf("window 2 totals wrong: bytes=%d drops=%d", ws[2].Bytes(), ws[2].Drops())
+	}
+}
+
+func TestSeriesReadingAndReindexCounters(t *testing.T) {
+	s := NewSeries(60_000)
+	s.Record(trace.Event{T: 1, Kind: trace.ReadingSampled, Producer: 3, SampleT: 1})
+	s.Record(trace.Event{T: 2, Kind: trace.ReadingStored, Producer: 3, SampleT: 1})
+	s.Record(trace.Event{T: 3, Kind: trace.ReadingLost, Producer: 4, SampleT: 2})
+	s.Record(trace.Event{T: 4, Kind: trace.ReadingDelivered, Producer: 3, SampleT: 1})
+	s.Record(trace.Event{T: 5, Kind: trace.QueryIssued, ID: 1})
+	s.Record(trace.Event{T: 6, Kind: trace.QueryAnswered, ID: 1, Value: 2})
+	s.Record(trace.Event{T: 7, Kind: trace.ReindexEnd, Size: 100, Value: 17, Aux: 3})
+	w := s.Windows()[0]
+	if w.Sampled != 1 || w.Stored != 1 || w.Lost != 1 || w.Delivered != 1 {
+		t.Fatalf("reading counters = %+v", w)
+	}
+	if w.QueriesIssued != 1 || w.QueriesAnswered != 1 {
+		t.Fatalf("query counters = %+v", w)
+	}
+	if w.Reindexes != 1 || w.ReindexValues != 100 || w.ReindexRecomputed != 17 {
+		t.Fatalf("reindex counters = %+v", w)
+	}
+}
+
+func TestDeliveryRate(t *testing.T) {
+	s := NewSeries(1000)
+	var w Window
+	if w.DeliveryRate() != 0 {
+		t.Fatal("empty window rate must be 0")
+	}
+	s.Record(trace.Event{T: 0, Kind: trace.PacketSend, Class: metrics.Data, Size: 30})
+	s.Record(trace.Event{T: 1, Kind: trace.PacketSend, Class: metrics.Data, Size: 30})
+	s.Record(trace.Event{T: 2, Kind: trace.PacketRecv, Class: metrics.Data, Size: 30})
+	if got := s.Windows()[0].DeliveryRate(); got != 0.5 {
+		t.Fatalf("rate = %v, want 0.5", got)
+	}
+}
+
+func TestSeriesAsRecorderSink(t *testing.T) {
+	s := NewSeries(1000)
+	clock := int64(0)
+	rec := trace.New(func() int64 { return clock }, s)
+	rec.Emit(trace.Event{Kind: trace.PacketSend, Node: 1, Class: metrics.Beacon, Size: 12})
+	clock = 1500
+	rec.Emit(trace.Event{Kind: trace.PacketSnoop, Node: 2, Peer: 1, Class: metrics.Beacon, Size: 12})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ws := s.Windows()
+	if len(ws) != 2 || ws[0].SentByClass[metrics.Beacon] != 1 || ws[1].Snoops != 1 {
+		t.Fatalf("windows = %+v", ws)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	s := NewSeries(1000)
+	s.Record(trace.Event{T: 100, Kind: trace.PacketSend, Class: metrics.Data, Size: 30})
+	var sb strings.Builder
+	if err := s.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "window") || !strings.Contains(out, "rate") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("want header + 1 row:\n%s", out)
+	}
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"scoop/internal/metrics"
+)
+
+// AppendJSON appends e as one JSON object (no trailing newline) to b
+// and returns the extended slice. The encoding is hand-rolled and
+// fully deterministic: fixed field order, integer values only, and
+// per-kind field presence (fields outside the kind's mask are
+// omitted), so identical event streams produce byte-identical output.
+func AppendJSON(b []byte, e Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, e.T, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	f := e.Kind.fields()
+	if f&fPeer != 0 {
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendInt(b, int64(e.Peer), 10)
+	}
+	if f&fClass != 0 {
+		b = append(b, `,"class":"`...)
+		b = append(b, e.Class.String()...)
+		b = append(b, '"')
+	}
+	if f&fCause != 0 {
+		b = append(b, `,"cause":"`...)
+		b = append(b, e.Cause.String()...)
+		b = append(b, '"')
+	}
+	if f&fFlag != 0 {
+		b = append(b, `,"flag":`...)
+		b = strconv.AppendInt(b, int64(e.Flag), 10)
+	}
+	if f&fSize != 0 {
+		b = append(b, `,"size":`...)
+		b = strconv.AppendInt(b, int64(e.Size), 10)
+	}
+	if f&fID != 0 {
+		b = append(b, `,"id":`...)
+		b = strconv.AppendInt(b, int64(e.ID), 10)
+	}
+	if f&fReading != 0 {
+		b = append(b, `,"producer":`...)
+		b = strconv.AppendInt(b, int64(e.Producer), 10)
+		b = append(b, `,"samplet":`...)
+		b = strconv.AppendInt(b, e.SampleT, 10)
+	}
+	if f&fValue != 0 {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendInt(b, e.Value, 10)
+	}
+	if f&fAux != 0 {
+		b = append(b, `,"aux":`...)
+		b = strconv.AppendInt(b, e.Aux, 10)
+	}
+	return append(b, '}')
+}
+
+// JSONL is a sink writing one JSON object per line. Writes are
+// buffered; Close flushes. The first write error is retained and
+// returned by Close (later records are dropped).
+type JSONL struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL returns a JSONL sink over w. The caller retains ownership
+// of any underlying file: Close flushes but does not close it.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w), buf: make([]byte, 0, 160)}
+}
+
+// Record implements Sink.
+func (s *JSONL) Record(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendJSON(s.buf[:0], e)
+	s.buf = append(s.buf, '\n')
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// Close implements Sink: flush buffered lines and report the first
+// error seen.
+func (s *JSONL) Close() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// jsonEvent is the decode shape for one JSONL line: enum fields travel
+// as their wire names.
+type jsonEvent struct {
+	T        int64  `json:"t"`
+	Kind     string `json:"kind"`
+	Node     uint16 `json:"node"`
+	Peer     uint16 `json:"peer"`
+	Class    string `json:"class"`
+	Cause    string `json:"cause"`
+	Flag     uint8  `json:"flag"`
+	Size     int32  `json:"size"`
+	ID       uint16 `json:"id"`
+	Producer uint16 `json:"producer"`
+	SampleT  int64  `json:"samplet"`
+	Value    int64  `json:"value"`
+	Aux      int64  `json:"aux"`
+}
+
+// ParseLine decodes one JSONL line back into an Event.
+func ParseLine(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, err
+	}
+	k, ok := ParseKind(je.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown kind %q", je.Kind)
+	}
+	e := Event{
+		T: je.T, Kind: k, Node: je.Node, Peer: je.Peer,
+		Flag: je.Flag, Size: je.Size, ID: je.ID,
+		Producer: je.Producer, SampleT: je.SampleT,
+		Value: je.Value, Aux: je.Aux,
+	}
+	if je.Class != "" {
+		c, ok := metrics.ParseClass(je.Class)
+		if !ok {
+			return Event{}, fmt.Errorf("trace: unknown class %q", je.Class)
+		}
+		e.Class = c
+	}
+	if je.Cause != "" {
+		c, ok := metrics.ParseDropCause(je.Cause)
+		if !ok {
+			return Event{}, fmt.Errorf("trace: unknown cause %q", je.Cause)
+		}
+		e.Cause = c
+	}
+	return e, nil
+}
+
+// ReadJSONL decodes a whole JSONL stream (blank lines skipped).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		e, err := ParseLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

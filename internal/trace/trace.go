@@ -1,0 +1,333 @@
+// Package trace is the simulator's flight recorder: a deterministic,
+// sim-time-only structured event layer threaded through the whole
+// stack (netsim, core, index, dynamics). Emission sites hand typed
+// Events to a per-run Recorder, which stamps the virtual clock and
+// fans them out to pluggable sinks — a bounded in-memory ring, a
+// deterministic JSONL writer, or a windowed telemetry aggregator.
+//
+// Determinism contract (DESIGN.md §16): every emission site runs on
+// the simulation's single event-loop goroutine, event fields are
+// integers only, and the JSONL encoding is hand-rolled with a fixed
+// field order — so a fixed seed produces a byte-identical trace across
+// runs and GOMAXPROCS settings. Timestamps are virtual milliseconds
+// from the Recorder's injected clock; wall time never appears.
+//
+// Cost contract: a nil *Recorder is valid and means "tracing off".
+// Emit on a nil Recorder returns immediately and Events are passed by
+// value, so the disabled path does no allocation and no work beyond
+// one branch — cheap enough to leave emission sites in the hot path
+// unconditionally.
+package trace
+
+import "scoop/internal/metrics"
+
+// Kind discriminates trace event types.
+type Kind uint8
+
+// Event kinds. The zero value is reserved so an uninitialised Event is
+// visibly invalid.
+const (
+	KindInvalid Kind = iota
+
+	// MAC / radio layer (emitted by netsim.Network).
+	PacketSend  // one transmission attempt put on the air
+	PacketRecv  // link-layer delivery to the addressee
+	PacketSnoop // frame overheard by a non-addressee
+	PacketDrop  // frame lost (Cause: collision, queue, retries)
+	PacketPurge // queued frame discarded by a node reboot
+	NodeDown    // node killed (churn injection)
+	NodeRestart // node rebooted with fresh protocol state
+
+	// Reading lifecycle (emitted by core node/base).
+	ReadingSampled   // sensor sample taken at the producer
+	ReadingStored    // reading stored (Flag: local/owner/base site)
+	ReadingLost      // reading loss-accounted (Cause: ttl, noroute, radio, reboot)
+	ReadingDelivered // reading carried back to the base by a query reply
+
+	// Query engine (emitted by core base/node).
+	QueryPlanned  // planner verdict for an aggregate query (Flag: plan)
+	QueryIssued   // query launched into dissemination (Flag: plan)
+	QueryAnswered // a targeted node (or the base itself) produced an answer
+
+	// In-network aggregation (emitted by core nodes).
+	AggCombined // a partial aggregate folded into the local combine buffer
+	AggResent   // a partial-aggregate flush retransmitted upward
+
+	// Index dissemination and reconstruction (core base + index.Builder).
+	ChunkSent       // one mapping chunk broadcast (Trickle transmit)
+	ReindexBegin    // basestation index recomputation started
+	ReindexEnd      // recomputation finished (BuildStats in Size/Value/Aux/Flag)
+	IndexAdopted    // the freshly built index replaced the current one
+	IndexSuppressed // the freshly built index was too similar; kept the old one
+
+	// Environment perturbations (emitted by dynamics).
+	Perturb // interference/drift epoch applied (Flag: dynamics kind)
+
+	numKinds
+)
+
+// kindNames maps kinds to their wire names (stable: part of the JSONL
+// format).
+var kindNames = [numKinds]string{
+	KindInvalid:      "invalid",
+	PacketSend:       "packet-send",
+	PacketRecv:       "packet-recv",
+	PacketSnoop:      "packet-snoop",
+	PacketDrop:       "packet-drop",
+	PacketPurge:      "packet-purge",
+	NodeDown:         "node-down",
+	NodeRestart:      "node-restart",
+	ReadingSampled:   "reading-sampled",
+	ReadingStored:    "reading-stored",
+	ReadingLost:      "reading-lost",
+	ReadingDelivered: "reading-delivered",
+	QueryPlanned:     "query-planned",
+	QueryIssued:      "query-issued",
+	QueryAnswered:    "query-answered",
+	AggCombined:      "agg-combined",
+	AggResent:        "agg-resent",
+	ChunkSent:        "chunk-sent",
+	ReindexBegin:     "reindex-begin",
+	ReindexEnd:       "reindex-end",
+	IndexAdopted:     "index-adopted",
+	IndexSuppressed:  "index-suppressed",
+	Perturb:          "perturb",
+}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// ParseKind maps a wire name back to its Kind, reporting whether the
+// name was recognised.
+func ParseKind(s string) (Kind, bool) {
+	for k := Kind(1); k < numKinds; k++ {
+		if kindNames[k] == s {
+			return k, true
+		}
+	}
+	return KindInvalid, false
+}
+
+// Kinds lists every valid kind in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, int(numKinds)-1)
+	for k := Kind(1); k < numKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Storage sites for ReadingStored's Flag field.
+const (
+	StoreLocal uint8 = iota // stored by its producer
+	StoreOwner              // stored at the index-designated owner
+	StoreBase               // fell back to the basestation
+)
+
+// Event is one structured trace record. All fields are integers so the
+// JSONL encoding is exactly reproducible; which fields are meaningful
+// depends on Kind (the schema table in DESIGN.md §16). The struct is
+// always passed by value — emission sites build it on the stack and
+// sinks copy what they keep.
+type Event struct {
+	T    int64 // virtual time, ms (stamped by the Recorder)
+	Kind Kind
+
+	Node uint16 // node where the event happened (base = 0)
+	Peer uint16 // counterpart node (link peer, partial's sender, ...)
+
+	Class metrics.Class     // packet events: message class
+	Cause metrics.DropCause // drop/loss events: why
+	Flag  uint8             // small discriminator (store site, plan, dynamics kind)
+
+	Size int32  // packet events: frame bytes; ReindexEnd: value-domain size
+	ID   uint16 // query ID or storage-index generation
+
+	Producer uint16 // reading identity: producing node ...
+	SampleT  int64  // ... and sample time (virtual ms)
+
+	Value int64 // primary quantity (reading value, match count, chunk num)
+	Aux   int64 // secondary quantity (attempt number, recompute count)
+}
+
+// Field presence masks: which Event fields each kind emits, driving
+// both the JSONL encoder (fields outside the mask are omitted) and the
+// Recorder's reading filter.
+const (
+	fPeer = 1 << iota
+	fClass
+	fCause
+	fFlag
+	fSize
+	fID
+	fReading // Producer + SampleT
+	fValue
+	fAux
+)
+
+var kindFields = [numKinds]uint16{
+	PacketSend:       fPeer | fClass | fSize,
+	PacketRecv:       fPeer | fClass | fSize,
+	PacketSnoop:      fPeer | fClass | fSize,
+	PacketDrop:       fPeer | fClass | fCause | fSize,
+	PacketPurge:      fClass | fCause | fSize,
+	NodeDown:         0,
+	NodeRestart:      0,
+	ReadingSampled:   fReading | fValue,
+	ReadingStored:    fFlag | fReading | fValue,
+	ReadingLost:      fCause | fReading | fValue,
+	ReadingDelivered: fID | fReading | fValue,
+	QueryPlanned:     fFlag | fID | fValue | fAux,
+	QueryIssued:      fFlag | fID | fValue,
+	QueryAnswered:    fID | fValue,
+	AggCombined:      fPeer | fID | fValue,
+	AggResent:        fID | fAux,
+	ChunkSent:        fID | fValue,
+	ReindexBegin:     fValue,
+	ReindexEnd:       fFlag | fSize | fValue | fAux,
+	IndexAdopted:     fID | fValue,
+	IndexSuppressed:  fID,
+	Perturb:          fFlag | fValue,
+}
+
+// Fields returns the presence mask for k (0 for invalid kinds).
+func (k Kind) fields() uint16 {
+	if k < numKinds {
+		return kindFields[k]
+	}
+	return 0
+}
+
+// CarriesReading reports whether events of this kind identify a
+// reading (Producer, SampleT) — the reading-lifecycle subset Follow
+// and scoopflight's -reading filter operate on.
+func (k Kind) CarriesReading() bool { return k.fields()&fReading != 0 }
+
+// CarriesClass reports whether events of this kind carry a message
+// class — the packet subset scoopflight's -class filter operates on.
+func (k Kind) CarriesClass() bool { return k.fields()&fClass != 0 }
+
+// Sink consumes recorded events. Record is called from the simulation
+// goroutine only; Close flushes and releases resources.
+type Sink interface {
+	Record(e Event)
+	Close() error
+}
+
+// ReadingID identifies one reading — the (producer, sample time) pair
+// used across storage, invariant checking and tracing. A negative Time
+// matches every reading the producer samples.
+type ReadingID struct {
+	Producer uint16
+	Time     int64
+}
+
+// Recorder stamps events with the virtual clock and fans them out to
+// its sinks. One Recorder belongs to one simulation run (single
+// goroutine; not safe for concurrent use). The nil Recorder is the
+// disabled state: Emit returns immediately.
+type Recorder struct {
+	now    func() int64
+	sinks  []Sink
+	follow *ReadingID
+}
+
+// New builds a Recorder over the given virtual clock (milliseconds)
+// and sinks.
+func New(now func() int64, sinks ...Sink) *Recorder {
+	return &Recorder{now: now, sinks: sinks}
+}
+
+// Follow restricts recording to the lifecycle of one reading: only
+// reading-carrying events matching id pass; everything else is
+// filtered. A nil id removes the filter.
+func (r *Recorder) Follow(id *ReadingID) {
+	if r != nil {
+		r.follow = id
+	}
+}
+
+// Emit stamps e with the current virtual time and hands it to every
+// sink. Safe (and free) on a nil Recorder.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	if f := r.follow; f != nil {
+		if e.Kind.fields()&fReading == 0 || e.Producer != f.Producer ||
+			(f.Time >= 0 && e.SampleT != f.Time) {
+			return
+		}
+	}
+	e.T = r.now()
+	for _, s := range r.sinks {
+		s.Record(e)
+	}
+}
+
+// Close closes every sink, returning the first error.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	var first error
+	for _, s := range r.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ring is a bounded in-memory sink keeping the most recent events.
+type Ring struct {
+	buf   []Event
+	next  int
+	wrap  bool
+	total int64
+}
+
+// NewRing returns a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.wrap = true
+}
+
+// Close implements Sink.
+func (r *Ring) Close() error { return nil }
+
+// Total returns how many events were recorded overall (including those
+// the ring has since overwritten).
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events in emission order (a copy).
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if r.wrap {
+		out = append(out, r.buf[r.next:]...)
+		return append(out, r.buf[:r.next]...)
+	}
+	return append(out, r.buf...)
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scoop/internal/metrics"
+)
+
+// fixedClock returns a clock that ticks forward one ms per call.
+func fixedClock() func() int64 {
+	t := int64(-1)
+	return func() int64 { t++; return t }
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+		if k.String() == "invalid" {
+			t.Fatalf("kind %d renders as invalid", k)
+		}
+	}
+	if _, ok := ParseKind("nonsense"); ok {
+		t.Fatal("parsed a bogus kind")
+	}
+	if Kind(200).String() != "invalid" {
+		t.Fatal("out-of-range kind must render invalid")
+	}
+}
+
+func TestRecorderStampsAndFansOut(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	rec := New(fixedClock(), a, b)
+	rec.Emit(Event{Kind: PacketSend, Node: 3, Peer: 1, Class: metrics.Data, Size: 30})
+	rec.Emit(Event{Kind: NodeDown, Node: 7})
+	for _, r := range []*Ring{a, b} {
+		evs := r.Events()
+		if len(evs) != 2 {
+			t.Fatalf("ring has %d events", len(evs))
+		}
+		if evs[0].T != 0 || evs[1].T != 1 {
+			t.Fatalf("timestamps = %d,%d; want recorder-stamped 0,1", evs[0].T, evs[1].T)
+		}
+		if evs[0].Kind != PacketSend || evs[1].Kind != NodeDown {
+			t.Fatal("event order wrong")
+		}
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var rec *Recorder
+	rec.Emit(Event{Kind: PacketSend, Node: 1}) // must not panic
+	rec.Follow(&ReadingID{Producer: 1, Time: -1})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRecorderEmitAllocsZero(t *testing.T) {
+	var rec *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Emit(Event{Kind: PacketSend, Node: 9, Peer: 2, Class: metrics.Reply, Size: 44})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestRingEnabledEmitAllocsZero(t *testing.T) {
+	ring := NewRing(64)
+	rec := New(fixedClock(), ring)
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Emit(Event{Kind: PacketRecv, Node: 4, Peer: 0, Class: metrics.Data, Size: 30})
+	})
+	if allocs != 0 {
+		t.Fatalf("ring-sink Emit allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: PacketSend, Node: uint16(i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Node != uint16(i+2) {
+			t.Fatalf("evs[%d].Node = %d, want %d (oldest first)", i, e.Node, i+2)
+		}
+	}
+}
+
+func TestFollowFiltersToOneReading(t *testing.T) {
+	ring := NewRing(16)
+	rec := New(fixedClock(), ring)
+	rec.Follow(&ReadingID{Producer: 5, Time: 1500})
+	rec.Emit(Event{Kind: ReadingSampled, Node: 5, Producer: 5, SampleT: 1500, Value: 42})
+	rec.Emit(Event{Kind: ReadingSampled, Node: 5, Producer: 5, SampleT: 3000, Value: 43}) // other sample
+	rec.Emit(Event{Kind: ReadingStored, Node: 8, Flag: StoreOwner, Producer: 5, SampleT: 1500, Value: 42})
+	rec.Emit(Event{Kind: ReadingLost, Node: 2, Cause: metrics.DropTTL, Producer: 6, SampleT: 1500}) // other producer
+	rec.Emit(Event{Kind: PacketSend, Node: 5, Class: metrics.Data, Size: 30})                       // not reading-scoped
+	evs := ring.Events()
+	if len(evs) != 2 || evs[0].Kind != ReadingSampled || evs[1].Kind != ReadingStored {
+		t.Fatalf("filtered events = %+v", evs)
+	}
+
+	// Wildcard time follows every sample from the producer.
+	ring2 := NewRing(16)
+	rec2 := New(fixedClock(), ring2)
+	rec2.Follow(&ReadingID{Producer: 5, Time: -1})
+	rec2.Emit(Event{Kind: ReadingSampled, Node: 5, Producer: 5, SampleT: 1500})
+	rec2.Emit(Event{Kind: ReadingSampled, Node: 5, Producer: 5, SampleT: 3000})
+	if len(ring2.Events()) != 2 {
+		t.Fatal("wildcard follow lost events")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: PacketSend, Node: 3, Peer: 0, Class: metrics.Summary, Size: 46},
+		{Kind: PacketDrop, Node: 7, Peer: 3, Class: metrics.Data, Cause: metrics.DropCollision, Size: 30},
+		{Kind: ReadingStored, Node: 9, Flag: StoreOwner, Producer: 4, SampleT: 615000, Value: -12},
+		{Kind: QueryPlanned, Flag: 2, ID: 11, Value: 880, Aux: 3},
+		{Kind: ReindexEnd, Flag: 1, Size: 100, Value: 100, Aux: 37},
+		{Kind: NodeRestart, Node: 44},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	rec := New(fixedClock(), sink)
+	for _, e := range events {
+		rec.Emit(e)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i, e := range events {
+		e.T = int64(i) // recorder stamped
+		// Fields outside the kind's mask are not encoded; the decode
+		// must still match because emission sites only set masked fields.
+		if got[i] != e {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], e)
+		}
+	}
+}
+
+func TestJSONLEncodingIsStable(t *testing.T) {
+	e := Event{T: 615001, Kind: PacketDrop, Node: 7, Peer: 3,
+		Class: metrics.Data, Cause: metrics.DropRetries, Size: 30}
+	want := `{"t":615001,"kind":"packet-drop","node":7,"peer":3,"class":"data","cause":"retries","size":30}`
+	if got := string(AppendJSON(nil, e)); got != want {
+		t.Fatalf("encoding changed:\n got %s\nwant %s", got, want)
+	}
+	// ReindexEnd omits reading identity but keeps stats fields.
+	e2 := Event{T: 5, Kind: ReindexEnd, Flag: 0, Size: 100, Value: 100, Aux: 4}
+	want2 := `{"t":5,"kind":"reindex-end","node":0,"flag":0,"size":100,"value":100,"aux":4}`
+	if got := string(AppendJSON(nil, e2)); got != want2 {
+		t.Fatalf("encoding changed:\n got %s\nwant %s", got, want2)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"kind":"no-such-kind","node":0}` + "\n")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"kind":"packet-send","node":0,"class":"bogus"}` + "\n")); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Blank lines are fine.
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank stream: %v %v", evs, err)
+	}
+}

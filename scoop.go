@@ -23,6 +23,7 @@ package scoop
 import (
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"scoop/internal/core"
@@ -30,6 +31,7 @@ import (
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
+	"scoop/internal/trace"
 	"scoop/internal/workload"
 )
 
@@ -98,6 +100,13 @@ type ExperimentConfig struct {
 	// tolerates from an approximate summary-served answer; 0 demands
 	// exact plans.
 	AggregateErrBudget float64
+
+	// TraceJSONL, when non-empty, switches on the flight recorder for
+	// the first trial and streams its events to this file as JSONL —
+	// one structured, sim-time-stamped event per line, byte-identical
+	// across runs with the same configuration and seed. Inspect it
+	// with cmd/scoopflight.
+	TraceJSONL string
 
 	Trials int
 	Seed   int64
@@ -172,7 +181,26 @@ func RunExperiment(cfg ExperimentConfig) (ExperimentResult, error) {
 	if err != nil {
 		return ExperimentResult{}, err
 	}
+	var tf *os.File
+	if cfg.TraceJSONL != "" {
+		tf, err = os.Create(cfg.TraceJSONL)
+		if err != nil {
+			return ExperimentResult{}, fmt.Errorf("scoop: trace file: %w", err)
+		}
+		ec.Trace = true
+		ec.TraceSinks = func(trial int) []trace.Sink {
+			if trial != 0 {
+				return nil // one deterministic event stream, not an interleaving
+			}
+			return []trace.Sink{trace.NewJSONL(tf)}
+		}
+	}
 	res, err := exp.Run(ec)
+	if tf != nil {
+		if cerr := tf.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("scoop: trace file: %w", cerr)
+		}
+	}
 	if err != nil {
 		return ExperimentResult{}, err
 	}
