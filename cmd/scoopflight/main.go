@@ -11,6 +11,7 @@
 //	scoopflight -class data -window 60s trace.jsonl
 //	scoopflight -reading 12@615001 -print -1 trace.jsonl
 //	scoopflight -kind packet-drop trace.jsonl    # where frames died
+//	scoopflight -dwell trace.jsonl               # sample→event lag histograms
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"scoop/internal/histogram"
 	"scoop/internal/metrics"
 	"scoop/internal/telemetry"
 	"scoop/internal/trace"
@@ -99,6 +101,7 @@ func run(args []string, out io.Writer) error {
 		readingF = fs.String("reading", "", "follow one reading's lifecycle: producer[@sampletime]")
 		windowF  = fs.Duration("window", 0, "aggregate kept events into windows of this (virtual) width and print the telemetry table")
 		printF   = fs.Int("print", 0, "print this many kept events as JSONL (-1: all)")
+		dwellF   = fs.Bool("dwell", false, "print per-kind sample→event dwell histograms (virtual ms from a reading's sample time to the event)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,7 +168,40 @@ func run(args []string, out io.Writer) error {
 		return s.WriteTable(out)
 	}
 
+	if *dwellF {
+		return dwellTables(out, kept)
+	}
+
 	return summarise(out, events, kept)
+}
+
+// dwellTables renders one log2 histogram per reading-carrying kind of
+// the lag from a reading's sample time to the event's own timestamp —
+// how long readings dwell in the pipeline before being stored, lost or
+// delivered.
+func dwellTables(out io.Writer, kept []trace.Event) error {
+	var hists [256]histogram.Log2
+	for _, e := range kept {
+		if !e.Kind.CarriesReading() {
+			continue
+		}
+		hists[e.Kind].Record(e.T - e.SampleT)
+	}
+	any := false
+	for _, k := range trace.Kinds() {
+		h := &hists[k]
+		if h.Total() == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(out, "%s dwell (ms):\n", k)
+		h.WriteTable(out, "ms")
+		fmt.Fprintln(out)
+	}
+	if !any {
+		fmt.Fprintln(out, "no reading-carrying events kept")
+	}
+	return nil
 }
 
 // windowMS converts the -window duration to virtual milliseconds

@@ -110,6 +110,39 @@ func TestWindowTable(t *testing.T) {
 	}
 }
 
+func TestDwellTables(t *testing.T) {
+	path := writeTrace(t, []trace.Event{
+		{T: 200, Kind: trace.ReadingSampled, Node: 4, Producer: 4, SampleT: 200, Value: 55},
+		{T: 260, Kind: trace.ReadingStored, Node: 7, Flag: trace.StoreOwner, Producer: 4, SampleT: 200, Value: 55},
+		{T: 1500, Kind: trace.ReadingStored, Node: 7, Flag: trace.StoreOwner, Producer: 4, SampleT: 500, Value: 56},
+		{T: 900, Kind: trace.PacketSend, Node: 2, Peer: 1, Class: metrics.Data, Size: 40}, // no reading: ignored
+	})
+	out := runCLI(t, "-dwell", path)
+	if !strings.Contains(out, "reading-stored dwell (ms):") ||
+		!strings.Contains(out, "reading-sampled dwell (ms):") {
+		t.Fatalf("missing per-kind dwell sections:\n%s", out)
+	}
+	// The stored lags are 60 and 1000 ms; the histogram footer carries
+	// the exact max and sample count.
+	if !strings.Contains(out, "samples=2 max=1000ms") {
+		t.Fatalf("stored dwell stats wrong:\n%s", out)
+	}
+	// Filters compose: restricting to one kind drops the other table.
+	out = runCLI(t, "-dwell", "-kind", "reading-stored", path)
+	if strings.Contains(out, "reading-sampled dwell") {
+		t.Fatalf("-kind filter ignored by -dwell:\n%s", out)
+	}
+
+	// A trace with no reading-carrying events says so instead of
+	// printing nothing.
+	empty := writeTrace(t, []trace.Event{
+		{T: 100, Kind: trace.PacketSend, Node: 1, Peer: 2, Class: metrics.Data, Size: 30},
+	})
+	if out := runCLI(t, "-dwell", empty); !strings.Contains(out, "no reading-carrying events") {
+		t.Fatalf("empty dwell output:\n%s", out)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-class", "nope", "x.jsonl"},

@@ -8,6 +8,10 @@
 //	scoopperf -baseline BENCH_scale.json -out BENCH_scale.new.json
 //	                                         # gate, and write the fresh
 //	                                         # numbers for re-baselining
+//	scoopperf -rates-only -out BENCH_scale.json
+//	                                         # refresh only the sim-rate
+//	                                         # probes, keeping the benches
+//	                                         # already in the artifact
 //
 // allocs/op is gated for every bench: it is a property of the code.
 // ns/op is additionally gated (20%) for the index/rebuild/* benches —
@@ -29,6 +33,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("scoopperf", flag.ContinueOnError)
 	out := fs.String("out", "", "write the fresh artifact to this path")
 	baseline := fs.String("baseline", "", "gate allocs/op against this committed artifact")
+	ratesOnly := fs.Bool("rates-only", false, "re-run only the sim-rate probes, merging them into the -out artifact's existing benches")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -38,6 +43,36 @@ func run(args []string) int {
 	if *out == "" && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "scoopperf: nothing to do; pass -out and/or -baseline")
 		return 2
+	}
+	if *ratesOnly {
+		// The micro benches are skipped, so there is nothing to gate;
+		// -rates-only exists to refresh the machine-dependent numbers
+		// cheaply.
+		if *baseline != "" {
+			fmt.Fprintln(os.Stderr, "scoopperf: -rates-only skips the gated benches; drop -baseline")
+			return 2
+		}
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "scoopperf: -rates-only needs -out")
+			return 2
+		}
+		a, err := perfbench.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoopperf:", err)
+			return 1
+		}
+		rates, err := perfbench.CollectRates(func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoopperf:", err)
+			return 1
+		}
+		a.SimRates = rates
+		if err := perfbench.WriteFile(*out, a); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopperf:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d benches kept, %d sim rates refreshed)\n", *out, len(a.Benches), len(a.SimRates))
+		return 0
 	}
 	a, err := perfbench.Collect(func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
 	if err != nil {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scoop/internal/perfbench"
+)
+
+// Flag-validation paths only: the measurement paths run full
+// simulations and are exercised by CI's bench job, not unit tests.
+func TestRunRejectsBadFlagCombinations(t *testing.T) {
+	art := filepath.Join(t.TempDir(), "bench.json")
+	if err := perfbench.WriteFile(art, perfbench.Artifact{
+		Benches: []perfbench.BenchResult{{Name: "x", AllocsPerOp: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no flags", nil, 2},
+		{"rates-only without out", []string{"-rates-only", "-baseline", art}, 2},
+		{"rates-only with baseline", []string{"-rates-only", "-out", art, "-baseline", art}, 2},
+		{"bad flag", []string{"-nonsense"}, 2},
+	}
+	for _, c := range cases {
+		if got := run(c.args); got != c.want {
+			t.Errorf("%s: run(%v) = %d, want %d", c.name, c.args, got, c.want)
+		}
+	}
+}
+
+// -rates-only must refuse to run against a missing artifact rather
+// than silently discarding the committed benches.
+func TestRatesOnlyNeedsExistingArtifact(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "absent.json")
+	if got := run([]string{"-rates-only", "-out", missing}); got != 1 {
+		t.Errorf("run(-rates-only -out missing) = %d, want 1", got)
+	}
+}

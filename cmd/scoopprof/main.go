@@ -1,0 +1,227 @@
+// Command scoopprof runs the wall-clock attribution profiler
+// (internal/prof, DESIGN.md §17) over full SCOOP scenarios and
+// maintains the committed BENCH_profile.json artifact: which phases of
+// the event loop — radio delivery, MAC timers, receive paths, reindex,
+// planner, aggregation, dissemination, trace emission — the simulator
+// actually spends its time in, with heap-depth and scheduled→fired
+// dwell histograms.
+//
+//	scoopprof                                # profile N ∈ {65,250,1000}, print tables
+//	scoopprof -sizes 65 -out BENCH_profile.json
+//	scoopprof -diff old.json new.json -threshold 10
+//	                                         # exit 1 if any phase's
+//	                                         # ns-per-virtual-second grew >10%
+//	scoopprof -schema BENCH_profile.json     # structural check only
+//	scoopprof -prom BENCH_profile.json       # Prometheus text exposition
+//
+// Wall times are machine-dependent: the committed artifact is a
+// trajectory record and a relative-shares document, not a CI-gated
+// number. The -diff mode normalises by virtual seconds so artifacts
+// from different run lengths compare; use it between artifacts from
+// the same machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"scoop/internal/exp"
+	"scoop/internal/netsim"
+	"scoop/internal/perfbench"
+	"scoop/internal/prof"
+	"scoop/internal/telemetry"
+)
+
+// parseArgs runs the flag set over args, collecting positionals that
+// appear between flags (the stdlib stops at the first positional, which
+// would make `scoopprof -diff a b -threshold 10` silently ignore the
+// threshold).
+func parseArgs(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return nil, err
+		}
+		if fs.NArg() == 0 {
+			return pos, nil
+		}
+		pos = append(pos, fs.Arg(0))
+		rest = fs.Args()[1:]
+	}
+}
+
+// scenarioDuration returns the virtual run length for one profile
+// size, matching the sim-rate probe points so the artifact measures
+// the same scenarios BENCH_scale.json records throughput for.
+func scenarioDuration(n int) netsim.Time {
+	for _, p := range perfbench.SimRates() {
+		if p.N == n {
+			return p.Duration
+		}
+	}
+	return 4 * netsim.Minute
+}
+
+// profileSize runs one profiled scenario and returns its artifact
+// entry.
+func profileSize(n int) (prof.Profile, error) {
+	cfg := exp.Default()
+	cfg.N = n
+	cfg.Topology = "grid"
+	cfg.Duration = scenarioDuration(n)
+	cfg.Warmup = cfg.Duration / 4
+	cfg.Trials = 1
+	cfg.Seed = 3
+	cfg.Profile = true
+	res, err := exp.Run(cfg)
+	if err != nil {
+		return prof.Profile{}, fmt.Errorf("scoopprof: N=%d: %w", n, err)
+	}
+	snap := res.PerTrial[0].Prof
+	if snap == nil {
+		return prof.Profile{}, fmt.Errorf("scoopprof: N=%d: no profile snapshot", n)
+	}
+	return snap.Profile(n, float64(cfg.Duration)/1000), nil
+}
+
+// promFamilies renders an artifact as Prometheus metric families, the
+// export surface a scrape endpoint would serve.
+func promFamilies(a prof.Artifact) []telemetry.Family {
+	wall := telemetry.Family{Name: "scoop_profile_phase_wall_nanoseconds",
+		Help: "Wall time attributed to each event-loop phase.", Type: "gauge"}
+	events := telemetry.Family{Name: "scoop_profile_phase_events_total",
+		Help: "Events attributed to each phase.", Type: "gauge"}
+	share := telemetry.Family{Name: "scoop_profile_phase_share",
+		Help: "Fraction of attributed wall time per phase.", Type: "gauge"}
+	loop := telemetry.Family{Name: "scoop_profile_loop_nanoseconds",
+		Help: "Total event-loop wall time per scenario.", Type: "gauge"}
+	cover := telemetry.Family{Name: "scoop_profile_coverage",
+		Help: "Fraction of loop time attributed to named phases.", Type: "gauge"}
+	for _, p := range a.Profiles {
+		nLabel := telemetry.Label{Name: "n", Value: strconv.Itoa(p.N)}
+		loop.Samples = append(loop.Samples,
+			telemetry.Sample{Labels: []telemetry.Label{nLabel}, Value: float64(p.LoopNs)})
+		cover.Samples = append(cover.Samples,
+			telemetry.Sample{Labels: []telemetry.Label{nLabel}, Value: p.Coverage})
+		for _, ph := range p.Phases {
+			labels := []telemetry.Label{nLabel, {Name: "phase", Value: ph.Phase}}
+			wall.Samples = append(wall.Samples,
+				telemetry.Sample{Labels: labels, Value: float64(ph.WallNs)})
+			events.Samples = append(events.Samples,
+				telemetry.Sample{Labels: labels, Value: float64(ph.Events)})
+			share.Samples = append(share.Samples,
+				telemetry.Sample{Labels: labels, Value: ph.Share})
+		}
+	}
+	return []telemetry.Family{wall, events, share, loop, cover}
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("scoopprof", flag.ContinueOnError)
+	sizes := fs.String("sizes", "65,250,1000", "comma-separated network sizes to profile")
+	outPath := fs.String("out", "", "write the profile artifact to this path")
+	diff := fs.Bool("diff", false, "compare two artifacts: scoopprof -diff old.json new.json")
+	threshold := fs.Float64("threshold", 10, "with -diff: max per-phase ns-per-virtual-second growth, percent")
+	schema := fs.String("schema", "", "validate this artifact's structure and exit")
+	prom := fs.String("prom", "", "render this artifact as a Prometheus text exposition")
+	pos, err := parseArgs(fs, args)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	switch {
+	case *diff:
+		if len(pos) != 2 {
+			fmt.Fprintln(os.Stderr, "scoopprof: -diff needs exactly two artifacts (old new)")
+			return 2
+		}
+		old, err := prof.ReadFile(pos[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		fresh, err := prof.ReadFile(pos[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		if err := prof.DiffError(prof.Diff(old, fresh, *threshold)); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "profile diff passed: %s vs %s within %.0f%%\n", pos[0], pos[1], *threshold)
+		return 0
+
+	case *schema != "":
+		a, err := prof.ReadFile(*schema)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		if err := a.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "%s: %d profiles, schema ok\n", *schema, len(a.Profiles))
+		return 0
+
+	case *prom != "":
+		a, err := prof.ReadFile(*prom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		if err := telemetry.WriteExposition(out, promFamilies(a)); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if len(pos) != 0 {
+		fmt.Fprintf(os.Stderr, "scoopprof: unexpected arguments %v\n", pos)
+		return 2
+	}
+	var a prof.Artifact
+	for _, field := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "scoopprof: bad size %q\n", field)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "profiling N=%d (%.0fs virtual)...\n", n, float64(scenarioDuration(n))/1000)
+		p, err := profileSize(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := p.WriteTable(out); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		fmt.Fprintln(out)
+		a.Profiles = append(a.Profiles, p)
+	}
+	if err := a.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "scoopprof:", err)
+		return 1
+	}
+	if *outPath != "" {
+		if err := prof.WriteFile(*outPath, a); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopprof:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote %s (%d profiles)\n", *outPath, len(a.Profiles))
+	}
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }

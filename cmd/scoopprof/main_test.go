@@ -1,0 +1,124 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scoop/internal/prof"
+)
+
+// artifactFile writes a valid single-profile artifact whose radio
+// phase burns wallNs out of a 2×wallNs loop.
+func artifactFile(t *testing.T, name string, radioNs int64) string {
+	t.Helper()
+	loop := 2 * radioNs
+	p := prof.Profile{
+		N: 65, VirtualS: 600, LoopNs: loop, Events: 1000, Coverage: 1.0,
+		DepthP50: 4, DepthP99: 16, DepthMax: 31,
+		Phases: []prof.PhaseResult{
+			{Phase: "radio", WallNs: radioNs, Share: 0.5, Events: 600, MaxNs: 900},
+			{Phase: "mac-timer", WallNs: loop - radioNs, Share: 0.5, Events: 400, MaxNs: 700},
+		},
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := prof.WriteFile(path, prof.Artifact{Profiles: []prof.Profile{p}}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	old := artifactFile(t, "old.json", 1_000_000)
+	same := artifactFile(t, "same.json", 1_050_000)   // +5%
+	worse := artifactFile(t, "worse.json", 1_500_000) // +50%
+
+	var sb strings.Builder
+	if got := run([]string{"-diff", old, same, "-threshold", "10"}, &sb); got != 0 {
+		t.Errorf("within-threshold diff exited %d, want 0", got)
+	}
+	if !strings.Contains(sb.String(), "profile diff passed") {
+		t.Errorf("missing pass message: %q", sb.String())
+	}
+	if got := run([]string{"-diff", old, worse, "-threshold", "10"}, &sb); got == 0 {
+		t.Error("50% regression passed a 10% threshold")
+	}
+	// A generous threshold lets the same pair through.
+	if got := run([]string{"-diff", old, worse, "-threshold", "120"}, &sb); got != 0 {
+		t.Errorf("regression under a 120%% threshold exited %d, want 0", got)
+	}
+	// Wrong arity is a usage error.
+	if got := run([]string{"-diff", old}, &sb); got != 2 {
+		t.Errorf("one-artifact diff exited %d, want 2", got)
+	}
+}
+
+func TestSchemaMode(t *testing.T) {
+	good := artifactFile(t, "good.json", 1_000_000)
+	var sb strings.Builder
+	if got := run([]string{"-schema", good}, &sb); got != 0 {
+		t.Errorf("valid artifact failed schema check: %d", got)
+	}
+	if !strings.Contains(sb.String(), "schema ok") {
+		t.Errorf("missing ok message: %q", sb.String())
+	}
+	if got := run([]string{"-schema", filepath.Join(t.TempDir(), "absent.json")}, &sb); got != 1 {
+		t.Error("missing artifact passed schema check")
+	}
+}
+
+func TestPromMode(t *testing.T) {
+	art := artifactFile(t, "a.json", 1_000_000)
+	var sb strings.Builder
+	if got := run([]string{"-prom", art}, &sb); got != 0 {
+		t.Fatalf("prom mode exited %d", got)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`scoop_profile_phase_wall_nanoseconds{n="65",phase="radio"} 1e+06`,
+		`scoop_profile_loop_nanoseconds{n="65"} 2e+06`,
+		`scoop_profile_coverage{n="65"} 1`,
+		"# TYPE scoop_profile_phase_share gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	var sb strings.Builder
+	if got := run([]string{"-sizes", "65,potato"}, &sb); got != 2 {
+		t.Errorf("bad -sizes exited %d, want 2", got)
+	}
+	if got := run([]string{"stray"}, &sb); got != 2 {
+		t.Errorf("stray positional exited %d, want 2", got)
+	}
+}
+
+// End-to-end smoke: profile a tiny scenario, write and re-validate the
+// artifact. Uses a non-probe size so the duration falls back to the
+// short default.
+func TestRunModeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	out := filepath.Join(t.TempDir(), "profile.json")
+	var sb strings.Builder
+	if got := run([]string{"-sizes", "20", "-out", out}, &sb); got != 0 {
+		t.Fatalf("run mode exited %d:\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "phase") || !strings.Contains(sb.String(), "radio") {
+		t.Errorf("table missing phases:\n%s", sb.String())
+	}
+	a, err := prof.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Profiles[0].Coverage < prof.MinCoverage {
+		t.Fatalf("coverage %.3f below %.2f", a.Profiles[0].Coverage, prof.MinCoverage)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"scoop/internal/dense"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
+	"scoop/internal/prof"
 	"scoop/internal/query"
 	"scoop/internal/storage"
 	"scoop/internal/trace"
@@ -106,6 +107,12 @@ func (n *Node) onAggQuery(q *AggQueryMsg) {
 // buffer and holds it briefly for further combining — the in-network
 // aggregation step that replaces per-hop tuple forwarding.
 func (n *Node) onAggPartial(m *AggReplyMsg) {
+	prev := n.cfg.Prof.Enter(prof.PhaseAggCombine)
+	n.aggPartial(m)
+	n.cfg.Prof.Exit(prev)
+}
+
+func (n *Node) aggPartial(m *AggReplyMsg) {
 	if int(m.Hops) > n.cfg.MaxHops {
 		return
 	}
@@ -146,6 +153,12 @@ func (n *Node) armAggFlush(at netsim.Time) {
 // launch every ready combine buffer toward the basestation, and
 // re-arm for entries still waiting on their own scan deadline.
 func (n *Node) flushAgg() {
+	prev := n.cfg.Prof.Enter(prof.PhaseAggCombine)
+	n.flushAggNow()
+	n.cfg.Prof.Exit(prev)
+}
+
+func (n *Node) flushAggNow() {
 	now := n.api.Now()
 	n.aggFlushAt = 0
 	var next netsim.Time
@@ -266,6 +279,9 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 		at: b.api.Now(), lo: q.ValueLo, hi: q.ValueHi, ranged: true,
 	})
 
+	// Planning — target resolution, summary snapshots, estimates and
+	// the plan decision — attributes to the planner phase.
+	profPrev := b.cfg.Prof.Enter(prof.PhasePlanner)
 	targets, covered := b.rangeTargets(q.ValueLo, q.ValueHi, q.TimeLo, q.TimeHi)
 	snaps := b.summarySnapshots()
 	est := query.EstimateFromSummaries(q, snaps)
@@ -292,6 +308,7 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 		Force:             b.cfg.AggForcePlan,
 		Trace:             b.cfg.Trace,
 	})
+	b.cfg.Prof.Exit(profPrev)
 
 	switch dec.Plan {
 	case query.PlanSummary:
@@ -365,6 +382,12 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 // onAggReply folds one partial-aggregate message into its pending
 // query at the basestation.
 func (b *Base) onAggReply(m *AggReplyMsg) {
+	prev := b.cfg.Prof.Enter(prof.PhaseAggCombine)
+	b.aggReply(m)
+	b.cfg.Prof.Exit(prev)
+}
+
+func (b *Base) aggReply(m *AggReplyMsg) {
 	if int(m.QueryID) >= len(b.pendingAgg) {
 		return
 	}

@@ -7,6 +7,7 @@ import (
 	"scoop/internal/index"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
+	"scoop/internal/prof"
 	"scoop/internal/query"
 	"scoop/internal/routing"
 	"scoop/internal/storage"
@@ -161,8 +162,16 @@ func (b *Base) Timer(id int) {
 	}
 }
 
-// Receive implements netsim.App.
+// Receive implements netsim.App. Wall time spent here attributes to
+// the base-recv phase (nested reindex/agg/chunk spans re-attribute
+// themselves).
 func (b *Base) Receive(p *netsim.Packet) {
+	prev := b.cfg.Prof.Enter(prof.PhaseBaseRecv)
+	b.receive(p)
+	b.cfg.Prof.Exit(prev)
+}
+
+func (b *Base) receive(p *netsim.Packet) {
 	b.tree.Observe(p)
 	switch m := p.Payload.(type) {
 	case *SummaryMsg:
@@ -294,7 +303,14 @@ func (b *Base) QueryResults(qid uint16) []storage.Reading {
 // Remap recomputes the storage index from current statistics and
 // disseminates it unless it is too similar to the active one
 // (paper §4 and §5.3). Exposed for tests and adaptive experiments.
+// Wall time attributes to the reindex phase.
 func (b *Base) Remap() {
+	prev := b.cfg.Prof.Enter(prof.PhaseReindex)
+	b.remap()
+	b.cfg.Prof.Exit(prev)
+}
+
+func (b *Base) remap() {
 	in := b.buildInput()
 	b.stats.IndexesBuilt++
 	id := b.nextID + 1
@@ -634,8 +650,15 @@ func (b *Base) QueryMax(t0, t1 netsim.Time) (int, bool) {
 	return best, found
 }
 
-// sendChunk is the mapping-Trickle transmit callback.
+// sendChunk is the mapping-Trickle transmit callback. Wall time
+// attributes to the chunk-dissemination phase.
 func (b *Base) sendChunk(key trickle.Key) {
+	prev := b.cfg.Prof.Enter(prof.PhaseChunk)
+	b.sendChunkNow(key)
+	b.cfg.Prof.Exit(prev)
+}
+
+func (b *Base) sendChunkNow(key trickle.Key) {
 	c, ok := b.chunks[key]
 	if !ok {
 		return

@@ -11,6 +11,7 @@ import (
 	"scoop/internal/index"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
+	"scoop/internal/prof"
 	"scoop/internal/query"
 	"scoop/internal/routing"
 	"scoop/internal/storage"
@@ -139,6 +140,14 @@ type Config struct {
 	// adoption (DESIGN.md §16). One recorder per simulation run; nil
 	// disables tracing at the cost of one branch per site.
 	Trace *trace.Recorder
+
+	// Prof, when non-nil, attributes the wall time of the protocol
+	// hot paths — packet handling, reindexing, planning, aggregate
+	// combining, chunk dissemination — to the profiler's phase
+	// taxonomy (DESIGN.md §17). Wall time never feeds back into
+	// behaviour; nil disables profiling at the cost of one branch per
+	// instrumented span.
+	Prof *prof.Profiler
 
 	// Tree configures the routing-tree substrate.
 	Tree routing.Config

@@ -9,6 +9,7 @@ import (
 	"scoop/internal/index"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
+	"scoop/internal/prof"
 	"scoop/internal/routing"
 	"scoop/internal/storage"
 	"scoop/internal/trace"
@@ -202,8 +203,16 @@ func (n *Node) Timer(id int) {
 	}
 }
 
-// Receive implements netsim.App.
+// Receive implements netsim.App. Wall time spent here attributes to
+// the node-recv phase (nested agg-combine/chunk spans re-attribute
+// themselves).
 func (n *Node) Receive(p *netsim.Packet) {
+	prev := n.cfg.Prof.Enter(prof.PhaseNodeRecv)
+	n.receive(p)
+	n.cfg.Prof.Exit(prev)
+}
+
+func (n *Node) receive(p *netsim.Packet) {
 	n.tree.Observe(p)
 	switch m := p.Payload.(type) {
 	case *SummaryMsg:
@@ -504,7 +513,15 @@ func (n *Node) sendSummary() {
 }
 
 // onChunk processes one received mapping message (paper §5.3).
+// onChunk assembles received mapping chunks into a fresh index. Wall
+// time attributes to the chunk-dissemination phase.
 func (n *Node) onChunk(c index.Chunk) {
+	prev := n.cfg.Prof.Enter(prof.PhaseChunk)
+	n.handleChunk(c)
+	n.cfg.Prof.Exit(prev)
+}
+
+func (n *Node) handleChunk(c index.Chunk) {
 	key := mapKey(c.IndexID, c.Num)
 	if _, held := n.chunks[key]; held {
 		n.mapGos.Heard(key)
@@ -534,8 +551,15 @@ func (n *Node) onChunk(c index.Chunk) {
 	}
 }
 
-// sendChunk is the mapping-Trickle transmit callback.
+// sendChunk is the mapping-Trickle transmit callback. Wall time
+// attributes to the chunk-dissemination phase.
 func (n *Node) sendChunk(key trickle.Key) {
+	prev := n.cfg.Prof.Enter(prof.PhaseChunk)
+	n.sendChunkNow(key)
+	n.cfg.Prof.Exit(prev)
+}
+
+func (n *Node) sendChunkNow(key trickle.Key) {
 	c, ok := n.chunks[key]
 	if !ok {
 		return

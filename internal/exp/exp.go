@@ -17,6 +17,7 @@ import (
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
+	"scoop/internal/prof"
 	"scoop/internal/query"
 	"scoop/internal/storage"
 	"scoop/internal/trace"
@@ -122,6 +123,13 @@ type Config struct {
 	// TraceReading, when non-nil, narrows the trace to the lifecycle
 	// of matching readings (see trace.Recorder.Follow).
 	TraceReading *trace.ReadingID
+
+	// Profile attaches a wall-clock attribution profiler to every
+	// trial's event loop and protocol hot paths (internal/prof,
+	// DESIGN.md §17). The snapshot lands in TrialResult.Prof.
+	// Profiling is observation-only: simulation outcomes are
+	// byte-identical with it on or off.
+	Profile bool
 
 	// Modify, when non-nil, adjusts the derived core configuration —
 	// the hook ablation benches use (batching off, shortcut off, …).
@@ -264,6 +272,9 @@ type TrialResult struct {
 	// Trace holds the last traceRingCap flight-recorder events when
 	// the config enabled tracing without a custom sink set.
 	Trace *trace.Ring
+	// Prof holds the wall-clock attribution snapshot when the config
+	// enabled profiling.
+	Prof *prof.Snapshot
 }
 
 // Result aggregates an experiment cell.
@@ -439,6 +450,16 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	net.Trace = rec
 	ccfg.Trace = rec
 
+	// Wall-clock attribution profiler: observation-only, so it hangs
+	// off the simulator and config without touching protocol state.
+	var pr *prof.Profiler
+	if cfg.Profile {
+		pr = prof.New()
+		sim.SetProfiler(pr)
+		ccfg.Prof = pr
+		rec.SetProfiler(pr)
+	}
+
 	stats := &core.RunStats{}
 	var chk *invariant.Checker
 	if cfg.CheckInvariants || ForceInvariants {
@@ -606,6 +627,10 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 			return TrialResult{}, fmt.Errorf("exp: closing trace sinks (trial %d): %w", trial, err)
 		}
 		tr.Trace = ring
+	}
+	if pr != nil {
+		s := pr.Snapshot()
+		tr.Prof = &s
 	}
 
 	// Settle the aggregate answers against ground truth captured at

@@ -24,6 +24,27 @@ func TestWalltime(t *testing.T) {
 	lint.AnalyzerTest(t, "testdata/src/walltime", false, lint.Walltime)
 }
 
+// The walltime exemption is a directory quarantine: profiler-shaped
+// code outside internal/prof is still flagged...
+func TestWalltimeQuarantineBoundary(t *testing.T) {
+	lint.AnalyzerTest(t, "testdata/src/wallprof", false, lint.Walltime)
+}
+
+// ...while internal/prof itself — whose subject matter is wall time —
+// loads with zero findings and no //scoop:allow comments.
+func TestWalltimeExemptsProf(t *testing.T) {
+	pkgs, err := lint.Load("../prof", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Rel != "internal/prof" {
+		t.Fatalf("loaded %d packages, want internal/prof", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, []*lint.Analyzer{lint.Walltime}) {
+		t.Errorf("internal/prof: unexpected walltime finding: %s", d.Message)
+	}
+}
+
 func TestGlobalrand(t *testing.T) {
 	lint.AnalyzerTest(t, "testdata/src/globalrand", true, lint.Globalrand)
 }

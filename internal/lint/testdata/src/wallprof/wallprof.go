@@ -1,0 +1,26 @@
+// Package wallprof is a scooplint fixture pinning the wall-time
+// quarantine's boundary: the walltime exemption is keyed on the
+// module-relative directory internal/prof, not on package names or
+// profiler-shaped code. A look-alike profiler anywhere else still
+// violates the rule — otherwise any package could opt out by calling
+// itself a profiler.
+package wallprof
+
+import "time"
+
+// Profiler mimics internal/prof's shape outside the quarantine.
+type Profiler struct {
+	base time.Time
+}
+
+// New stamps the epoch — a wall-clock read, flagged here even though
+// the identical line inside internal/prof is exempt.
+func New() *Profiler {
+	return &Profiler{base: time.Now()} // want `wall-clock time\.Now`
+}
+
+// nanotime is the profiler's clock primitive; outside internal/prof
+// it is a determinism hazard like any other time.Since.
+func (p *Profiler) nanotime() int64 {
+	return int64(time.Since(p.base)) // want `wall-clock time\.Since`
+}

@@ -5,6 +5,7 @@ import (
 
 	"scoop/internal/dense"
 	"scoop/internal/metrics"
+	"scoop/internal/prof"
 	"scoop/internal/trace"
 )
 
@@ -490,7 +491,7 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 	n.active = append(n.active, tx)
 	if d != nil {
 		// Deliver at end of airtime; a node that dies mid-air misses it.
-		n.Sim.AtTask(tx.end, d)
+		n.Sim.atTaskPhase(tx.end, d, prof.PhaseRadio)
 	}
 	return delivered
 }
@@ -633,7 +634,7 @@ func (a *NodeAPI) scheduleStep(d Time, gen uint64, try, defers int) {
 		s = &stepTask{}
 	}
 	s.a, s.gen, s.try, s.defers = a, gen, try, defers
-	net.Sim.AfterTask(d, s)
+	net.Sim.atTaskPhase(net.Sim.Now()+d, s, prof.PhaseMAC)
 }
 
 // attempt drives the head-of-queue job through backoff, carrier sense,
@@ -697,7 +698,7 @@ func (a *NodeAPI) SetTimer(id int, d Time) {
 		t = &timerTask{}
 	}
 	t.a, t.id, t.gen = a, id, a.timerGen[id]
-	net.Sim.AfterTask(d, t)
+	net.Sim.atTaskPhase(net.Sim.Now()+d, t, prof.PhaseMAC)
 }
 
 // CancelTimer drops any pending timer with the given id.

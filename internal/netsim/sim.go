@@ -17,7 +17,11 @@
 // fresh closures.
 package netsim
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"scoop/internal/prof"
+)
 
 // Time is virtual simulation time in milliseconds.
 type Time int64
@@ -37,10 +41,12 @@ func Seconds(s float64) Time { return Time(s * float64(Second)) }
 type Task interface{ Run() }
 
 type event struct {
-	at   Time
-	seq  uint64 // tie-break so equal-time events run in schedule order
-	fn   func()
-	task Task
+	at    Time
+	seq   uint64 // tie-break so equal-time events run in schedule order
+	sched Time   // when the event was scheduled (profiler dwell = at−sched)
+	fn    func()
+	task  Task
+	phase prof.Phase // wall-time attribution bucket for the event body
 }
 
 func eventLess(a, b event) bool {
@@ -58,6 +64,7 @@ type Simulator struct {
 	seq    uint64
 	rng    *rand.Rand
 	halted bool
+	prof   *prof.Profiler // nil: profiling off (the default)
 }
 
 // NewSimulator returns a simulator whose random stream is seeded with
@@ -72,6 +79,15 @@ func (s *Simulator) Now() Time { return s.now }
 
 // Rand returns the simulator's deterministic random stream.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// SetProfiler attaches a wall-clock attribution profiler to the event
+// loop (nil detaches). Profiling observes wall time only — scheduling,
+// dispatch order and all simulation behaviour are identical with it on
+// or off. Set before Run.
+func (s *Simulator) SetProfiler(p *prof.Profiler) { s.prof = p }
+
+// Profiler returns the attached profiler (nil when profiling is off).
+func (s *Simulator) Profiler() *prof.Profiler { return s.prof }
 
 // push inserts e into the event heap (sift-up on a plain slice; no
 // container/heap interface boxing on this per-event path).
@@ -117,27 +133,38 @@ func (s *Simulator) pop() event {
 	return top
 }
 
-func (s *Simulator) schedule(t Time, fn func(), task Task) {
+// schedule enqueues one event. The phase tags the event body for
+// wall-time attribution; it is carried unconditionally (one store) so
+// attaching a profiler never changes the heap's contents.
+func (s *Simulator) schedule(t Time, fn func(), task Task, ph prof.Phase) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn, task: task})
+	s.push(event{at: t, seq: s.seq, sched: s.now, fn: fn, task: task, phase: ph})
 }
 
 // At schedules fn to run at absolute virtual time t. Events scheduled
 // in the past run immediately at the current time (never before it).
-func (s *Simulator) At(t Time, fn func()) { s.schedule(t, fn, nil) }
+// Externally scheduled closures attribute to the harness phase.
+func (s *Simulator) At(t Time, fn func()) { s.schedule(t, fn, nil, prof.PhaseHarness) }
 
 // After schedules fn to run d milliseconds from now.
 func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
 // AtTask schedules task.Run at absolute virtual time t, without
 // allocating a closure. Semantics match At.
-func (s *Simulator) AtTask(t Time, task Task) { s.schedule(t, nil, task) }
+func (s *Simulator) AtTask(t Time, task Task) { s.schedule(t, nil, task, prof.PhaseHarness) }
 
 // AfterTask schedules task.Run d milliseconds from now.
 func (s *Simulator) AfterTask(d Time, task Task) { s.AtTask(s.now+d, task) }
+
+// atTaskPhase is the package-internal scheduling variant the radio and
+// MAC layers use to tag their pooled tasks with the right attribution
+// phase.
+func (s *Simulator) atTaskPhase(t Time, task Task, ph prof.Phase) {
+	s.schedule(t, nil, task, ph)
+}
 
 func (e event) run() {
 	if e.fn != nil {
@@ -150,17 +177,42 @@ func (e event) run() {
 // Run processes events in time order until the clock reaches `until`
 // or the queue drains. Events scheduled exactly at `until` still run.
 func (s *Simulator) Run(until Time) {
+	if s.prof != nil {
+		s.runProfiled(until)
+	} else {
+		for len(s.events) > 0 && !s.halted {
+			if s.events[0].at > until {
+				break
+			}
+			e := s.pop()
+			s.now = e.at
+			e.run()
+		}
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// runProfiled is Run's instrumented twin: identical event selection
+// and dispatch, plus per-event attribution. Each pop records the heap
+// depth (popped event included) and the event's scheduled→fired dwell,
+// then the body accrues to the event's phase until EndEvent returns
+// attribution to the heap phase.
+func (s *Simulator) runProfiled(until Time) {
+	p := s.prof
+	p.LoopBegin()
 	for len(s.events) > 0 && !s.halted {
 		if s.events[0].at > until {
 			break
 		}
 		e := s.pop()
 		s.now = e.at
+		p.BeginEvent(e.phase, len(s.events)+1, int64(e.at-e.sched))
 		e.run()
+		p.EndEvent()
 	}
-	if s.now < until {
-		s.now = until
-	}
+	p.LoopEnd()
 }
 
 // Step runs the single earliest pending event, returning false if the
@@ -171,7 +223,15 @@ func (s *Simulator) Step() bool {
 	}
 	e := s.pop()
 	s.now = e.at
-	e.run()
+	if p := s.prof; p != nil {
+		p.LoopBegin()
+		p.BeginEvent(e.phase, len(s.events)+1, int64(e.at-e.sched))
+		e.run()
+		p.EndEvent()
+		p.LoopEnd()
+	} else {
+		e.run()
+	}
 	return true
 }
 

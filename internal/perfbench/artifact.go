@@ -55,16 +55,31 @@ func Collect(progress func(string)) (Artifact, error) {
 		a.Benches = append(a.Benches, br)
 		note("%-20s %12d ns/op %12d B/op %10d allocs/op", br.Name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
 	}
+	rates, err := CollectRates(progress)
+	if err != nil {
+		return Artifact{}, err
+	}
+	a.SimRates = rates
+	return a, nil
+}
+
+// CollectRates runs only the end-to-end sim-rate probes — the quick
+// subset behind scoopperf -rates-only, for refreshing the throughput
+// trajectory without re-measuring the micro benches.
+func CollectRates(progress func(string)) ([]RateResult, error) {
+	var out []RateResult
 	for _, p := range SimRates() {
 		rate, err := RunSimRate(p)
 		if err != nil {
-			return Artifact{}, err
+			return nil, err
 		}
 		rr := RateResult{N: p.N, VirtualS: float64(p.Duration) / 1000, SimSecPerWallSec: rate}
-		a.SimRates = append(a.SimRates, rr)
-		note("simrate n=%-5d %38.0f sim-s/wall-s", rr.N, rr.SimSecPerWallSec)
+		out = append(out, rr)
+		if progress != nil {
+			progress(fmt.Sprintf("simrate n=%-5d %38.0f sim-s/wall-s", rr.N, rr.SimSecPerWallSec))
+		}
 	}
-	return a, nil
+	return out, nil
 }
 
 // WriteFile persists the artifact as indented JSON.

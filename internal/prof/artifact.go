@@ -1,0 +1,216 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// PhaseResult is one phase's row in a committed profile.
+type PhaseResult struct {
+	Phase      string  `json:"phase"`
+	WallNs     int64   `json:"wallNs"`
+	Share      float64 `json:"share"` // fraction of attributed loop time
+	Events     int64   `json:"events"`
+	MaxNs      int64   `json:"maxNs"`      // longest single attributed span
+	DwellP50MS int64   `json:"dwellP50Ms"` // scheduled→fired lag quantiles,
+	DwellP99MS int64   `json:"dwellP99Ms"` // virtual ms (event phases only)
+}
+
+// Profile is one network size's attribution breakdown.
+type Profile struct {
+	N        int           `json:"n"`
+	VirtualS float64       `json:"virtualS"`
+	LoopNs   int64         `json:"loopNs"`
+	Events   int64         `json:"events"`
+	Coverage float64       `json:"coverage"` // attributed / loop wall time
+	DepthP50 int64         `json:"depthP50"` // heap depth at pop
+	DepthP99 int64         `json:"depthP99"`
+	DepthMax int64         `json:"depthMax"`
+	Phases   []PhaseResult `json:"phases"` // descending wallNs
+}
+
+// Artifact is the committed BENCH_profile.json: the per-N phase
+// breakdown the parallel-engine work (ROADMAP item 1) is targeted and
+// regression-checked against. Unlike every sweep artifact it contains
+// wall-clock numbers by design — it is machine-dependent, regenerated
+// with cmd/scoopprof, and never feeds back into simulation behaviour.
+type Artifact struct {
+	Profiles []Profile `json:"profiles"`
+}
+
+// Profile renders the snapshot as one artifact entry.
+func (s *Snapshot) Profile(n int, virtualS float64) Profile {
+	p := Profile{
+		N:        n,
+		VirtualS: virtualS,
+		LoopNs:   s.LoopNs,
+		Events:   s.Events,
+		Coverage: s.Coverage(),
+		DepthP50: s.Depth.Quantile(0.50),
+		DepthP99: s.Depth.Quantile(0.99),
+		DepthMax: s.Depth.Max(),
+	}
+	attributed := s.AttributedNs()
+	for _, ph := range s.TopPhases() {
+		share := 0.0
+		if attributed > 0 {
+			share = float64(s.Wall[ph]) / float64(attributed)
+		}
+		p.Phases = append(p.Phases, PhaseResult{
+			Phase:      ph.String(),
+			WallNs:     s.Wall[ph],
+			Share:      share,
+			Events:     s.Count[ph],
+			MaxNs:      s.Max[ph],
+			DwellP50MS: s.Dwell[ph].Quantile(0.50),
+			DwellP99MS: s.Dwell[ph].Quantile(0.99),
+		})
+	}
+	return p
+}
+
+// WriteTable renders the profile as the scoopprof attribution table.
+func (p *Profile) WriteTable(out io.Writer) error {
+	if _, err := fmt.Fprintf(out,
+		"n=%d virtual=%.0fs loop=%.3fs events=%d coverage=%.1f%% depth p50=%d p99=%d max=%d\n",
+		p.N, p.VirtualS, float64(p.LoopNs)/1e9, p.Events, 100*p.Coverage,
+		p.DepthP50, p.DepthP99, p.DepthMax); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(out, "  %-12s %10s %7s %12s %12s %10s %10s\n",
+		"phase", "wall ms", "share", "events", "max µs", "dwell p50", "dwell p99"); err != nil {
+		return err
+	}
+	for _, r := range p.Phases {
+		if _, err := fmt.Fprintf(out, "  %-12s %10.1f %6.1f%% %12d %12.1f %8dms %8dms\n",
+			r.Phase, float64(r.WallNs)/1e6, 100*r.Share, r.Events,
+			float64(r.MaxNs)/1e3, r.DwellP50MS, r.DwellP99MS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile persists the artifact as indented JSON.
+func WriteFile(path string, a Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a committed artifact.
+func ReadFile(path string) (Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Artifact{}, fmt.Errorf("prof: parsing %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// MinCoverage is the schema's floor on attributed loop wall time. The
+// attribution model yields ~1.0 structurally; anything below this
+// means an instrumentation hole.
+const MinCoverage = 0.95
+
+// Validate schema-checks the artifact: non-empty, known phase names,
+// shares summing to ~1, coverage above MinCoverage, sane counters.
+// It is the CI `profile` job's check on the committed file.
+func (a Artifact) Validate() error {
+	if len(a.Profiles) == 0 {
+		return fmt.Errorf("prof: artifact has no profiles")
+	}
+	for _, p := range a.Profiles {
+		if p.N <= 0 || p.VirtualS <= 0 {
+			return fmt.Errorf("prof: n=%d: non-positive size or duration", p.N)
+		}
+		if p.Events <= 0 || p.LoopNs <= 0 {
+			return fmt.Errorf("prof: n=%d: no profiled events", p.N)
+		}
+		if p.Coverage < MinCoverage {
+			return fmt.Errorf("prof: n=%d: coverage %.3f below %.2f", p.N, p.Coverage, MinCoverage)
+		}
+		if len(p.Phases) == 0 {
+			return fmt.Errorf("prof: n=%d: no phases", p.N)
+		}
+		var share float64
+		for _, r := range p.Phases {
+			if _, ok := ParsePhase(r.Phase); !ok {
+				return fmt.Errorf("prof: n=%d: unknown phase %q", p.N, r.Phase)
+			}
+			if r.WallNs < 0 || r.Events < 0 {
+				return fmt.Errorf("prof: n=%d phase %s: negative counters", p.N, r.Phase)
+			}
+			share += r.Share
+		}
+		if share < 0.98 || share > 1.02 {
+			return fmt.Errorf("prof: n=%d: phase shares sum to %.3f, want ~1", p.N, share)
+		}
+	}
+	return nil
+}
+
+// DiffMinShare is the per-phase share below which Diff stays silent:
+// a 30% swing on a 0.1%-share phase is scheduler noise, not a
+// regression worth failing CI over.
+const DiffMinShare = 0.01
+
+// Diff compares two artifacts per (N, phase) and returns a violation
+// line for every phase whose wall time per virtual second regressed
+// by more than thresholdPct, plus one for the whole loop. Profiles
+// present on only one side are skipped (sizes are added freely).
+func Diff(old, fresh Artifact, thresholdPct float64) []string {
+	limit := 1 + thresholdPct/100
+	byN := make(map[int]Profile, len(fresh.Profiles))
+	for _, p := range fresh.Profiles {
+		byN[p.N] = p
+	}
+	var out []string
+	for _, op := range old.Profiles {
+		np, ok := byN[op.N]
+		if !ok || op.VirtualS <= 0 || np.VirtualS <= 0 {
+			continue
+		}
+		oldLoop := float64(op.LoopNs) / op.VirtualS
+		newLoop := float64(np.LoopNs) / np.VirtualS
+		if oldLoop > 0 && newLoop > oldLoop*limit {
+			out = append(out, fmt.Sprintf("n=%d loop: %.0f -> %.0f ns/virtual-s (%+.1f%%, gate %.0f%%)",
+				op.N, oldLoop, newLoop, 100*(newLoop/oldLoop-1), thresholdPct))
+		}
+		newPhases := make(map[string]PhaseResult, len(np.Phases))
+		for _, r := range np.Phases {
+			newPhases[r.Phase] = r
+		}
+		for _, or := range op.Phases {
+			nr, ok := newPhases[or.Phase]
+			if !ok || or.Share < DiffMinShare || or.WallNs <= 0 {
+				continue
+			}
+			oldRate := float64(or.WallNs) / op.VirtualS
+			newRate := float64(nr.WallNs) / np.VirtualS
+			if newRate > oldRate*limit {
+				out = append(out, fmt.Sprintf("n=%d phase %s: %.0f -> %.0f ns/virtual-s (%+.1f%%, gate %.0f%%)",
+					op.N, or.Phase, oldRate, newRate, 100*(newRate/oldRate-1), thresholdPct))
+			}
+		}
+	}
+	return out
+}
+
+// DiffError folds violations into one error (nil when the diff is
+// within threshold).
+func DiffError(violations []string) error {
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("profile diff: %d regression(s):\n  %s",
+		len(violations), strings.Join(violations, "\n  "))
+}

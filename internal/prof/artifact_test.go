@@ -1,0 +1,123 @@
+package prof
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleProfile(n int, wall map[string]int64) Profile {
+	p := Profile{N: n, VirtualS: 600, Events: 1000, Coverage: 1.0,
+		DepthP50: 8, DepthP99: 32, DepthMax: 64}
+	var total int64
+	for _, w := range wall {
+		total += w
+	}
+	p.LoopNs = total
+	for _, ph := range []string{"radio", "mac-timer", "heap"} {
+		w, ok := wall[ph]
+		if !ok {
+			continue
+		}
+		p.Phases = append(p.Phases, PhaseResult{
+			Phase: ph, WallNs: w, Share: float64(w) / float64(total), Events: 100,
+		})
+	}
+	return p
+}
+
+func TestArtifactRoundTripAndValidate(t *testing.T) {
+	a := Artifact{Profiles: []Profile{
+		sampleProfile(65, map[string]int64{"radio": 600, "mac-timer": 300, "heap": 100}),
+	}}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Profiles) != 1 || got.Profiles[0].N != 65 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Artifact)
+		want string
+	}{
+		{"empty", func(a *Artifact) { a.Profiles = nil }, "no profiles"},
+		{"badPhase", func(a *Artifact) { a.Profiles[0].Phases[0].Phase = "warp" }, "unknown phase"},
+		{"lowCoverage", func(a *Artifact) { a.Profiles[0].Coverage = 0.5 }, "coverage"},
+		{"badShare", func(a *Artifact) { a.Profiles[0].Phases[0].Share = 9 }, "shares sum"},
+		{"noEvents", func(a *Artifact) { a.Profiles[0].Events = 0 }, "no profiled events"},
+	}
+	for _, tc := range cases {
+		a := Artifact{Profiles: []Profile{
+			sampleProfile(65, map[string]int64{"radio": 600, "mac-timer": 300, "heap": 100}),
+		}}
+		tc.mut(&a)
+		err := a.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: Validate = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old := Artifact{Profiles: []Profile{
+		sampleProfile(65, map[string]int64{"radio": 1000, "mac-timer": 1000, "heap": 100}),
+	}}
+	// Radio regressed 50%, mac improved: only radio (and the loop,
+	// which grew 24%) may fire at a 10% threshold.
+	fresh := Artifact{Profiles: []Profile{
+		sampleProfile(65, map[string]int64{"radio": 1500, "mac-timer": 1000, "heap": 100}),
+	}}
+	v := Diff(old, fresh, 10)
+	if len(v) != 2 {
+		t.Fatalf("violations = %q, want loop + radio", v)
+	}
+	joined := strings.Join(v, "\n")
+	if !strings.Contains(joined, "phase radio") || !strings.Contains(joined, "loop") {
+		t.Fatalf("violations = %q", v)
+	}
+	if err := DiffError(v); err == nil {
+		t.Fatal("DiffError = nil on regressions")
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	old := Artifact{Profiles: []Profile{
+		sampleProfile(65, map[string]int64{"radio": 1000, "mac-timer": 1000, "heap": 100}),
+	}}
+	fresh := Artifact{Profiles: []Profile{
+		sampleProfile(65, map[string]int64{"radio": 1050, "mac-timer": 990, "heap": 105}),
+	}}
+	if v := Diff(old, fresh, 10); len(v) != 0 {
+		t.Fatalf("violations = %q, want none", v)
+	}
+	if err := DiffError(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffIgnoresTinyPhasesAndNewSizes(t *testing.T) {
+	old := Artifact{Profiles: []Profile{
+		sampleProfile(65, map[string]int64{"radio": 100000, "mac-timer": 100000, "heap": 100}),
+	}}
+	// heap share ~0.05% in old: a 10x swing must stay silent; a
+	// brand-new profile size must be skipped, not compared.
+	fresh := Artifact{Profiles: []Profile{
+		sampleProfile(65, map[string]int64{"radio": 100000, "mac-timer": 100000, "heap": 1000}),
+		sampleProfile(250, map[string]int64{"radio": 1, "mac-timer": 1, "heap": 1}),
+	}}
+	if v := Diff(old, fresh, 10); len(v) != 0 {
+		t.Fatalf("violations = %q, want none", v)
+	}
+}

@@ -1,0 +1,155 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhaseNamesRoundTrip(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		got, ok := ParsePhase(p.String())
+		if !ok || got != p {
+			t.Fatalf("ParsePhase(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := ParsePhase("nope"); ok {
+		t.Fatal("ParsePhase accepted an unknown name")
+	}
+}
+
+func TestNilProfilerIsSafe(t *testing.T) {
+	var p *Profiler
+	p.LoopBegin()
+	p.BeginEvent(PhaseRadio, 3, 10)
+	prev := p.Enter(PhaseReindex)
+	p.Exit(prev)
+	p.EndEvent()
+	p.LoopEnd()
+	s := p.Snapshot()
+	if s.Events != 0 || s.LoopNs != 0 {
+		t.Fatalf("nil profiler accumulated state: %+v", s)
+	}
+}
+
+func TestIdleProfilerIgnoresSpans(t *testing.T) {
+	p := New()
+	// Enter/Exit outside LoopBegin..LoopEnd (e.g. a test driving
+	// core.Base.Remap directly) must not attribute garbage.
+	prev := p.Enter(PhaseReindex)
+	p.Exit(prev)
+	s := p.Snapshot()
+	if s.Count[PhaseReindex] != 0 || s.AttributedNs() != 0 {
+		t.Fatalf("idle profiler accumulated state: %+v", s)
+	}
+}
+
+func TestAttributionStructure(t *testing.T) {
+	p := New()
+	p.LoopBegin()
+	p.BeginEvent(PhaseMAC, 5, 100)
+	prev := p.Enter(PhaseReindex)
+	p.Exit(prev)
+	p.EndEvent()
+	p.BeginEvent(PhaseRadio, 2, 3)
+	p.EndEvent()
+	p.LoopEnd()
+
+	s := p.Snapshot()
+	if s.Events != 2 {
+		t.Fatalf("Events = %d, want 2", s.Events)
+	}
+	if s.Count[PhaseMAC] != 1 || s.Count[PhaseRadio] != 1 || s.Count[PhaseReindex] != 1 {
+		t.Fatalf("counts = %v", s.Count)
+	}
+	if s.Depth.Total() != 2 || s.Depth.Max() != 5 {
+		t.Fatalf("depth histogram: total=%d max=%d", s.Depth.Total(), s.Depth.Max())
+	}
+	if s.Dwell[PhaseMAC].Max() != 100 || s.Dwell[PhaseRadio].Max() != 3 {
+		t.Fatalf("dwell histograms: mac=%d radio=%d",
+			s.Dwell[PhaseMAC].Max(), s.Dwell[PhaseRadio].Max())
+	}
+	if s.LoopNs <= 0 {
+		t.Fatalf("LoopNs = %d, want > 0", s.LoopNs)
+	}
+	// Attribution is continuous: phase walls sum to the loop wall.
+	if got := s.AttributedNs(); got != s.LoopNs {
+		t.Fatalf("attributed %d ns != loop %d ns", got, s.LoopNs)
+	}
+	if c := s.Coverage(); c < 0.999 || c > 1.001 {
+		t.Fatalf("coverage = %f, want ~1", c)
+	}
+}
+
+func TestLoopAccumulatesAcrossSections(t *testing.T) {
+	p := New()
+	for i := 0; i < 3; i++ {
+		p.LoopBegin()
+		p.BeginEvent(PhaseHarness, 1, 0)
+		p.EndEvent()
+		p.LoopEnd()
+	}
+	s := p.Snapshot()
+	if s.Events != 3 {
+		t.Fatalf("Events = %d, want 3", s.Events)
+	}
+	if s.AttributedNs() != s.LoopNs {
+		t.Fatalf("attributed %d != loop %d", s.AttributedNs(), s.LoopNs)
+	}
+}
+
+func TestDisabledHotPathZeroAlloc(t *testing.T) {
+	var p *Profiler
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.BeginEvent(PhaseRadio, 4, 1)
+		prev := p.Enter(PhaseTraceEmit)
+		p.Exit(prev)
+		p.EndEvent()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestEnabledHotPathZeroAlloc(t *testing.T) {
+	p := New()
+	p.LoopBegin()
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.BeginEvent(PhaseRadio, 4, 1)
+		prev := p.Enter(PhaseTraceEmit)
+		p.Exit(prev)
+		p.EndEvent()
+	})
+	p.LoopEnd()
+	if allocs != 0 {
+		t.Fatalf("enabled hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestProfileAndTable(t *testing.T) {
+	p := New()
+	p.LoopBegin()
+	for i := 0; i < 10; i++ {
+		p.BeginEvent(PhaseMAC, i+1, int64(i))
+		p.EndEvent()
+	}
+	p.LoopEnd()
+	pr := p.Snapshot()
+	profile := pr.Profile(65, 600)
+	if profile.N != 65 || profile.Events != 10 {
+		t.Fatalf("profile = %+v", profile)
+	}
+	var share float64
+	for _, r := range profile.Phases {
+		share += r.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("shares sum to %f", share)
+	}
+	var sb strings.Builder
+	if err := profile.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mac-timer") || !strings.Contains(sb.String(), "n=65") {
+		t.Fatalf("table:\n%s", sb.String())
+	}
+}

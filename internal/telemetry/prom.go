@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scoop/internal/metrics"
+)
+
+// This file is a minimal, dependency-free Prometheus text-exposition
+// writer (version 0.0.4 of the format). Output ordering is fully
+// deterministic — families sort by name, samples by their rendered
+// label signature — so expositions diff cleanly across runs and can be
+// committed as test goldens.
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one metric line: the owning family's name plus labels and
+// a value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: a # HELP / # TYPE header followed by
+// its samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | untyped
+	Samples []Sample
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// signature renders a sample's label set as it will appear on the
+// wire, which doubles as its deterministic sort key.
+func (s *Sample) signature() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition renders the families in Prometheus text format.
+// Families are sorted by name and samples by label signature, so the
+// output is byte-stable regardless of construction order.
+func WriteExposition(out io.Writer, families []Family) error {
+	fams := make([]Family, len(families))
+	copy(fams, families)
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	for _, f := range fams {
+		typ := f.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(out, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(out, "# TYPE %s %s\n", f.Name, typ); err != nil {
+			return err
+		}
+		samples := make([]Sample, len(f.Samples))
+		copy(samples, f.Samples)
+		sort.SliceStable(samples, func(i, j int) bool {
+			return samples[i].signature() < samples[j].signature()
+		})
+		for i := range samples {
+			s := &samples[i]
+			if _, err := fmt.Fprintf(out, "%s%s %s\n", f.Name, s.signature(), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// counterFamily builds a single-sample unlabelled counter family.
+func counterFamily(name, help string, v int64) Family {
+	return Family{Name: name, Help: help, Type: "counter",
+		Samples: []Sample{{Value: float64(v)}}}
+}
+
+// Families aggregates the series' windows into Prometheus counter
+// families under the given name prefix (e.g. "scoop_"). Per-class and
+// per-cause breakdowns become labelled samples; zero-valued labelled
+// samples are omitted so expositions stay small, but unlabelled totals
+// always appear.
+func (s *Series) Families(prefix string) []Family {
+	var total Window
+	for i := range s.windows {
+		w := &s.windows[i]
+		for c := 0; c < metrics.NumClasses; c++ {
+			total.SentByClass[c] += w.SentByClass[c]
+			total.BytesByClass[c] += w.BytesByClass[c]
+		}
+		for c := 0; c < metrics.NumDropCauses; c++ {
+			total.DropsByCause[c] += w.DropsByCause[c]
+		}
+		total.Received += w.Received
+		total.Snoops += w.Snoops
+		total.Sampled += w.Sampled
+		total.Stored += w.Stored
+		total.Lost += w.Lost
+		total.Delivered += w.Delivered
+		total.QueriesIssued += w.QueriesIssued
+		total.QueriesAnswered += w.QueriesAnswered
+		total.Reindexes += w.Reindexes
+		total.ReindexValues += w.ReindexValues
+		total.ReindexRecomputed += w.ReindexRecomputed
+	}
+
+	sent := Family{Name: prefix + "packets_sent_total",
+		Help: "Transmission attempts by message class.", Type: "counter"}
+	bytes := Family{Name: prefix + "bytes_sent_total",
+		Help: "Transmitted bytes by message class.", Type: "counter"}
+	for _, c := range metrics.Classes() {
+		if v := total.SentByClass[c]; v != 0 {
+			sent.Samples = append(sent.Samples,
+				Sample{Labels: []Label{{"class", c.String()}}, Value: float64(v)})
+		}
+		if v := total.BytesByClass[c]; v != 0 {
+			bytes.Samples = append(bytes.Samples,
+				Sample{Labels: []Label{{"class", c.String()}}, Value: float64(v)})
+		}
+	}
+	drops := Family{Name: prefix + "packet_drops_total",
+		Help: "Packets dropped by cause.", Type: "counter"}
+	for _, c := range metrics.AllDropCauses() {
+		if v := total.DropsByCause[c]; v != 0 {
+			drops.Samples = append(drops.Samples,
+				Sample{Labels: []Label{{"cause", c.String()}}, Value: float64(v)})
+		}
+	}
+
+	return []Family{
+		sent,
+		bytes,
+		counterFamily(prefix+"packets_received_total",
+			"Link-layer deliveries to addressees.", total.Received),
+		counterFamily(prefix+"packets_snooped_total",
+			"Frames overheard by non-addressees.", total.Snoops),
+		drops,
+		counterFamily(prefix+"readings_sampled_total",
+			"Sensor readings sampled.", total.Sampled),
+		counterFamily(prefix+"readings_stored_total",
+			"Reading storage events.", total.Stored),
+		counterFamily(prefix+"readings_lost_total",
+			"Readings loss-accounted.", total.Lost),
+		counterFamily(prefix+"readings_delivered_total",
+			"Readings carried to the base by replies.", total.Delivered),
+		counterFamily(prefix+"queries_issued_total",
+			"Queries issued by the basestation.", total.QueriesIssued),
+		counterFamily(prefix+"queries_answered_total",
+			"Queries answered.", total.QueriesAnswered),
+		counterFamily(prefix+"reindexes_total",
+			"Basestation index rebuilds.", total.Reindexes),
+		counterFamily(prefix+"reindex_values_total",
+			"Value-domain entries examined across rebuilds.", total.ReindexValues),
+		counterFamily(prefix+"reindex_recomputed_total",
+			"Best-owner searches re-run across rebuilds.", total.ReindexRecomputed),
+	}
+}

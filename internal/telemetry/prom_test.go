@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"scoop/internal/metrics"
+	"scoop/internal/trace"
+)
+
+func TestWriteExpositionDeterministicOrder(t *testing.T) {
+	fams := []Family{
+		{Name: "zebra_total", Type: "counter", Samples: []Sample{{Value: 1}}},
+		{Name: "alpha_total", Help: "first", Type: "counter", Samples: []Sample{
+			{Labels: []Label{{"class", "query"}}, Value: 2},
+			{Labels: []Label{{"class", "data"}}, Value: 7},
+		}},
+	}
+	render := func() string {
+		var sb strings.Builder
+		if err := WriteExposition(&sb, fams); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	got := render()
+	want := `# HELP alpha_total first
+# TYPE alpha_total counter
+alpha_total{class="data"} 7
+alpha_total{class="query"} 2
+# TYPE zebra_total counter
+zebra_total 1
+`
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+	// Re-rendering must be byte-identical, and must not have mutated
+	// the caller's slices.
+	if again := render(); again != got {
+		t.Fatalf("second render differs:\n%s", again)
+	}
+	if fams[0].Name != "zebra_total" || fams[1].Samples[0].Labels[0].Value != "query" {
+		t.Fatal("WriteExposition mutated its input")
+	}
+}
+
+func TestWriteExpositionEscaping(t *testing.T) {
+	fams := []Family{{
+		Name: "m", Help: "line1\nline2 back\\slash", Type: "gauge",
+		Samples: []Sample{{Labels: []Label{{"path", "a\\b\"c\nd"}}, Value: 0.5}},
+	}}
+	var sb strings.Builder
+	if err := WriteExposition(&sb, fams); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP m line1\\nline2 back\\\\slash\n# TYPE m gauge\n" +
+		"m{path=\"a\\\\b\\\"c\\nd\"} 0.5\n"
+	if sb.String() != want {
+		t.Fatalf("exposition:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestSeriesFamilies(t *testing.T) {
+	s := NewSeries(1000)
+	s.Record(trace.Event{T: 10, Kind: trace.PacketSend, Class: metrics.Data, Size: 30})
+	s.Record(trace.Event{T: 1500, Kind: trace.PacketSend, Class: metrics.Data, Size: 12})
+	s.Record(trace.Event{T: 1600, Kind: trace.PacketRecv})
+	s.Record(trace.Event{T: 1700, Kind: trace.PacketDrop, Cause: metrics.DropQueue})
+	s.Record(trace.Event{T: 1800, Kind: trace.ReadingSampled})
+	s.Record(trace.Event{T: 1900, Kind: trace.QueryIssued})
+
+	var sb strings.Builder
+	if err := WriteExposition(&sb, s.Families("scoop_")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`scoop_packets_sent_total{class="data"} 2`,
+		`scoop_bytes_sent_total{class="data"} 42`,
+		`scoop_packets_received_total 1`,
+		`scoop_packet_drops_total{cause="queue"} 1`,
+		`scoop_readings_sampled_total 1`,
+		`scoop_queries_issued_total 1`,
+		`scoop_queries_answered_total 0`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// Zero-valued labelled samples are omitted entirely.
+	if strings.Contains(out, `class="beacon"`) {
+		t.Fatalf("zero-valued labelled sample present:\n%s", out)
+	}
+}

@@ -86,6 +86,55 @@ func TestSeriesAsRecorderSink(t *testing.T) {
 	}
 }
 
+// Windows are [Start,End): an event stamped exactly on a window
+// boundary belongs to the later window.
+func TestSeriesWindowBoundary(t *testing.T) {
+	s := NewSeries(1000)
+	s.Record(trace.Event{T: 999, Kind: trace.PacketRecv})
+	s.Record(trace.Event{T: 1000, Kind: trace.PacketRecv}) // exactly on the edge
+	ws := s.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if ws[0].Received != 1 || ws[1].Received != 1 {
+		t.Fatalf("boundary event in wrong window: %+v", ws)
+	}
+	if ws[1].Start != 1000 || ws[1].End != 2000 {
+		t.Fatalf("window 1 bounds = [%d,%d), want [1000,2000)", ws[1].Start, ws[1].End)
+	}
+	// Negative timestamps clamp into the first window rather than
+	// panicking or growing backwards.
+	s.Record(trace.Event{T: -5, Kind: trace.PacketRecv})
+	if got := s.Windows()[0].Received; got != 2 {
+		t.Fatalf("negative-T event not clamped to window 0: %d", got)
+	}
+}
+
+// A late event materialises every intermediate window, empty but with
+// correct contiguous bounds — consumers may rely on index i covering
+// [i*width, (i+1)*width).
+func TestSeriesEmptyIntermediateWindows(t *testing.T) {
+	s := NewSeries(500)
+	s.Record(trace.Event{T: 0, Kind: trace.PacketRecv})
+	s.Record(trace.Event{T: 2600, Kind: trace.PacketRecv})
+	ws := s.Windows()
+	if len(ws) != 6 {
+		t.Fatalf("windows = %d, want 6", len(ws))
+	}
+	for i := 1; i < 5; i++ {
+		w := ws[i]
+		if w.Received != 0 || w.Sent() != 0 || w.Drops() != 0 {
+			t.Fatalf("intermediate window %d not empty: %+v", i, w)
+		}
+		if w.Start != int64(i)*500 || w.End != int64(i+1)*500 {
+			t.Fatalf("window %d bounds = [%d,%d)", i, w.Start, w.End)
+		}
+	}
+	if ws[5].Received != 1 {
+		t.Fatalf("late event missing from window 5: %+v", ws[5])
+	}
+}
+
 func TestWriteTable(t *testing.T) {
 	s := NewSeries(1000)
 	s.Record(trace.Event{T: 100, Kind: trace.PacketSend, Class: metrics.Data, Size: 30})

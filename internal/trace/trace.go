@@ -19,7 +19,10 @@
 // unconditionally.
 package trace
 
-import "scoop/internal/metrics"
+import (
+	"scoop/internal/metrics"
+	"scoop/internal/prof"
+)
 
 // Kind discriminates trace event types.
 type Kind uint8
@@ -235,6 +238,7 @@ type Recorder struct {
 	now    func() int64
 	sinks  []Sink
 	follow *ReadingID
+	prof   *prof.Profiler
 }
 
 // New builds a Recorder over the given virtual clock (milliseconds)
@@ -252,15 +256,26 @@ func (r *Recorder) Follow(id *ReadingID) {
 	}
 }
 
+// SetProfiler attributes the wall time of Emit (filtering, stamping,
+// sink fan-out) to the trace-emit phase when a run is profiled. Safe
+// on a nil Recorder; a nil profiler detaches.
+func (r *Recorder) SetProfiler(p *prof.Profiler) {
+	if r != nil {
+		r.prof = p
+	}
+}
+
 // Emit stamps e with the current virtual time and hands it to every
 // sink. Safe (and free) on a nil Recorder.
 func (r *Recorder) Emit(e Event) {
 	if r == nil {
 		return
 	}
+	prev := r.prof.Enter(prof.PhaseTraceEmit)
 	if f := r.follow; f != nil {
 		if e.Kind.fields()&fReading == 0 || e.Producer != f.Producer ||
 			(f.Time >= 0 && e.SampleT != f.Time) {
+			r.prof.Exit(prev)
 			return
 		}
 	}
@@ -268,6 +283,7 @@ func (r *Recorder) Emit(e Event) {
 	for _, s := range r.sinks {
 		s.Record(e)
 	}
+	r.prof.Exit(prev)
 }
 
 // Close closes every sink, returning the first error.

@@ -100,6 +100,43 @@ func TestRingWraps(t *testing.T) {
 	}
 }
 
+// Overwrite order across several full laps: the ring must always
+// retain exactly the last cap events, oldest first, including when the
+// write count lands exactly on a capacity multiple (next == 0, where
+// an off-by-one in the wrap split would surface).
+func TestRingMultipleWrapsOverwriteOrder(t *testing.T) {
+	const cap = 4
+	r := NewRing(cap)
+	check := func(written int) {
+		t.Helper()
+		if r.Total() != int64(written) {
+			t.Fatalf("after %d writes: total = %d", written, r.Total())
+		}
+		evs := r.Events()
+		want := written
+		if want > cap {
+			want = cap
+		}
+		if len(evs) != want {
+			t.Fatalf("after %d writes: retained %d, want %d", written, len(evs), want)
+		}
+		for i, e := range evs {
+			if wantNode := written - want + i; e.Node != uint16(wantNode) {
+				t.Fatalf("after %d writes: evs[%d].Node = %d, want %d (oldest first)",
+					written, i, e.Node, wantNode)
+			}
+		}
+	}
+	written := 0
+	for lap := 0; lap < 3; lap++ {
+		for k := 0; k < cap; k++ {
+			r.Record(Event{Kind: PacketSend, Node: uint16(written)})
+			written++
+			check(written) // covers every phase offset, incl. next == 0
+		}
+	}
+}
+
 func TestFollowFiltersToOneReading(t *testing.T) {
 	ring := NewRing(16)
 	rec := New(fixedClock(), ring)
