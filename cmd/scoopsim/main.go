@@ -33,6 +33,7 @@ func parseFlags(args []string) (scoop.ExperimentConfig, error) {
 		sample   = fs.Duration("sample", 15*time.Second, "sensor sampling interval")
 		query    = fs.Duration("query", 15*time.Second, "query interval (0 disables)")
 		nodePct  = fs.Float64("nodepct", -1, "node-list queries over this fraction of nodes (<0: value-range queries)")
+		regions  = fs.Int("regions", 0, "parallel event-loop regions per trial (0/1: serial; results are identical for every value)")
 		trials   = fs.Int("trials", 3, "independent trials to average")
 		seed     = fs.Int64("seed", 1, "random seed")
 		traceF   = fs.String("trace", "", "write the first trial's flight-recorder events to this JSONL file")
@@ -51,6 +52,7 @@ func parseFlags(args []string) (scoop.ExperimentConfig, error) {
 		QueryInterval:  *query,
 		NodePercent:    *nodePct,
 		TraceJSONL:     *traceF,
+		Regions:        *regions,
 		Trials:         *trials,
 		Seed:           *seed,
 	}, nil

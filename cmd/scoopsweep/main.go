@@ -66,6 +66,7 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 	trials := fs.Int("trials", 1, "trials per cell")
 	seed := fs.Int64("seed", 1, "base seed; per-cell seeds are derived from it")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max cells running concurrently")
+	regions := fs.Int("regions", 0, "parallel event-loop regions per cell network (0/1: serial; results are identical for every value)")
 	out := fs.String("out", "", "artifact path (default sweep-<name>.json; \"-\" for none)")
 	baseline := fs.String("baseline", "", "baseline artifact to gate against (empty: no gate)")
 	tol := fs.Float64("tol", sweep.DefaultTolerance, "gate tolerance (relative regression; 0 gates strictly)")
@@ -83,6 +84,7 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 	g.Warmup = netsim.Time(warmup.Milliseconds())
 	g.Trials = *trials
 	g.Seed = *seed
+	g.Regions = *regions
 
 	g.Policies = nil
 	for _, p := range splitList(*policies) {

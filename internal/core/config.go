@@ -8,6 +8,8 @@
 package core
 
 import (
+	"sync"
+
 	"scoop/internal/index"
 	"scoop/internal/metrics"
 	"scoop/internal/netsim"
@@ -214,15 +216,42 @@ type ReadingProbe interface {
 	LostReading(producer uint16, t int64, reason string)
 }
 
+// SharedRunState is the cross-region slice of reading accounting for
+// region-parallel runs: the per-reading storage dedup table and the
+// invariant probe see events from every region (a reading produced in
+// one region is stored at an owner in another), so they live behind
+// one mutex instead of in any single region's RunStats shard. Both
+// accounts are set-valued — a reading's first-storage bit and its
+// probe lifecycle flags — so the cross-region arrival order the mutex
+// admits cannot change totals or verdicts, only interleaving.
+type SharedRunState struct {
+	mu    sync.Mutex
+	seen  seenTable
+	probe ReadingProbe
+}
+
+// NewSharedRunState builds the shared slice; probe may be nil.
+func NewSharedRunState(probe ReadingProbe) *SharedRunState {
+	return &SharedRunState{probe: probe}
+}
+
 // RunStats aggregates end-to-end delivery outcomes across a run, the
 // numbers behind the paper's "93% of data messages stored" and "78% of
 // query results retrieved" and the 85%-found-owner routing result.
-// One RunStats is shared by all nodes of a simulation (single
-// goroutine).
+// One RunStats is shared by all nodes of a simulation when serial; a
+// region-parallel run gives every region its own shard (all counters
+// are plain int64 adds, so shards merge by field-wise sum) linked to
+// one SharedRunState for the cross-region dedup and probe state.
 type RunStats struct {
 	// Probe, when non-nil, observes per-reading events (invariant
-	// checking). Set before the simulation starts.
+	// checking). Set before the simulation starts. When Shared is set,
+	// the shared probe is used instead and this field must be nil.
 	Probe ReadingProbe
+
+	// Shared, when non-nil, routes per-reading dedup and probe traffic
+	// through the mutex-protected cross-region state (region-parallel
+	// runs). Serial runs leave it nil and pay no lock.
+	Shared *SharedRunState
 
 	Produced      int64 // readings sampled
 	StoredLocal   int64 // readings stored by their producer
@@ -283,6 +312,19 @@ type RunStats struct {
 // was stored somewhere, and reports whether this is its first storage
 // event. Nodes call it on every store; duplicates return false.
 func (s *RunStats) MarkStored(producer uint16, t int64) bool {
+	if sh := s.Shared; sh != nil {
+		sh.mu.Lock()
+		if sh.probe != nil {
+			sh.probe.StoredReading(producer, t)
+		}
+		dup := sh.seen.Seen(netsim.NodeID(producer), uint64(t))
+		sh.mu.Unlock()
+		if dup {
+			return false
+		}
+		s.StoredUnique++
+		return true
+	}
 	if s.Probe != nil {
 		s.Probe.StoredReading(producer, t)
 	}
@@ -296,8 +338,45 @@ func (s *RunStats) MarkStored(producer uint16, t int64) bool {
 // noteProduced accounts one sampled reading.
 func (s *RunStats) noteProduced(producer uint16, t int64) {
 	s.Produced++
+	if sh := s.Shared; sh != nil {
+		if sh.probe != nil {
+			sh.mu.Lock()
+			sh.probe.ProducedReading(producer, t)
+			sh.mu.Unlock()
+		}
+		return
+	}
 	if s.Probe != nil {
 		s.Probe.ProducedReading(producer, t)
+	}
+}
+
+// probeActive reports whether a conservation probe is attached,
+// directly or through the shared cross-region state. Code outside the
+// counter methods must use this (never s.Probe directly): in
+// region-parallel runs the probe lives behind Shared and the direct
+// field is nil.
+func (s *RunStats) probeActive() bool {
+	if sh := s.Shared; sh != nil {
+		return sh.probe != nil
+	}
+	return s.Probe != nil
+}
+
+// probeLostReading reports one lost reading to the probe (if any)
+// without touching the deterministic counters — the reboot-purge path,
+// where LostData deliberately counts only radio-side losses.
+func (s *RunStats) probeLostReading(producer uint16, t int64, reason string) {
+	if sh := s.Shared; sh != nil {
+		if sh.probe != nil {
+			sh.mu.Lock()
+			sh.probe.LostReading(producer, t, reason)
+			sh.mu.Unlock()
+		}
+		return
+	}
+	if s.Probe != nil {
+		s.Probe.LostReading(producer, t, reason)
 	}
 }
 
@@ -307,6 +386,17 @@ func (s *RunStats) noteProduced(producer uint16, t int64) {
 // at-least-once).
 func (s *RunStats) loseReadings(rs []storage.Reading, cause metrics.DropCause) {
 	s.LostData += int64(len(rs))
+	if sh := s.Shared; sh != nil {
+		if sh.probe != nil {
+			sh.mu.Lock()
+			reason := cause.String()
+			for _, r := range rs {
+				sh.probe.LostReading(r.Producer, r.Time, reason)
+			}
+			sh.mu.Unlock()
+		}
+		return
+	}
 	if s.Probe != nil {
 		reason := cause.String()
 		for _, r := range rs {

@@ -118,12 +118,10 @@ func (n *Node) Init(api *netsim.NodeAPI) {
 	// power are gone for good — tell the conservation probe and the
 	// flight recorder before the buffers are recreated. (LostData
 	// itself counts only radio-path losses, as before.)
-	if n.stats.Probe != nil || n.cfg.Trace != nil {
+	if n.stats.probeActive() || n.cfg.Trace != nil {
 		for _, rs := range n.batchq {
 			for _, r := range rs {
-				if p := n.stats.Probe; p != nil {
-					p.LostReading(r.Producer, r.Time, metrics.DropReboot.String())
-				}
+				n.stats.probeLostReading(r.Producer, r.Time, metrics.DropReboot.String())
 				n.cfg.Trace.Emit(trace.Event{Kind: trace.ReadingLost,
 					Node: uint16(api.ID()), Cause: metrics.DropReboot,
 					Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})

@@ -27,7 +27,7 @@ func driftConfig(disableReindex bool) Config {
 	cfg.ReindexInterval = 2 * netsim.Minute
 	cfg.DisableReindex = disableReindex
 	cfg.WindowInterval = 2 * netsim.Minute
-	cfg.Seed = 3
+	cfg.Seed = 6
 	script := dynamics.DataDrift(15*netsim.Minute, 15*netsim.Minute, 1, 0.30)
 	cfg.Dynamics = &script
 	return cfg
@@ -107,7 +107,7 @@ func TestChurnRunsAndRecovers(t *testing.T) {
 	cfg.Duration = 26 * netsim.Minute
 	cfg.Warmup = 5 * netsim.Minute
 	cfg.ReindexInterval = 2 * netsim.Minute
-	cfg.Seed = 5
+	cfg.Seed = 6
 	script := dynamics.Churn(cfg.N, 10*netsim.Minute, 16*netsim.Minute,
 		90*netsim.Second, 45*netsim.Second, 0.15, 99)
 	cfg.Dynamics = &script

@@ -98,6 +98,14 @@ type Config struct {
 	// set and disables the timeline otherwise.
 	WindowInterval netsim.Time
 
+	// Regions partitions every trial's radio network into this many
+	// spatially contiguous regions, each advanced by its own worker
+	// goroutine under the conservative lookahead coordinator
+	// (DESIGN.md §18). Results are bit-identical for every value: 0 or
+	// 1 keeps the serial single-heap engine, and the differential
+	// harness holds K>1 to byte-equality with it.
+	Regions int
+
 	Trials int
 	Seed   int64
 
@@ -206,6 +214,9 @@ func (c Config) Validate() error {
 	}
 	if c.WindowInterval < 0 {
 		return fmt.Errorf("exp: negative window interval %v", c.WindowInterval)
+	}
+	if c.Regions < 0 {
+		return fmt.Errorf("exp: negative region count %d", c.Regions)
 	}
 	if err := c.Dynamics.Validate(c.N, c.Duration); err != nil {
 		return err
@@ -450,21 +461,41 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	net.Trace = rec
 	ccfg.Trace = rec
 
+	// Region partitioning must happen after the trace recorder is in
+	// place (the parallel engine forks it per region) and before apps
+	// attach, so every node binds to its region's simulator.
+	if cfg.Regions > 1 {
+		net.SetRegions(cfg.Regions)
+	}
+	nreg := net.Regions()
+
 	// Wall-clock attribution profiler: observation-only, so it hangs
-	// off the simulator and config without touching protocol state.
+	// off the simulators and config without touching protocol state.
+	// Region-parallel runs profile every region's event loop plus the
+	// control plane and merge the snapshots.
 	var pr *prof.Profiler
+	var regProfs []*prof.Profiler
 	if cfg.Profile {
 		pr = prof.New()
 		sim.SetProfiler(pr)
 		ccfg.Prof = pr
 		rec.SetProfiler(pr)
+		if nreg > 1 {
+			regProfs = make([]*prof.Profiler, nreg)
+			for r := range regProfs {
+				regProfs[r] = prof.New()
+				net.RegionSim(r).SetProfiler(regProfs[r])
+			}
+		}
 	}
 
+	// Run statistics: one RunStats when serial; per-region shards
+	// (merged field-wise on read) plus one SharedRunState for the
+	// cross-region dedup table and invariant probe when parallel.
 	stats := &core.RunStats{}
 	var chk *invariant.Checker
 	if cfg.CheckInvariants || ForceInvariants {
 		chk = invariant.New()
-		stats.Probe = chk
 		net.OnPurge = func(id netsim.NodeID, p *netsim.Packet) {
 			// A reboot drains the send queue; batched readings in it
 			// are RAM losses the radio-side accounting never sees.
@@ -475,11 +506,49 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 			}
 		}
 	}
-	base := core.NewBase(ccfg, stats, cfg.Warmup)
+	shards := []*core.RunStats{stats}
+	rcfgs := []core.Config{ccfg}
+	if nreg > 1 {
+		// The typed-nil trap: a nil *invariant.Checker must not become a
+		// non-nil ReadingProbe interface.
+		var probe core.ReadingProbe
+		if chk != nil {
+			probe = chk
+		}
+		shared := core.NewSharedRunState(probe)
+		shards = make([]*core.RunStats, nreg)
+		rcfgs = make([]core.Config, nreg)
+		for r := 0; r < nreg; r++ {
+			shards[r] = &core.RunStats{Shared: shared}
+			rcfgs[r] = ccfg
+			rcfgs[r].Trace = net.RegionTrace(r)
+			if regProfs != nil {
+				rcfgs[r].Prof = regProfs[r]
+			}
+		}
+	} else if chk != nil {
+		stats.Probe = chk
+	}
+	// readStats returns the live merged view; under parallelism it is
+	// only callable from control-plane events (regions quiesce at
+	// barriers) and after the run.
+	readStats := func() core.RunStats {
+		if nreg <= 1 {
+			return *stats
+		}
+		var m core.RunStats
+		for _, sh := range shards {
+			addStats(&m, sh)
+		}
+		return m
+	}
+	baseReg := net.RegionOf(0)
+	base := core.NewBase(rcfgs[baseReg], shards[baseReg], cfg.Warmup)
 	net.Attach(0, base)
 	nodes := make([]*core.Node, cfg.N)
 	for i := 1; i < cfg.N; i++ {
-		nodes[i] = core.NewNode(ccfg, stats, sampler.Next, cfg.Warmup)
+		r := net.RegionOf(netsim.NodeID(i))
+		nodes[i] = core.NewNode(rcfgs[r], shards[r], sampler.Next, cfg.Warmup)
 		net.Attach(netsim.NodeID(i), nodes[i])
 	}
 	net.Start()
@@ -517,12 +586,12 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	}
 
 	if win := cfg.windowInterval(); win > 0 {
-		prevStats := *stats
-		prevB := ctr.Snapshot()
+		prevStats := readStats()
+		prevB := net.CountersBreakdown()
 		var tickW func()
 		tickW = func() {
-			cur := *stats
-			b := ctr.Snapshot()
+			cur := readStats()
+			b := net.CountersBreakdown()
 			now := sim.Now()
 			tr.Timeline.Windows = append(tr.Timeline.Windows, metrics.TransitionWindow{
 				Start:           int64(now - win),
@@ -620,7 +689,7 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		sim.At(cfg.Warmup+cfg.QueryInterval, tick)
 	}
 
-	sim.Run(cfg.Duration)
+	net.Run(cfg.Duration)
 
 	if rec != nil {
 		if err := rec.Close(); err != nil {
@@ -630,7 +699,17 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	}
 	if pr != nil {
 		s := pr.Snapshot()
+		for _, rp := range regProfs {
+			s.Merge(rp.Snapshot())
+		}
 		tr.Prof = &s
+	}
+	if nreg > 1 {
+		// Fold the per-region shards into the merged views the rest of
+		// the accounting below reads.
+		merged := readStats()
+		*stats = merged
+		net.MergeCounters(ctr)
 	}
 
 	// Settle the aggregate answers against ground truth captured at

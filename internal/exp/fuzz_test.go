@@ -8,14 +8,16 @@ import (
 	"scoop/internal/policy"
 )
 
-// TestSeedFuzz is a seed-randomised smoke test: short churn, drift and
-// aggregate-mix runs across many seeds, each executed under the
-// invariant checker. It exists to catch the class of state-machine bug
-// the reboot-state fixes of the dynamics PR were — paths that only a
-// particular interleaving of churn, retransmission and reindexing
-// hits — without waiting for a full-scale sweep to wander into them.
-// Any panic or conservation violation fails the specific (config,
-// seed) pair by name.
+// TestSeedFuzz is a seed-randomised cross-engine differential fuzz:
+// short churn, drift and aggregate-mix runs across many seeds, each
+// executed under the invariant checker on BOTH engines — the serial
+// event loop and the 4-region parallel one — with every exported
+// deterministic RunStats counter compared field-by-field. It exists to
+// catch two bug classes at once: state-machine paths that only a
+// particular interleaving of churn, retransmission and reindexing hits
+// (any panic or conservation violation fails the specific (config,
+// seed) pair by name), and parallel-engine divergences that the
+// hand-picked differential scenarios happen not to reach.
 func TestSeedFuzz(t *testing.T) {
 	seeds := 25
 	if testing.Short() {
@@ -56,8 +58,25 @@ func TestSeedFuzz(t *testing.T) {
 				cfg.Seed = seed
 				cfg.CheckInvariants = true
 				sc.mut(&cfg, seed)
-				if _, err := Run(cfg); err != nil {
+				serial, err := Run(cfg)
+				if err != nil {
 					t.Fatalf("%s seed %d: %v", sc.name, seed, err)
+				}
+				cfg.Regions = 4
+				par, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s seed %d (4 regions): %v", sc.name, seed, err)
+				}
+				sref, spar := statsFields(&serial.Stats), statsFields(&par.Stats)
+				for name, want := range sref {
+					if got := spar[name]; got != want {
+						t.Errorf("%s seed %d: RunStats.%s = %d on 4 regions, serial %d",
+							sc.name, seed, name, got, want)
+					}
+				}
+				if serial.Breakdown != par.Breakdown {
+					t.Errorf("%s seed %d: breakdown %+v on 4 regions, serial %+v",
+						sc.name, seed, par.Breakdown, serial.Breakdown)
 				}
 			}
 		})

@@ -52,7 +52,9 @@ func TestScaleTier1000(t *testing.T) {
 
 // TestScaleTier250 keeps a mid-tier point in the -short suite so the
 // lifted node bound is exercised on every test run, not only in CI's
-// full pass.
+// full pass — and runs it on both engines, so the serial/4-region
+// identity is re-proven at a scale the quick differential scenarios
+// do not reach.
 func TestScaleTier250(t *testing.T) {
 	cfg := Default()
 	cfg.Policy = policy.Scoop
@@ -68,5 +70,19 @@ func TestScaleTier250(t *testing.T) {
 	}
 	if res.Stats.StoredUnique == 0 {
 		t.Fatal("no readings stored at 250 nodes")
+	}
+	cfg.Regions = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sref, spar := statsFields(&res.Stats), statsFields(&par.Stats)
+	for name, want := range sref {
+		if got := spar[name]; got != want {
+			t.Errorf("RunStats.%s = %d on 4 regions, serial %d", name, got, want)
+		}
+	}
+	if res.Breakdown != par.Breakdown {
+		t.Errorf("breakdown %+v on 4 regions, serial %+v", par.Breakdown, res.Breakdown)
 	}
 }

@@ -37,6 +37,18 @@ func (h *Log2) Record(v int64) {
 	}
 }
 
+// Merge folds another histogram into h (bucket-wise sum; max of max).
+// Used to combine per-region profiler shards into one artifact.
+func (h *Log2) Merge(o Log2) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Total returns the number of recorded samples.
 func (h *Log2) Total() int64 { return h.total }
 

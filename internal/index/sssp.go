@@ -212,6 +212,7 @@ func parallelFor(workers, items, totalWork int, fn func(worker, lo, hi int)) {
 			hi = items
 		}
 		wg.Add(1)
+		//scoop:allow goroutine fork-join over disjoint row ranges; wg.Wait joins before any result is read
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			fn(w, lo, hi)

@@ -1,0 +1,30 @@
+package lint
+
+import "go/ast"
+
+// Goroutine flags every `go` statement in a deterministic package.
+// Simulation code is single-goroutine by contract: event-loop state,
+// per-node RNG streams and trace recorders are all unsynchronised, so
+// an unreviewed goroutine is a data race and a determinism hole at
+// once. The one sanctioned exception is the region scheduler
+// (netsim's parallel event loop), where every spawned worker is
+// confined to its own regionState and synchronised through barrier
+// channels — those sites carry a //scoop:allow goroutine annotation
+// naming that argument, which is exactly the review this rule forces.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "goroutine spawned in a deterministic package without a reviewed confinement argument (DESIGN.md §18)",
+	Run: func(pass *Pass) {
+		if !pass.Deterministic {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "go statement in a deterministic package: simulation state is unsynchronised, so concurrency needs a reviewed confinement argument (DESIGN.md §18)")
+				}
+				return true
+			})
+		}
+	},
+}

@@ -5,7 +5,7 @@
 //
 // The suite is stdlib-only by construction (go/parser + go/types with
 // a source importer); the module has zero dependencies and must stay
-// that way. Five analyzers encode the contracts:
+// that way. Six analyzers encode the contracts:
 //
 //   - maprange: no `for range` over a map in deterministic packages
 //     unless the body provably only collects keys for sorting (or
@@ -22,6 +22,9 @@
 //   - packetretain: a *netsim.Packet received via Receive/Snoop is
 //     simulator-owned and valid only during the callback — copy,
 //     never retain.
+//   - goroutine: no `go` statement in deterministic packages without
+//     a reviewed confinement argument — the region scheduler's
+//     barrier-synchronised workers are the sanctioned exception.
 //
 // A finding is suppressed by an annotation on the same line or the
 // line above:
@@ -116,7 +119,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Analyzers is the full scooplint suite, in reporting order.
-var Analyzers = []*Analyzer{Maprange, Floatfold, Walltime, Globalrand, Packetretain}
+var Analyzers = []*Analyzer{Maprange, Floatfold, Walltime, Globalrand, Packetretain, Goroutine}
 
 // AllowRule is the pseudo-rule under which malformed //scoop:allow
 // annotations are reported. It cannot be suppressed.

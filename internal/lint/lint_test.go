@@ -152,3 +152,19 @@ func TestLoadRecursive(t *testing.T) {
 		}
 	}
 }
+
+func TestGoroutine(t *testing.T) {
+	lint.AnalyzerTest(t, "testdata/src/goroutine", true, lint.Goroutine)
+}
+
+// TestGoroutineNotDeterministic pins the deterministic-package gate:
+// operator tooling (sweep, exp, cmd) may use goroutines freely.
+func TestGoroutineNotDeterministic(t *testing.T) {
+	pkgs, err := lint.Load("testdata/src/goroutine", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.Run(pkgs, []*lint.Analyzer{lint.Goroutine}); len(diags) != 0 {
+		t.Fatalf("goroutine fired outside a deterministic package: %v", diags)
+	}
+}

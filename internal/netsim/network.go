@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"scoop/internal/dense"
 	"scoop/internal/metrics"
@@ -10,7 +11,10 @@ import (
 )
 
 // App is the protocol logic running on one simulated node. All methods
-// are invoked from the simulator's event loop (never concurrently).
+// are invoked from the node's region event loop (never concurrently
+// with each other; in a region-parallel run, different regions' apps
+// run concurrently but an app only ever runs on its own region's
+// goroutine).
 type App interface {
 	// Init is called once before the simulation starts.
 	Init(api *NodeAPI)
@@ -47,7 +51,10 @@ type Params struct {
 	// paper's ~10 kbps usable application throughput.
 	BitsPerMs float64
 	// TxOverhead is fixed per-packet airtime (preamble, channel
-	// acquisition).
+	// acquisition). It doubles as the radio's detection latency: a
+	// transmission becomes visible to carrier sense and the collision
+	// model from the next TxOverhead grid point after it starts (the
+	// region-parallel lookahead window, DESIGN.md §18).
 	TxOverhead Time
 	// Collisions enables the overlapping-transmission collision model.
 	Collisions bool
@@ -89,6 +96,70 @@ type transmission struct {
 	start, end Time
 }
 
+// interferer is one candidate colliding frame during the collision
+// fold, keyed for the deterministic (src, start) fold order.
+type interferer struct {
+	src   NodeID
+	start Time
+	qi    float64
+}
+
+// outDelivery is one cross-region packet delivery waiting for the next
+// barrier: the coordinator converts it into a pooled delivery task in
+// the target region's heap. It carries the same canonical (origin,
+// oseq) key as the sender-region copy, so the merged trace interleaves
+// all of a transmission's receiver callbacks in global slot order.
+type outDelivery struct {
+	to     int32 // target region
+	at     Time  // end of airtime
+	origin NodeID
+	oseq   uint64
+	p      Packet
+	recv   []recvSlot
+}
+
+// regionState is one region of the (possibly K=1) partitioned engine:
+// its event heap and clock, its counters and trace shard, its share of
+// the radio state, and its task pools. With K=1 the single region
+// aliases the Network's own simulator, counters and recorder, so the
+// serial engine is byte-for-byte the pre-partition code path.
+type regionState struct {
+	id       int
+	sim      *Simulator
+	counters *metrics.Counters
+	trace    *trace.Recorder
+
+	active []transmission // frames transmitted by this region's nodes
+	remote []transmission // ghost frames published by other regions
+	ghosts []transmission // local frames started since the last barrier
+	outbox []outDelivery  // cross-region deliveries since the last barrier
+
+	delivPool []*delivery
+	timerPool []*timerTask
+	stepPool  []*stepTask
+	inflight  []*delivery  // scheduled, not yet run (in-air frames)
+	scratch   []interferer // collision-fold gather buffer
+}
+
+func (r *regionState) pruneActive(now Time) {
+	kept := r.active[:0]
+	for _, tx := range r.active {
+		if tx.end > now {
+			kept = append(kept, tx)
+		}
+	}
+	r.active = kept
+	if len(r.remote) > 0 {
+		keptR := r.remote[:0]
+		for _, tx := range r.remote {
+			if tx.end > now {
+				keptR = append(keptR, tx)
+			}
+		}
+		r.remote = keptR
+	}
+}
+
 // Network binds a topology, a simulator, per-node applications and the
 // message counters into one runnable radio network.
 //
@@ -114,7 +185,7 @@ type Network struct {
 	// transmission, delivery, snoop, drop, purge and node kill/restart.
 	// Hot-path emission sites are guarded by a nil check, so the
 	// disabled path costs one branch and zero allocations. Set before
-	// Start.
+	// Start (and before SetRegions when partitioning).
 	Trace *trace.Recorder
 
 	apps      []App
@@ -122,14 +193,14 @@ type Network struct {
 	dead      []bool
 	linkScale []float64 // flat N×N link degradation factors
 	qualFlat  []float64 // flat copy of Topo.Quality, built at Start
-	active    []transmission
 	txSeq     []uint32
+	nextOseq  []uint64 // per-origin canonical schedule counters
 	started   bool
 
-	delivPool []*delivery
-	timerPool []*timerTask
-	stepPool  []*stepTask
-	inflight  []*delivery // scheduled, not yet run (in-air frames)
+	nregions int // requested K (0/1: serial)
+	part     *Partition
+	regs     []*regionState
+	window   Time // visibility grid pitch = conservative lookahead
 }
 
 // NewNetwork creates a network over topo driven by sim. counters may be
@@ -145,6 +216,7 @@ func NewNetwork(sim *Simulator, topo *Topology, counters *metrics.Counters, para
 		api:       make([]*NodeAPI, topo.N),
 		dead:      make([]bool, topo.N),
 		txSeq:     make([]uint32, topo.N),
+		nextOseq:  make([]uint64, topo.N),
 		linkScale: make([]float64, topo.N*topo.N),
 	}
 	for i := range n.linkScale {
@@ -153,13 +225,127 @@ func NewNetwork(sim *Simulator, topo *Topology, counters *metrics.Counters, para
 	return n
 }
 
+// SetRegions partitions the network into k parallel regions (DESIGN.md
+// §18) and builds the per-region engines immediately, so callers can
+// wire per-region observers (stats shards, profilers) before attaching
+// apps. k ≤ 1 — the default for networks that never call SetRegions —
+// keeps the serial single-heap engine. Call after setting Trace and
+// before Attach/Start.
+func (n *Network) SetRegions(k int) {
+	if n.started {
+		panic("netsim: SetRegions after Start")
+	}
+	if n.regs != nil {
+		panic("netsim: SetRegions called twice")
+	}
+	n.nregions = k
+	n.buildRegions()
+}
+
+func (n *Network) buildRegions() {
+	k := n.nregions
+	if k < 1 {
+		k = 1
+	}
+	n.window = LookaheadWindow(n.Params)
+	n.part = PartitionTopology(n.Topo, k)
+	k = n.part.K
+	n.regs = make([]*regionState, k)
+	if k == 1 {
+		n.regs[0] = &regionState{id: 0, sim: n.Sim, counters: n.Counters, trace: n.Trace}
+	} else {
+		if n.Trace != nil {
+			// Parallel tracing: the shared recorder switches to stamped
+			// buffering, each region emits through its own fork, and
+			// Close merge-sorts everything into canonical order.
+			n.Trace.Buffer()
+		}
+		for r := 0; r < k; r++ {
+			reg := &regionState{
+				id:       r,
+				counters: metrics.NewCounters(),
+				sim:      NewSimulator(substreamSeed(n.Sim.Seed(), NodeID(n.Topo.N+r))),
+			}
+			if n.Trace != nil {
+				sim := reg.sim
+				reg.trace = n.Trace.Fork(func() int64 { return int64(sim.Now()) })
+			}
+			n.regs[r] = reg
+		}
+	}
+	for i, a := range n.api {
+		if a != nil {
+			a.reg = n.regs[n.part.region[i]]
+			a.sim = a.reg.sim
+		}
+	}
+}
+
+// Regions returns the effective region count (1 until SetRegions asks
+// for more).
+func (n *Network) Regions() int {
+	if n.regs == nil {
+		return 1
+	}
+	return len(n.regs)
+}
+
+// RegionOf returns the region node id belongs to (0 when serial).
+func (n *Network) RegionOf(id NodeID) int {
+	if n.part == nil {
+		return 0
+	}
+	return n.part.RegionOf(id)
+}
+
+// RegionSim returns region r's simulator (the control simulator when
+// serial). Per-region profilers attach here.
+func (n *Network) RegionSim(r int) *Simulator { return n.regs[r].sim }
+
+// RegionTrace returns region r's trace recorder fork (the shared
+// recorder when serial, nil when tracing is off). Apps in region r
+// must emit through it.
+func (n *Network) RegionTrace(r int) *trace.Recorder { return n.regs[r].trace }
+
+// MergeCounters folds every region's counter shard into dst. Serial
+// runs count directly into the Network's shared Counters, so there is
+// nothing to fold.
+func (n *Network) MergeCounters(dst *metrics.Counters) {
+	if len(n.regs) <= 1 {
+		return
+	}
+	for _, reg := range n.regs {
+		dst.Merge(reg.counters)
+	}
+}
+
+// CountersBreakdown returns the live merged per-class breakdown across
+// all regions. Callable from the control plane at barriers (windowed
+// telemetry); equals Counters.Snapshot when serial.
+func (n *Network) CountersBreakdown() metrics.Breakdown {
+	if len(n.regs) <= 1 {
+		return n.Counters.Snapshot()
+	}
+	var b metrics.Breakdown
+	for _, reg := range n.regs {
+		b = b.Add(reg.counters.Snapshot())
+	}
+	return b
+}
+
 // Attach installs app on node id. Must be called before Start.
 func (n *Network) Attach(id NodeID, app App) {
 	if n.started {
 		panic("netsim: Attach after Start")
 	}
 	n.apps[id] = app
-	n.api[id] = &NodeAPI{net: n, id: id}
+	a := &NodeAPI{net: n, id: id,
+		rng: rand.New(rand.NewSource(substreamSeed(n.Sim.Seed(), id)))}
+	if n.regs != nil {
+		a.reg = n.regs[n.part.region[id]]
+		a.sim = a.reg.sim
+	}
+	n.api[id] = a
 }
 
 // App returns the application attached to id (nil if none).
@@ -172,6 +358,9 @@ func (n *Network) Start() {
 		panic("netsim: double Start")
 	}
 	n.started = true
+	if n.regs == nil {
+		n.buildRegions()
+	}
 	// Freeze the link tables: force the topology's out-link lists and
 	// take a flat copy of the quality matrix for O(1) pair lookups.
 	nn := n.Topo.N
@@ -187,8 +376,20 @@ func (n *Network) Start() {
 	}
 }
 
+// Run drives the simulation to `until`: the serial event loop when the
+// network is unpartitioned, the windowed region coordinator otherwise
+// (parallel.go). Events scheduled exactly at `until` still run.
+func (n *Network) Run(until Time) {
+	if len(n.regs) <= 1 {
+		n.Sim.Run(until)
+		return
+	}
+	n.runParallel(until)
+}
+
 // Kill marks a node dead: it stops sending, receiving and firing
-// timers. Used for failure-injection experiments.
+// timers. Used for failure-injection experiments. Control-plane only
+// (between events when serial, at barriers when parallel).
 func (n *Network) Kill(id NodeID) {
 	n.dead[id] = true
 	n.Trace.Emit(trace.Event{Kind: trace.NodeDown, Node: uint16(id)})
@@ -278,13 +479,36 @@ func (n *Network) txDuration(size int) Time {
 	return d
 }
 
-// channelBusyAt reports whether any in-flight transmission is audible
-// at node id right now (for carrier sense). The sense threshold is
-// deliberately lower than the interference threshold: radios detect
-// energy from transmissions too weak to decode.
-func (n *Network) channelBusyAt(id NodeID, now Time) bool {
-	for _, tx := range n.active {
-		if tx.end > now && tx.src != id && n.quality(tx.src, id) > 0.08 {
+// oseqNext allocates the next canonical schedule-sequence value for
+// events originated by node id. All of id's scheduling happens on id's
+// region goroutine (or the control plane at a barrier), so the counter
+// needs no lock.
+func (n *Network) oseqNext(id NodeID) uint64 {
+	n.nextOseq[id]++
+	return n.nextOseq[id]
+}
+
+// visible reports whether tx is visible to carrier sense and the
+// collision model at virtual time `floor` = gridFloor(now): radios
+// detect a frame only from the next visibility grid point after it
+// starts. The rule depends on the fixed grid alone, so every region —
+// having exchanged ghost transmissions at the barrier on or before
+// that grid point — computes the same answer regardless of K.
+func visible(tx transmission, floor Time) bool { return tx.start < floor }
+
+// channelBusyAt reports whether any visible in-flight transmission is
+// audible at node id right now (for carrier sense). The sense
+// threshold is deliberately lower than the interference threshold:
+// radios detect energy from transmissions too weak to decode.
+func (n *Network) channelBusyAt(reg *regionState, id NodeID, now Time) bool {
+	floor := gridFloor(now, n.window)
+	for _, tx := range reg.active {
+		if visible(tx, floor) && tx.end > now && tx.src != id && n.quality(tx.src, id) > 0.08 {
+			return true
+		}
+	}
+	for _, tx := range reg.remote {
+		if visible(tx, floor) && tx.end > now && tx.src != id && n.quality(tx.src, id) > 0.08 {
 			return true
 		}
 	}
@@ -292,126 +516,154 @@ func (n *Network) channelBusyAt(id NodeID, now Time) bool {
 }
 
 // collided reports whether a frame from src spanning [start,end) is
-// destroyed at receiver dst by another overlapping audible frame.
-// Destruction is probabilistic, scaled by the interferer's signal at
+// destroyed at receiver dst by other visible overlapping frames.
+// Destruction is probabilistic, scaled by each interferer's signal at
 // the receiver, with a capture effect: a clearly stronger frame
 // survives interference from a much weaker one, as real narrow-band
-// radios do.
-func (n *Network) collided(src, dst NodeID, start, end Time) bool {
+// radios do. The per-interferer destruction probabilities fold into
+// one compound survival product in deterministic (src, start) order —
+// one random draw from the sender's stream per receiver — so the
+// outcome is independent of the order interference state accumulated
+// in (the region-parallel determinism contract).
+func (n *Network) collided(reg *regionState, rng *rand.Rand, src, dst NodeID, start, end Time) bool {
 	if !n.Params.Collisions {
 		return false
 	}
 	qs := n.quality(src, dst)
-	rng := n.Sim.Rand()
-	for _, tx := range n.active {
-		if tx.src == src || tx.src == dst {
-			continue
-		}
-		if tx.start >= end || tx.end <= start {
-			continue
-		}
-		qi := n.quality(tx.src, dst)
-		if qi <= 0.1 || qs >= 2*qi {
-			continue // captured: interferer too weak to matter
-		}
-		if rng.Float64() < 0.7*qi {
-			return true
-		}
-	}
-	return false
-}
-
-func (n *Network) pruneActive(now Time) {
-	kept := n.active[:0]
-	for _, tx := range n.active {
-		if tx.end > now {
-			kept = append(kept, tx)
+	floor := gridFloor(start, n.window)
+	sc := reg.scratch[:0]
+	gather := func(txs []transmission) {
+		for _, tx := range txs {
+			if tx.src == src || tx.src == dst {
+				continue
+			}
+			if !visible(tx, floor) || tx.end <= start {
+				continue
+			}
+			qi := n.quality(tx.src, dst)
+			if qi <= 0.1 || qs >= 2*qi {
+				continue // captured: interferer too weak to matter
+			}
+			sc = append(sc, interferer{src: tx.src, start: tx.start, qi: qi})
 		}
 	}
-	n.active = kept
+	gather(reg.active)
+	gather(reg.remote)
+	reg.scratch = sc[:0]
+	if len(sc) == 0 {
+		return false
+	}
+	// Insertion sort by (src, start): a node transmits one frame at a
+	// time, so the key is unique; the list is tiny.
+	for i := 1; i < len(sc); i++ {
+		for j := i; j > 0 && (sc[j].src < sc[j-1].src ||
+			(sc[j].src == sc[j-1].src && sc[j].start < sc[j-1].start)); j-- {
+			sc[j], sc[j-1] = sc[j-1], sc[j]
+		}
+	}
+	survive := 1.0
+	for _, in := range sc {
+		survive *= 1 - 0.7*in.qi
+	}
+	return rng.Float64() < 1-survive
 }
 
-// recvSlot is one receiver of an in-air frame.
+// recvSlot is one receiver of an in-air frame. gi is the receiver's
+// index in the sender's out-link list — the global slot order, which
+// stamps parallel trace emissions so merged traces reproduce the
+// serial fan-out order.
 type recvSlot struct {
 	dst       NodeID
+	gi        int32
 	addressee bool
 }
 
 // delivery is the pooled end-of-airtime task for one transmission: a
-// single cloned packet fanned out to every node that will hear it.
+// single cloned packet fanned out to every receiver in its region.
 // Replacing the per-receiver clone + closure of the original design,
-// it is what makes delivery allocation-free in steady state.
+// it is what makes delivery allocation-free in steady state. A
+// transmission heard across region boundaries becomes one delivery per
+// region, all sharing the sender's canonical (origin, oseq) key.
 type delivery struct {
 	net  *Network
+	reg  *regionState
 	p    Packet // header copy taken at transmit time
 	recv []recvSlot
-	idx  int // position in net.inflight
+	idx  int // position in reg.inflight
 }
 
-// Run implements Task: deliver to every receiver, in the ascending-ID
-// order the slots were recorded in (identical to the per-receiver
+// Run implements Task: deliver to every receiver, in the ascending
+// slot order recorded at transmit time (identical to the per-receiver
 // event order of the pre-pooling design), then recycle.
 func (d *delivery) Run() {
 	n := d.net
+	reg := d.reg
+	tr := reg.trace
 	for _, s := range d.recv {
 		if n.dead[s.dst] {
 			continue // died mid-air; misses the frame
 		}
+		if tr != nil {
+			tr.SetSub(s.gi)
+		}
 		if s.addressee {
-			n.Counters.CountReceive(uint16(s.dst), d.p.Class, d.p.Size)
-			if n.Trace != nil {
-				n.Trace.Emit(trace.Event{Kind: trace.PacketRecv, Node: uint16(s.dst),
+			reg.counters.CountReceive(uint16(s.dst), d.p.Class, d.p.Size)
+			if tr != nil {
+				tr.Emit(trace.Event{Kind: trace.PacketRecv, Node: uint16(s.dst),
 					Peer: uint16(d.p.Src), Class: d.p.Class, Size: int32(d.p.Size)})
 			}
 			n.apps[s.dst].Receive(&d.p)
 		} else {
-			n.Counters.CountSnoop(uint16(s.dst), d.p.Size)
-			if n.Trace != nil {
-				n.Trace.Emit(trace.Event{Kind: trace.PacketSnoop, Node: uint16(s.dst),
+			reg.counters.CountSnoop(uint16(s.dst), d.p.Size)
+			if tr != nil {
+				tr.Emit(trace.Event{Kind: trace.PacketSnoop, Node: uint16(s.dst),
 					Peer: uint16(d.p.Src), Class: d.p.Class, Size: int32(d.p.Size)})
 			}
 			n.apps[s.dst].Snoop(&d.p)
 		}
 	}
-	n.releaseDelivery(d)
+	reg.releaseDelivery(d)
 }
 
-func (n *Network) newDelivery(p *Packet) *delivery {
+func (r *regionState) newDelivery(n *Network, p *Packet) *delivery {
 	var d *delivery
-	if k := len(n.delivPool); k > 0 {
-		d = n.delivPool[k-1]
-		n.delivPool = n.delivPool[:k-1]
+	if k := len(r.delivPool); k > 0 {
+		d = r.delivPool[k-1]
+		r.delivPool = r.delivPool[:k-1]
 	} else {
-		d = &delivery{net: n}
+		d = &delivery{net: n, reg: r}
 	}
 	d.p = *p
 	d.recv = d.recv[:0]
-	d.idx = len(n.inflight)
-	n.inflight = append(n.inflight, d)
+	d.idx = len(r.inflight)
+	r.inflight = append(r.inflight, d)
 	return d
 }
 
-func (n *Network) releaseDelivery(d *delivery) {
+func (r *regionState) releaseDelivery(d *delivery) {
 	// Swap-remove from the in-flight list.
-	last := len(n.inflight) - 1
-	n.inflight[d.idx] = n.inflight[last]
-	n.inflight[d.idx].idx = d.idx
-	n.inflight = n.inflight[:last]
+	last := len(r.inflight) - 1
+	r.inflight[d.idx] = r.inflight[last]
+	r.inflight[d.idx].idx = d.idx
+	r.inflight = r.inflight[:last]
 	d.p = Packet{}
-	n.delivPool = append(n.delivPool, d)
+	r.delivPool = append(r.delivPool, d)
 }
 
 // ForEachInFlight visits the header copy of every frame currently on
-// the air (transmitted, not yet delivered). Diagnostic/invariant use.
+// the air (transmitted, not yet delivered). Diagnostic/invariant use;
+// control-plane only.
 func (n *Network) ForEachInFlight(fn func(p *Packet)) {
-	for _, d := range n.inflight {
-		fn(&d.p)
+	for _, reg := range n.regs {
+		for _, d := range reg.inflight {
+			fn(&d.p)
+		}
 	}
 }
 
 // ForEachQueued visits every packet waiting in any node's send queue,
 // including the head job whose transmission attempts are in progress.
-// Diagnostic/invariant use.
+// Diagnostic/invariant use; control-plane only.
 func (n *Network) ForEachQueued(fn func(id NodeID, p *Packet)) {
 	for i, a := range n.api {
 		if a == nil {
@@ -423,30 +675,37 @@ func (n *Network) ForEachQueued(fn func(id NodeID, p *Packet)) {
 	}
 }
 
-// transmit puts one frame on the air from src and returns whether dst
-// received it (for unicast ack modelling). It fans the frame out to
-// every audible neighbour and schedules one delivery task at end of
-// airtime.
-func (n *Network) transmit(p *Packet, requireAck bool) bool {
-	src := p.Src
+// transmit puts one frame on the air from a's node and returns whether
+// dst received it (for unicast ack modelling). It fans the frame out
+// to every audible neighbour — same-region receivers onto one pooled
+// delivery task, cross-region receivers into per-region outbox entries
+// the coordinator schedules at the next barrier. Every random draw
+// (per-link loss, collision folds, the ack) comes from the sender's
+// substream, in out-link order, so the resolution is identical for
+// every K.
+func (n *Network) transmit(a *NodeAPI, p *Packet, requireAck bool) bool {
+	src := a.id
+	reg := a.reg
 	n.txSeq[src]++
 	p.Seq = n.txSeq[src]
-	now := n.Sim.Now()
-	n.pruneActive(now)
+	now := a.sim.Now()
+	reg.pruneActive(now)
 	dur := n.txDuration(p.Size)
 	tx := transmission{src: src, start: now, end: now + dur}
 
-	n.Counters.CountSend(uint16(src), p.Class, p.Size)
-	if n.Trace != nil {
-		n.Trace.Emit(trace.Event{Kind: trace.PacketSend, Node: uint16(src),
+	reg.counters.CountSend(uint16(src), p.Class, p.Size)
+	if reg.trace != nil {
+		reg.trace.Emit(trace.Event{Kind: trace.PacketSend, Node: uint16(src),
 			Peer: uint16(p.Dst), Class: p.Class, Size: int32(p.Size)})
 	}
 
 	delivered := false
-	rng := n.Sim.Rand()
+	rng := a.rng
+	parallel := len(n.regs) > 1
 	var d *delivery
+	var oseq uint64
 	rowBase := int(src) * n.Topo.N
-	for _, lk := range n.Topo.OutLinks(src) {
+	for gi, lk := range n.Topo.OutLinks(src) {
 		dst := lk.Dst
 		j := int(dst)
 		if n.dead[j] || n.apps[j] == nil {
@@ -459,20 +718,32 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 		if q <= 0 || rng.Float64() >= q {
 			continue
 		}
-		if n.collided(src, dst, tx.start, tx.end) {
-			n.Counters.CountDrop(metrics.DropCollision)
-			if n.Trace != nil {
-				n.Trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(dst),
+		if n.collided(reg, rng, src, dst, tx.start, tx.end) {
+			reg.counters.CountDrop(metrics.DropCollision)
+			if reg.trace != nil {
+				reg.trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(dst),
 					Peer: uint16(src), Class: p.Class, Cause: metrics.DropCollision,
 					Size: int32(p.Size)})
 			}
 			continue
 		}
 		isAddressee := p.Dst == Broadcast || p.Dst == dst
-		if d == nil {
-			d = n.newDelivery(p)
+		slot := recvSlot{dst: dst, gi: int32(gi), addressee: isAddressee}
+		if oseq == 0 {
+			// One canonical key per transmission, shared by the local
+			// delivery and every cross-region copy: the copies live in
+			// different heaps, so the duplicate key never collides, and
+			// the shared key lets the trace merge restore slot order.
+			oseq = n.oseqNext(src)
 		}
-		d.recv = append(d.recv, recvSlot{dst: dst, addressee: isAddressee})
+		if rd := n.RegionOf(dst); parallel && rd != reg.id {
+			reg.addOutSlot(int32(rd), tx.end, src, oseq, p, slot)
+		} else {
+			if d == nil {
+				d = reg.newDelivery(n, p)
+			}
+			d.recv = append(d.recv, slot)
+		}
 		if isAddressee && p.Dst == dst {
 			// Model the link-layer ack on the reverse link; ack frames
 			// are short and more robust than data frames.
@@ -488,12 +759,35 @@ func (n *Network) transmit(p *Packet, requireAck bool) bool {
 			delivered = true
 		}
 	}
-	n.active = append(n.active, tx)
+	reg.active = append(reg.active, tx)
+	if parallel {
+		reg.ghosts = append(reg.ghosts, tx)
+	}
 	if d != nil {
 		// Deliver at end of airtime; a node that dies mid-air misses it.
-		n.Sim.atTaskPhase(tx.end, d, prof.PhaseRadio)
+		a.sim.scheduleOrigin(tx.end, src, oseq, d, prof.PhaseRadio)
 	}
 	return delivered
+}
+
+// addOutSlot appends one cross-region receiver slot, reusing the
+// window's outbox entry for the same transmission and target region.
+func (r *regionState) addOutSlot(to int32, at Time, origin NodeID, oseq uint64, p *Packet, slot recvSlot) {
+	for i := len(r.outbox) - 1; i >= 0; i-- {
+		e := &r.outbox[i]
+		if e.oseq == oseq && e.origin == origin {
+			if e.to == to {
+				e.recv = append(e.recv, slot)
+				return
+			}
+			continue
+		}
+		break
+	}
+	r.outbox = append(r.outbox, outDelivery{
+		to: to, at: at, origin: origin, oseq: oseq, p: *p,
+		recv: append(make([]recvSlot, 0, 4), slot),
+	})
 }
 
 // sendJob is one queued outgoing frame.
@@ -512,12 +806,11 @@ type timerTask struct {
 
 func (t *timerTask) Run() {
 	a, id, gen := t.a, t.id, t.gen
-	net := a.net
-	net.timerPool = append(net.timerPool, t)
-	if gen != a.timerGen[id] || net.dead[a.id] {
+	a.reg.timerPool = append(a.reg.timerPool, t)
+	if gen != a.timerGen[id] || a.net.dead[a.id] {
 		return
 	}
-	net.apps[a.id].Timer(id)
+	a.net.apps[a.id].Timer(id)
 }
 
 // stepTask is the pooled scheduled form of one MAC attempt step
@@ -530,7 +823,7 @@ type stepTask struct {
 
 func (s *stepTask) Run() {
 	a, gen, try, defers := s.a, s.gen, s.try, s.defers
-	a.net.stepPool = append(a.net.stepPool, s)
+	a.reg.stepPool = append(a.reg.stepPool, s)
 	a.step(gen, try, defers)
 }
 
@@ -545,8 +838,11 @@ func (s *stepTask) Run() {
 // paper describes.
 type NodeAPI struct {
 	net      *Network
+	reg      *regionState
+	sim      *Simulator // the node's region clock (== net.Sim when serial)
 	id       NodeID
-	timerGen []uint64 // per-timer-ID arm generation, grown on demand
+	rng      *rand.Rand // per-node substream: all protocol randomness
+	timerGen []uint64   // per-timer-ID arm generation, grown on demand
 	queue    []sendJob
 	busy     bool
 	jobGen   uint64 // invalidates in-flight attempt events on job change
@@ -558,14 +854,22 @@ func (a *NodeAPI) ID() NodeID { return a.id }
 // N returns the network size (including the basestation).
 func (a *NodeAPI) N() int { return a.net.Topo.N }
 
-// Now returns the current virtual time.
-func (a *NodeAPI) Now() Time { return a.net.Sim.Now() }
+// Now returns the current virtual time (the node's region clock).
+func (a *NodeAPI) Now() Time {
+	if a.sim != nil {
+		return a.sim.Now()
+	}
+	return a.net.Sim.Now()
+}
 
-// Rand exposes the simulation's deterministic random stream.
-func (a *NodeAPI) Rand() func() float64 { return a.net.Sim.Rand().Float64 }
+// Rand exposes this node's deterministic random substream. Draw order
+// within the substream is fixed by the node's own event order, never
+// by global interleaving — the region-parallel determinism contract.
+func (a *NodeAPI) Rand() func() float64 { return a.rng.Float64 }
 
-// RandIntn returns a deterministic uniform int in [0,n).
-func (a *NodeAPI) RandIntn(n int) int { return a.net.Sim.Rand().Intn(n) }
+// RandIntn returns a deterministic uniform int in [0,n) from the
+// node's substream.
+func (a *NodeAPI) RandIntn(n int) int { return a.rng.Intn(n) }
 
 // Send enqueues p for unicast to p.Dst with CSMA backoff, link-layer
 // acks and bounded retransmission. Every transmission attempt is
@@ -590,9 +894,9 @@ func (a *NodeAPI) Broadcast(p *Packet) {
 
 func (a *NodeAPI) enqueue(j sendJob) {
 	if len(a.queue) >= a.net.Params.QueueCap {
-		a.net.Counters.CountDrop(metrics.DropQueue)
-		if a.net.Trace != nil {
-			a.net.Trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(a.id),
+		a.reg.counters.CountDrop(metrics.DropQueue)
+		if a.reg.trace != nil {
+			a.reg.trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(a.id),
 				Peer: uint16(j.p.Dst), Class: j.p.Class, Cause: metrics.DropQueue,
 				Size: int32(j.p.Size)})
 		}
@@ -625,16 +929,16 @@ func (a *NodeAPI) jobDone(ok bool) {
 
 // scheduleStep arms one pooled MAC step after delay d.
 func (a *NodeAPI) scheduleStep(d Time, gen uint64, try, defers int) {
-	net := a.net
+	reg := a.reg
 	var s *stepTask
-	if k := len(net.stepPool); k > 0 {
-		s = net.stepPool[k-1]
-		net.stepPool = net.stepPool[:k-1]
+	if k := len(reg.stepPool); k > 0 {
+		s = reg.stepPool[k-1]
+		reg.stepPool = reg.stepPool[:k-1]
 	} else {
 		s = &stepTask{}
 	}
 	s.a, s.gen, s.try, s.defers = a, gen, try, defers
-	net.Sim.atTaskPhase(net.Sim.Now()+d, s, prof.PhaseMAC)
+	a.sim.scheduleOrigin(a.sim.Now()+d, a.id, a.net.oseqNext(a.id), s, prof.PhaseMAC)
 }
 
 // attempt drives the head-of-queue job through backoff, carrier sense,
@@ -659,21 +963,21 @@ func (a *NodeAPI) step(gen uint64, try, defers int) {
 	}
 	j := a.queue[0]
 	if net.Params.CarrierSense && defers < net.Params.MaxDefers &&
-		net.channelBusyAt(a.id, net.Sim.Now()) {
+		net.channelBusyAt(a.reg, a.id, a.sim.Now()) {
 		// Channel busy: defer without spending a transmission.
 		a.scheduleStep(a.randBetween(net.Params.BackoffMin, net.Params.BackoffMax),
 			gen, try, defers+1)
 		return
 	}
-	ok := net.transmit(j.p, j.requireAck)
+	ok := net.transmit(a, j.p, j.requireAck)
 	if !j.requireAck || ok {
 		a.jobDone(true)
 		return
 	}
 	if try >= net.Params.MaxAttempts {
-		net.Counters.CountDrop(metrics.DropRetries)
-		if net.Trace != nil {
-			net.Trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(a.id),
+		a.reg.counters.CountDrop(metrics.DropRetries)
+		if a.reg.trace != nil {
+			a.reg.trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(a.id),
 				Peer: uint16(j.p.Dst), Class: j.p.Class, Cause: metrics.DropRetries,
 				Size: int32(j.p.Size)})
 		}
@@ -689,16 +993,16 @@ func (a *NodeAPI) step(gen uint64, try, defers int) {
 func (a *NodeAPI) SetTimer(id int, d Time) {
 	a.timerGen = dense.Grow(a.timerGen, id)
 	a.timerGen[id]++
-	net := a.net
+	reg := a.reg
 	var t *timerTask
-	if k := len(net.timerPool); k > 0 {
-		t = net.timerPool[k-1]
-		net.timerPool = net.timerPool[:k-1]
+	if k := len(reg.timerPool); k > 0 {
+		t = reg.timerPool[k-1]
+		reg.timerPool = reg.timerPool[:k-1]
 	} else {
 		t = &timerTask{}
 	}
 	t.a, t.id, t.gen = a, id, a.timerGen[id]
-	net.Sim.atTaskPhase(net.Sim.Now()+d, t, prof.PhaseMAC)
+	a.sim.scheduleOrigin(a.sim.Now()+d, a.id, a.net.oseqNext(a.id), t, prof.PhaseMAC)
 }
 
 // CancelTimer drops any pending timer with the given id.
@@ -712,7 +1016,7 @@ func (a *NodeAPI) randBetween(lo, hi Time) Time {
 	if hi <= lo {
 		return lo
 	}
-	return lo + Time(a.net.Sim.Rand().Int63n(int64(hi-lo)))
+	return lo + Time(a.rng.Int63n(int64(hi-lo)))
 }
 
 func (a *NodeAPI) String() string { return fmt.Sprintf("node(%d)", a.id) }

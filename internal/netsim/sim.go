@@ -6,10 +6,26 @@
 // (snooping), and it accounts every transmission by message class so
 // experiments can reproduce the paper's message-count figures.
 //
-// The simulator is single-threaded and fully deterministic for a given
-// seed: all node logic runs as callbacks on one virtual clock. Experiment
-// harnesses achieve parallelism by running independent trials (each with
-// its own Simulator) on separate goroutines.
+// The simulator is deterministic for a given seed, whether it runs
+// serially (one event heap, one goroutine) or region-parallel
+// (DESIGN.md §18): the topology is spatially partitioned into K
+// regions, each with its own heap, clock and goroutine, advancing in
+// conservative lookahead windows. Determinism across K rests on three
+// K-independent conventions enforced here and in network.go:
+//
+//   - every event carries a canonical (time, origin, oseq) key, where
+//     origin is the node whose state machine produced the event (-1
+//     for control/harness events, which sort first at equal times) and
+//     oseq is a per-origin schedule counter — heap order never depends
+//     on which region popped what when;
+//   - every random draw comes from the per-node substream of the node
+//     whose protocol logic is drawing (Simulator.Rand is reserved for
+//     the control plane), so draw order within a stream is fixed by
+//     that node's own event order;
+//   - radio visibility is windowed on a fixed time grid, so carrier
+//     sense and interference depend only on transmissions begun before
+//     the current grid point — state every region has seen at the last
+//     barrier — never on same-window cross-region timing.
 //
 // The event loop is allocation-conscious (DESIGN.md §12): events live in
 // a hand-rolled heap of plain structs (no interface boxing), and hot
@@ -21,6 +37,7 @@ import (
 	"math/rand"
 
 	"scoop/internal/prof"
+	"scoop/internal/trace"
 )
 
 // Time is virtual simulation time in milliseconds.
@@ -40,29 +57,41 @@ func Seconds(s float64) Time { return Time(s * float64(Second)) }
 // structs so scheduling an event does not allocate a closure.
 type Task interface{ Run() }
 
+// ctlOrigin is the scheduling origin of control-plane events (the
+// public At/After API: harness closures, dynamics, query ticks). It
+// sorts before every node origin at equal times, matching the serial
+// convention that control events scheduled for time t run before node
+// events landing at t.
+const ctlOrigin int32 = -1
+
 type event struct {
-	at    Time
-	seq   uint64 // tie-break so equal-time events run in schedule order
-	sched Time   // when the event was scheduled (profiler dwell = at−sched)
-	fn    func()
-	task  Task
-	phase prof.Phase // wall-time attribution bucket for the event body
+	at     Time
+	origin int32  // canonical tie-break: producing node, or ctlOrigin
+	oseq   uint64 // per-origin schedule sequence (second tie-break)
+	sched  Time   // when the event was scheduled (profiler dwell = at−sched)
+	fn     func()
+	task   Task
+	phase  prof.Phase // wall-time attribution bucket for the event body
 }
 
 func eventLess(a, b event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.oseq < b.oseq
 }
 
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not usable; use NewSimulator.
 type Simulator struct {
 	now    Time
-	events []event // binary min-heap ordered by (at, seq)
-	seq    uint64
+	events []event // binary min-heap ordered by (at, origin, oseq)
+	seq    uint64  // control-plane oseq counter
 	rng    *rand.Rand
+	seed   int64
 	halted bool
 	prof   *prof.Profiler // nil: profiling off (the default)
 }
@@ -71,14 +100,22 @@ type Simulator struct {
 // seed. Two simulators with the same seed and the same schedule of
 // callbacks produce identical runs.
 func NewSimulator(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
-// Rand returns the simulator's deterministic random stream.
+// Rand returns the simulator's deterministic control-plane random
+// stream. Node protocol logic must not draw from it — NodeAPI exposes
+// per-node substreams derived from Seed, so node draw order is
+// independent of global event interleaving (the region-parallel
+// determinism contract).
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Seed returns the seed this simulator (and its derived per-node
+// substreams) was built from.
+func (s *Simulator) Seed() int64 { return s.seed }
 
 // SetProfiler attaches a wall-clock attribution profiler to the event
 // loop (nil detaches). Profiling observes wall time only — scheduling,
@@ -133,15 +170,26 @@ func (s *Simulator) pop() event {
 	return top
 }
 
-// schedule enqueues one event. The phase tags the event body for
-// wall-time attribution; it is carried unconditionally (one store) so
-// attaching a profiler never changes the heap's contents.
+// schedule enqueues one control-plane event. The phase tags the event
+// body for wall-time attribution; it is carried unconditionally (one
+// store) so attaching a profiler never changes the heap's contents.
 func (s *Simulator) schedule(t Time, fn func(), task Task, ph prof.Phase) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, sched: s.now, fn: fn, task: task, phase: ph})
+	s.push(event{at: t, origin: ctlOrigin, oseq: s.seq, sched: s.now, fn: fn, task: task, phase: ph})
+}
+
+// scheduleOrigin enqueues a node-origin event carrying its canonical
+// (origin, oseq) key. The caller owns oseq allocation: network.go hands
+// out per-origin counters, and all scheduling for origin X happens in
+// X's region, so the counters need no locking.
+func (s *Simulator) scheduleOrigin(t Time, origin NodeID, oseq uint64, task Task, ph prof.Phase) {
+	if t < s.now {
+		t = s.now
+	}
+	s.push(event{at: t, origin: int32(origin), oseq: oseq, sched: s.now, task: task, phase: ph})
 }
 
 // At schedules fn to run at absolute virtual time t. Events scheduled
@@ -159,13 +207,6 @@ func (s *Simulator) AtTask(t Time, task Task) { s.schedule(t, nil, task, prof.Ph
 // AfterTask schedules task.Run d milliseconds from now.
 func (s *Simulator) AfterTask(d Time, task Task) { s.AtTask(s.now+d, task) }
 
-// atTaskPhase is the package-internal scheduling variant the radio and
-// MAC layers use to tag their pooled tasks with the right attribution
-// phase.
-func (s *Simulator) atTaskPhase(t Time, task Task, ph prof.Phase) {
-	s.schedule(t, nil, task, ph)
-}
-
 func (e event) run() {
 	if e.fn != nil {
 		e.fn()
@@ -176,6 +217,9 @@ func (e event) run() {
 
 // Run processes events in time order until the clock reaches `until`
 // or the queue drains. Events scheduled exactly at `until` still run.
+// If an event calls Halt, the loop stops with the clock at that event's
+// time: later same-tick events never ran, so the clock must not claim
+// the run reached `until`.
 func (s *Simulator) Run(until Time) {
 	if s.prof != nil {
 		s.runProfiled(until)
@@ -189,7 +233,7 @@ func (s *Simulator) Run(until Time) {
 			e.run()
 		}
 	}
-	if s.now < until {
+	if !s.halted && s.now < until {
 		s.now = until
 	}
 }
@@ -215,6 +259,35 @@ func (s *Simulator) runProfiled(until Time) {
 	p.LoopEnd()
 }
 
+// runWindow processes events strictly before end — the conservative
+// lookahead window the parallel coordinator granted this region. The
+// clock is left at the last executed event; the coordinator advances it
+// to the barrier time after cross-region exchange. rec, when non-nil,
+// is a buffering recorder that receives each event's canonical stamp
+// before the body runs, so merged parallel traces reproduce the serial
+// emission order. The caller brackets windows with the profiler's
+// LoopBegin/LoopEnd.
+func (s *Simulator) runWindow(end Time, rec *trace.Recorder) {
+	p := s.prof
+	for len(s.events) > 0 && !s.halted {
+		if s.events[0].at >= end {
+			break
+		}
+		e := s.pop()
+		s.now = e.at
+		if rec != nil {
+			rec.SetStamp(e.origin, e.oseq)
+		}
+		if p != nil {
+			p.BeginEvent(e.phase, len(s.events)+1, int64(e.at-e.sched))
+			e.run()
+			p.EndEvent()
+		} else {
+			e.run()
+		}
+	}
+}
+
 // Step runs the single earliest pending event, returning false if the
 // queue is empty. Mainly useful in tests.
 func (s *Simulator) Step() bool {
@@ -238,5 +311,27 @@ func (s *Simulator) Step() bool {
 // Halt stops the event loop after the current event returns.
 func (s *Simulator) Halt() { s.halted = true }
 
+// Halted reports whether Halt was called.
+func (s *Simulator) Halted() bool { return s.halted }
+
 // Pending reports the number of queued events.
 func (s *Simulator) Pending() int { return len(s.events) }
+
+// nextAt returns the earliest pending event time, or (0, false) when
+// the queue is empty. Coordinator use.
+func (s *Simulator) nextAt() (Time, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
+
+// substreamSeed derives the per-node RNG substream seed for node id
+// from a simulator seed, via one splitmix64 round: statistically
+// independent streams, stable across K and GOMAXPROCS.
+func substreamSeed(seed int64, id NodeID) int64 {
+	z := uint64(seed) + (uint64(id)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

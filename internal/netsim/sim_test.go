@@ -194,7 +194,7 @@ func TestEventHeapOrdering(t *testing.T) {
 	s := NewSimulator(1)
 	r := rand.New(rand.NewSource(3))
 	for i := 0; i < 50; i++ {
-		s.push(event{at: Time(r.Intn(100)), seq: uint64(i)})
+		s.push(event{at: Time(r.Intn(100)), oseq: uint64(i)})
 	}
 	if s.Pending() != 50 {
 		t.Fatalf("Pending = %d", s.Pending())

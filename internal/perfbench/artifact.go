@@ -19,9 +19,12 @@ type BenchResult struct {
 	AllocsPerOp int64  `json:"allocsPerOp"`
 }
 
-// RateResult is one end-to-end sim-rate probe.
+// RateResult is one end-to-end sim-rate probe. Regions 0 is the serial
+// engine; > 1 is the region-parallel event loop at that K (identical
+// simulated behaviour, different wall-clock).
 type RateResult struct {
 	N                int     `json:"n"`
+	Regions          int     `json:"regions,omitempty"`
 	VirtualS         float64 `json:"virtualS"`
 	SimSecPerWallSec float64 `json:"simSecPerWallSec"`
 }
@@ -73,10 +76,14 @@ func CollectRates(progress func(string)) ([]RateResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rr := RateResult{N: p.N, VirtualS: float64(p.Duration) / 1000, SimSecPerWallSec: rate}
+		rr := RateResult{N: p.N, Regions: p.Regions, VirtualS: float64(p.Duration) / 1000, SimSecPerWallSec: rate}
 		out = append(out, rr)
 		if progress != nil {
-			progress(fmt.Sprintf("simrate n=%-5d %38.0f sim-s/wall-s", rr.N, rr.SimSecPerWallSec))
+			tag := ""
+			if rr.Regions > 1 {
+				tag = fmt.Sprintf(" k=%d", rr.Regions)
+			}
+			progress(fmt.Sprintf("simrate n=%-5d%-5s %33.0f sim-s/wall-s", rr.N, tag, rr.SimSecPerWallSec))
 		}
 	}
 	return out, nil

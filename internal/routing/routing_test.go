@@ -338,3 +338,44 @@ func TestNewDescendantSetPanics(t *testing.T) {
 	}()
 	NewDescendantSet(0)
 }
+
+// Cycle detection must only trust a parent's own beacon advertisement.
+// On forwarded traffic OriginParent describes the packet's origin, not
+// the link-layer sender, so a parent relaying a grandchild's summary
+// (Src=parent, OriginParent=me) is normal traffic — not a cycle.
+func TestCycleDetectionIgnoresForwardedTraffic(t *testing.T) {
+	topo := netsim.NewTopology(4)
+	topo.Pos = make([]netsim.Point, 4)
+	for i := range topo.Pos {
+		topo.Pos[i] = netsim.Point{X: float64(i)}
+	}
+	for i := 0; i+1 < 4; i++ {
+		topo.Quality[i][i+1], topo.Quality[i+1][i] = 1.0, 1.0
+	}
+	apps, sim := buildTreeNetwork(topo, 31)
+	sim.Run(2 * netsim.Minute)
+	tr := apps[2].tree
+	if tr.Parent() != 1 {
+		t.Fatalf("node 2 parent = %d, want 1", tr.Parent())
+	}
+	// Node 1 forwards node 3's summary upward: Src=1, OriginParent=2.
+	tr.Observe(&netsim.Packet{
+		Class:        metrics.Summary,
+		Src:          1,
+		Origin:       3,
+		OriginParent: 2,
+	})
+	if tr.Parent() != 1 {
+		t.Fatal("node 2 detached on a forwarded summary: cycle check misfired")
+	}
+	// But node 1's own beacon claiming node 2 as its parent IS a cycle.
+	tr.Observe(&netsim.Packet{
+		Class:        metrics.Beacon,
+		Src:          1,
+		Origin:       1,
+		OriginParent: 2,
+	})
+	if tr.Parent() != netsim.NoNode {
+		t.Fatal("node 2 kept its parent despite a beacon-advertised cycle")
+	}
+}

@@ -146,11 +146,14 @@ func (t *Tree) broadcastBeacon() {
 // so link qualities stay current and beacons drive parent selection.
 func (t *Tree) Observe(p *netsim.Packet) {
 	t.Neighbors.Observe(p.Src, p.Seq, t.api.Now())
-	if !t.isBase && p.Src == t.parent && p.OriginParent == t.api.ID() &&
-		t.api.ID() > p.Src {
-		// Our parent believes we are *its* parent: a two-node routing
-		// cycle born from stale advertisements. The higher ID detaches
-		// and rejoins on the next beacon wave.
+	if !t.isBase && p.Class == metrics.Beacon && p.Src == t.parent &&
+		p.OriginParent == t.api.ID() && t.api.ID() > p.Src {
+		// Our parent's own beacon advertises us as *its* parent: a
+		// two-node routing cycle born from stale advertisements. The
+		// higher ID detaches and rejoins on the next beacon wave. Only
+		// beacons count — on forwarded traffic OriginParent describes
+		// the packet's origin, not the sender, so a parent relaying a
+		// grandchild's summary would otherwise look like a cycle.
 		t.parent = netsim.NoNode
 		t.etx = 1e9
 		t.hops = 0xFF

@@ -64,6 +64,134 @@ func TestCellResultIdentityN65(t *testing.T) {
 	}
 }
 
+// identityGrid250 is the scale-tier pin: one N=250 Scoop cell on the
+// grid topology, its artifact committed at
+// testdata/sweep-identity-n250.json. It exists because the N=65 pin
+// cannot see scale-only code paths (dense index rebuild batching,
+// region partitioning overheads) — and it regenerates under the
+// REGION-PARALLEL engine (Regions=4), so the committed bytes are
+// themselves a standing proof that the parallel event loop reproduces
+// the serial artifact (TestCellResultIdentityN250 checks both engines
+// against the same file).
+func identityGrid250() Grid {
+	return Grid{
+		Name:           "identity-n250",
+		Policies:       []policy.Name{policy.Scoop},
+		Topologies:     []string{"grid"},
+		Sizes:          []int{250},
+		LossRates:      []float64{0.1},
+		Sources:        []string{"real"},
+		Duration:       8 * netsim.Minute,
+		Warmup:         3 * netsim.Minute,
+		SampleInterval: 15 * netsim.Second,
+		QueryInterval:  15 * netsim.Second,
+		Trials:         1,
+		Seed:           42,
+	}
+}
+
+// TestCellResultIdentityN250 regenerates the pinned N=250 cell on BOTH
+// engines — serial and 4-region parallel — and requires byte-for-byte
+// equality with the committed artifact for each. A failure on one
+// engine only is a parallel-determinism bug; a failure on both is a
+// (possibly intentional) protocol change — regenerate the artifact in
+// the same commit and say why in the message.
+func TestCellResultIdentityN250(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=250 cell is too slow for -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "sweep-identity-n250.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, regions := range []int{0, 4} {
+		g := identityGrid250()
+		g.Regions = regions
+		rep, err := Run(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmp := filepath.Join(t.TempDir(), "identity250.json")
+		if err := WriteFile(tmp, rep); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(tmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("N=250 cell (regions=%d) is not byte-identical to the committed artifact.\n"+
+				"If this change to simulated behaviour is intentional, regenerate "+
+				"testdata/sweep-identity-n250.json and justify it in the commit.\n"+
+				"got %d bytes, want %d bytes", regions, len(got), len(want))
+		}
+	}
+}
+
+// TestRunRegionsIdentical pins the sweep-level guarantee behind the
+// Grid.Regions knob: the artifact is a pure function of the grid —
+// running every cell on the 4-region parallel engine must reproduce
+// the serial bytes exactly.
+func TestRunRegionsIdentical(t *testing.T) {
+	serial, err := Run(identityGrid(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := identityGrid()
+	g.Regions = 4
+	par, err := Run(g, Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := filepath.Join(t.TempDir(), "serial.json")
+	pb := filepath.Join(t.TempDir(), "regions.json")
+	if err := WriteFile(pa, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(pb, par); err != nil {
+		t.Fatal(err)
+	}
+	ba, err := os.ReadFile(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same grid, different artifacts between the serial and 4-region engines")
+	}
+}
+
+// TestRegenerateIdentityArtifacts rewrites the committed identity
+// artifacts in place when SCOOP_REGEN_IDENTITY=1 is set — the blessed
+// regeneration path after an intentional protocol change. The N=65
+// artifact is produced by the serial engine; the N=250 artifact is
+// deliberately produced by the 4-region parallel engine, so the
+// committed bytes double as a cross-engine identity witness.
+func TestRegenerateIdentityArtifacts(t *testing.T) {
+	if os.Getenv("SCOOP_REGEN_IDENTITY") != "1" {
+		t.Skip("set SCOOP_REGEN_IDENTITY=1 to rewrite testdata artifacts")
+	}
+	rep, err := Run(identityGrid(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join("testdata", "sweep-identity-n65.json"), rep); err != nil {
+		t.Fatal(err)
+	}
+	g := identityGrid250()
+	g.Regions = 4
+	rep, err = Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join("testdata", "sweep-identity-n250.json"), rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunRepeatable runs the identity grid twice in-process and
 // requires equal artifacts — determinism independent of the committed
 // file (catches map-iteration or scheduling nondeterminism even after

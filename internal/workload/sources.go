@@ -23,8 +23,13 @@ import (
 )
 
 // Source produces the value a node samples at a virtual time. Sources
-// are stateful (AR noise, spikes) and must be used from a single
-// simulation goroutine.
+// are stateful (AR noise, spikes); all per-node state, including the
+// random stream it evolves by, is confined to that node — so a node's
+// sample sequence depends only on its own sampling history, never on
+// how other nodes' samples interleave. That is the region-parallel
+// determinism contract (DESIGN.md §18): concurrent Next calls for
+// nodes in different regions are safe and K-independent. Construction
+// (cluster layout, means) draws from a separate constructor stream.
 type Source interface {
 	// Next returns node id's sample at virtual time t.
 	Next(id netsim.NodeID, t netsim.Time) int
@@ -45,7 +50,7 @@ func NewSource(name string, n int, seed int64) (Source, error) {
 	case "equal":
 		return NewEqual(), nil
 	case "random":
-		return NewRandom(seed), nil
+		return NewRandom(n, seed), nil
 	case "gaussian":
 		return NewGaussian(n, seed), nil
 	}
@@ -96,15 +101,15 @@ func (e *Equal) Name() string { return "equal" }
 // Random makes every node produce uniform values in [0,100]: no
 // predictability for Scoop to exploit (paper: "degenerates into
 // performance equivalent to BASE or HASH").
-type Random struct{ rng *rand.Rand }
+type Random struct{ rngs []*rand.Rand }
 
-// NewRandom returns the RANDOM source.
-func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+// NewRandom returns the RANDOM source for an n-node network.
+func NewRandom(n int, seed int64) *Random {
+	return &Random{rngs: nodeStreams(n, seed)}
 }
 
 // Next implements Source.
-func (r *Random) Next(netsim.NodeID, netsim.Time) int { return r.rng.Intn(101) }
+func (r *Random) Next(id netsim.NodeID, _ netsim.Time) int { return r.rngs[id].Intn(101) }
 
 // Domain implements Source.
 func (r *Random) Domain() (int, int) { return 0, 100 }
@@ -116,14 +121,14 @@ func (r *Random) Name() string { return "random" }
 // at construction; samples come from N(µ_i, 10) (variance 10, paper
 // §6), clamped to the domain. Models independent stationary sensors.
 type Gaussian struct {
-	rng   *rand.Rand
+	rngs  []*rand.Rand
 	means []float64
 }
 
 // NewGaussian returns the GAUSSIAN source for an n-node network.
 func NewGaussian(n int, seed int64) *Gaussian {
-	rng := rand.New(rand.NewSource(seed))
-	g := &Gaussian{rng: rng, means: make([]float64, n)}
+	rng := rand.New(rand.NewSource(seed)) // constructor stream: means only
+	g := &Gaussian{rngs: nodeStreams(n, seed), means: make([]float64, n)}
 	for i := range g.means {
 		g.means[i] = rng.Float64() * 100
 	}
@@ -132,7 +137,7 @@ func NewGaussian(n int, seed int64) *Gaussian {
 
 // Next implements Source.
 func (g *Gaussian) Next(id netsim.NodeID, _ netsim.Time) int {
-	v := g.means[id] + g.rng.NormFloat64()*math.Sqrt(10)
+	v := g.means[id] + g.rngs[id].NormFloat64()*math.Sqrt(10)
 	return clamp(int(math.Round(v)), 0, 100)
 }
 
@@ -152,7 +157,7 @@ func (g *Gaussian) Mean(id netsim.NodeID) float64 { return g.means[id] }
 // multi-sample step events (lights toggling). Domain [0,150], V≈150,
 // matching the paper's "V was at about 150".
 type Real struct {
-	rng      *rand.Rand
+	rngs     []*rand.Rand
 	offsets  []float64 // per-node cluster offset
 	noise    []float64 // per-node AR(1) state
 	spikeFor []int     // samples remaining in a step event
@@ -168,9 +173,9 @@ const RealMax = 150
 
 // NewReal returns the REAL source for an n-node network.
 func NewReal(n int, seed int64) *Real {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed)) // constructor stream: cluster layout only
 	r := &Real{
-		rng:         rng,
+		rngs:        nodeStreams(n, seed),
 		offsets:     make([]float64, n),
 		noise:       make([]float64, n),
 		spikeFor:    make([]int, n),
@@ -205,13 +210,14 @@ func (r *Real) Next(id netsim.NodeID, t netsim.Time) int {
 	base := 75 + 12*math.Sin(2*math.Pi*float64(t)/float64(60*netsim.Minute))
 	// AR(1) temporal noise.
 	i := int(id)
-	r.noise[i] = r.ARCoeff*r.noise[i] + r.rng.NormFloat64()*3
+	rng := r.rngs[i]
+	r.noise[i] = r.ARCoeff*r.noise[i] + rng.NormFloat64()*3
 	// Step events.
 	if r.spikeFor[i] > 0 {
 		r.spikeFor[i]--
-	} else if r.rng.Float64() < r.SpikeProb {
-		r.spikeFor[i] = 3 + r.rng.Intn(8)
-		r.spikeAmp[i] = 25 + r.rng.Float64()*25
+	} else if rng.Float64() < r.SpikeProb {
+		r.spikeFor[i] = 3 + rng.Intn(8)
+		r.spikeAmp[i] = 25 + rng.Float64()*25
 	}
 	spike := 0.0
 	if r.spikeFor[i] > 0 {
@@ -226,6 +232,20 @@ func (r *Real) Domain() (int, int) { return 0, RealMax }
 
 // Name implements Source.
 func (r *Real) Name() string { return "real" }
+
+// nodeStreams derives one independent random substream per node from a
+// source seed (splitmix64, matching netsim's per-node substream
+// scheme), so each node's draw sequence is its own.
+func nodeStreams(n int, seed int64) []*rand.Rand {
+	rngs := make([]*rand.Rand, n)
+	for i := range rngs {
+		z := uint64(seed) + (uint64(i)+1)*0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		rngs[i] = rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+	}
+	return rngs
+}
 
 func clamp(v, lo, hi int) int {
 	if v < lo {

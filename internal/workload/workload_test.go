@@ -59,7 +59,7 @@ func TestEqualIsConstant(t *testing.T) {
 }
 
 func TestRandomCoversDomain(t *testing.T) {
-	s := NewRandom(3)
+	s := NewRandom(16, 3)
 	seen := map[int]bool{}
 	for i := 0; i < 5000; i++ {
 		seen[s.Next(1, 0)] = true
@@ -114,7 +114,7 @@ func TestRealTemporalCorrelation(t *testing.T) {
 	s := NewReal(63, 9)
 	var diffSelf, diffRand float64
 	prev := map[netsim.NodeID]int{}
-	rnd := NewRandom(10)
+	rnd := NewRandom(63, 10)
 	prevRand := 0
 	n := 0
 	for i := 0; i < 2000; i++ {

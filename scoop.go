@@ -108,6 +108,12 @@ type ExperimentConfig struct {
 	// with cmd/scoopflight.
 	TraceJSONL string
 
+	// Regions, when > 1, runs each trial's network on a conservatively
+	// synchronised parallel event loop with this many spatial regions.
+	// It is a run-mode knob, not a model parameter: results are
+	// bit-identical for every value (0 and 1 select the serial loop).
+	Regions int
+
 	Trials int
 	Seed   int64
 }
@@ -226,6 +232,7 @@ func toExpConfig(cfg ExperimentConfig) (exp.Config, error) {
 		NodePct:        cfg.NodePercent,
 		AggRatio:       cfg.AggregateRatio,
 		AggErrBudget:   cfg.AggregateErrBudget,
+		Regions:        cfg.Regions,
 		Trials:         cfg.Trials,
 		Seed:           cfg.Seed,
 	}, nil
