@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"scoop/internal/core"
 	"scoop/internal/histogram"
 	"scoop/internal/metrics"
 	"scoop/internal/telemetry"
@@ -31,11 +32,13 @@ import (
 
 // filter is the event predicate assembled from the flags.
 type filter struct {
-	node    int // -1: any
-	class   metrics.Class
-	byClass bool
-	kinds   map[trace.Kind]bool
-	reading *trace.ReadingID
+	node      int // -1: any
+	class     metrics.Class
+	byClass   bool
+	kinds     map[trace.Kind]bool
+	reading   *trace.ReadingID
+	verdict   core.Verdict
+	byVerdict bool
 }
 
 func (f *filter) keep(e trace.Event) bool {
@@ -46,6 +49,9 @@ func (f *filter) keep(e trace.Event) bool {
 		return false
 	}
 	if f.kinds != nil && !f.kinds[e.Kind] {
+		return false
+	}
+	if f.byVerdict && (e.Kind != trace.QueryVerdict || core.Verdict(e.Flag) != f.verdict) {
 		return false
 	}
 	if f.reading != nil {
@@ -101,6 +107,7 @@ func run(args []string, out io.Writer) error {
 		readingF = fs.String("reading", "", "follow one reading's lifecycle: producer[@sampletime]")
 		windowF  = fs.Duration("window", 0, "aggregate kept events into windows of this (virtual) width and print the telemetry table")
 		printF   = fs.Int("print", 0, "print this many kept events as JSONL (-1: all)")
+		verdictF = fs.String("verdict", "", "keep only query-verdict events that settled this way (complete, partial, degraded, failed)")
 		dwellF   = fs.Bool("dwell", false, "print per-kind sample→event dwell histograms (virtual ms from a reading's sample time to the event)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +133,13 @@ func run(args []string, out io.Writer) error {
 		if flt.reading, err = parseReading(*readingF); err != nil {
 			return err
 		}
+	}
+	if *verdictF != "" {
+		v, ok := core.ParseVerdict(*verdictF)
+		if !ok || v == core.VerdictOpen {
+			return fmt.Errorf("scoopflight: unknown verdict %q (want complete, partial, degraded, failed)", *verdictF)
+		}
+		flt.verdict, flt.byVerdict = v, true
 	}
 
 	f, err := os.Open(fs.Arg(0))
@@ -226,6 +240,8 @@ func summarise(out io.Writer, all, kept []trace.Event) error {
 
 	var byKind [256]int64
 	var drops [metrics.NumDropCauses]int64
+	var verdicts [256]int64
+	var settled, usable int64
 	var bytes int64
 	for _, e := range kept {
 		byKind[e.Kind]++
@@ -234,12 +250,30 @@ func summarise(out io.Writer, all, kept []trace.Event) error {
 			drops[e.Cause]++
 		case trace.PacketSend:
 			bytes += int64(e.Size)
+		case trace.QueryVerdict:
+			verdicts[e.Flag]++
+			settled++
+			if v := core.Verdict(e.Flag); v == core.VerdictComplete || v == core.VerdictDegraded {
+				usable++
+			}
 		}
 	}
 	for _, k := range trace.Kinds() {
 		if n := byKind[k]; n > 0 {
 			fmt.Fprintf(out, "  %-18s %d\n", k, n)
 		}
+	}
+	if settled > 0 {
+		// Completeness: the fraction of settled queries with a usable
+		// answer (complete, or degraded with an honest bound).
+		fmt.Fprintf(out, "queries: completeness %.3f over %d settled (", float64(usable)/float64(settled), settled)
+		for i, v := range core.AllVerdicts() {
+			if i > 0 {
+				fmt.Fprint(out, " ")
+			}
+			fmt.Fprintf(out, "%s=%d", v, verdicts[v])
+		}
+		fmt.Fprintln(out, ")")
 	}
 	if bytes > 0 {
 		fmt.Fprintf(out, "sent:   %d bytes on air\n", bytes)

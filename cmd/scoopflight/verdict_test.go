@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"scoop/internal/core"
+	"scoop/internal/trace"
+)
+
+// verdictFixture holds two settled queries (one complete, one
+// degraded) plus a retry event, the §19 reliability slice of a trace.
+func verdictFixture(t *testing.T) string {
+	return writeTrace(t, []trace.Event{
+		{T: 1000, Kind: trace.QueryRetry, Node: 0, ID: 3, Value: 2, Aux: 1},
+		{T: 2000, Kind: trace.QueryVerdict, Node: 0, ID: 3,
+			Flag: uint8(core.VerdictComplete), Value: 2, Aux: 2},
+		{T: 3000, Kind: trace.QueryVerdict, Node: 0, ID: 4,
+			Flag: uint8(core.VerdictDegraded), Value: 1, Aux: 3},
+		{T: 4000, Kind: trace.QueryVerdict, Node: 0, ID: 5,
+			Flag: uint8(core.VerdictFailed), Value: 0, Aux: 2},
+	})
+}
+
+func TestVerdictFilter(t *testing.T) {
+	out := runCLI(t, "-verdict", "degraded", verdictFixture(t))
+	if !strings.Contains(out, "events: 1 kept of 4") {
+		t.Fatalf("verdict filter wrong:\n%s", out)
+	}
+	out = runCLI(t, "-verdict", "complete", "-print", "-1", verdictFixture(t))
+	if !strings.Contains(out, `"kind":"query-verdict"`) {
+		t.Fatalf("verdict filter printed nothing:\n%s", out)
+	}
+}
+
+func TestVerdictCompletenessSummary(t *testing.T) {
+	out := runCLI(t, verdictFixture(t))
+	// 2 usable (complete + degraded) of 3 settled.
+	if !strings.Contains(out, "queries: completeness 0.667 over 3 settled") {
+		t.Fatalf("completeness line missing:\n%s", out)
+	}
+	for _, want := range []string{"complete=1", "degraded=1", "failed=1", "partial=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verdict census missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerdictFilterRejectsBadName(t *testing.T) {
+	for _, name := range []string{"bogus", "open"} {
+		var sb strings.Builder
+		if err := run([]string{"-verdict", name, verdictFixture(t)}, &sb); err == nil {
+			t.Errorf("-verdict %s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestParseArgsFaultsAxis(t *testing.T) {
+	c, err := parseArgs([]string{
+		"-policies", "scoop", "-sizes", "16", "-loss", "0.4",
+		"-faults", "none,blackout,campaign", "-retry", "off,on",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.grid
+	if len(g.Faults) != 3 || g.Faults[0] != "" || g.Faults[1] != "blackout" || g.Faults[2] != "campaign" {
+		t.Fatalf("faults axis: %q", g.Faults)
+	}
+	if len(g.Retry) != 2 || g.Retry[0] || !g.Retry[1] {
+		t.Fatalf("retry axis: %v", g.Retry)
+	}
+	if got := len(g.Cells()); got != 6 {
+		t.Fatalf("grid expands to %d cells, want 6", got)
+	}
+}
+
+func TestParseArgsFaultsScoopOnly(t *testing.T) {
+	// Fault and retry cells exist for Scoop only; the other policies
+	// keep their single fault-free cell.
+	c, err := parseArgs([]string{
+		"-policies", "scoop,local", "-sizes", "16", "-loss", "0",
+		"-faults", "none,blackout", "-retry", "off,on",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.grid.Cells()); got != 5 {
+		t.Fatalf("grid expands to %d cells, want 4 scoop + 1 local", got)
+	}
+}
+
+func TestParseArgsFaultsDefaults(t *testing.T) {
+	c, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.grid.Faults) != 0 {
+		t.Fatalf("default faults axis: %q", c.grid.Faults)
+	}
+	if g := c.grid; len(g.Retry) != 1 || g.Retry[0] {
+		t.Fatalf("default retry axis: %v", c.grid.Retry)
+	}
+}
+
+func TestParseArgsRejectsBadFaults(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faults", "meteor"},
+		{"-retry", "sometimes"},
+	} {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -12,6 +12,8 @@
 //	scoopsweep -policies scoop -churn 0,0.15 -drift 0,0.4 \
 //	    -reindex on,off                       # adaptivity under dynamics
 //	scoopsweep -policies scoop -querymix 0,0.5,1   # aggregate query engine
+//	scoopsweep -policies scoop -loss 0.4 -querymix 0.5 \
+//	    -faults none,blackout,campaign -retry off,on   # fault campaign
 //	scoopsweep -scale 65,250,1000 -duration 10m    # scale tier (grid topology)
 //
 // The same -seed always produces byte-identical artifacts, whatever
@@ -28,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"scoop/internal/dynamics"
 	"scoop/internal/netsim"
 	"scoop/internal/policy"
 	"scoop/internal/sweep"
@@ -59,6 +62,8 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 	reindex := fs.String("reindex", "on", "comma-separated reindexing modes: on, off (off freezes the first index)")
 	reindexEvery := fs.Duration("reindex-every", 0, "index-rebuild epoch length (0: protocol default, 240s)")
 	querymix := fs.String("querymix", "0", "comma-separated aggregate-query fractions in [0,1] (0: pure tuple workload)")
+	faults := fs.String("faults", "", "comma-separated fault scenarios: blackout, partition, burst, baserestart, campaign; \"none\" for the fault-free cell (empty flag: fault-free only)")
+	retry := fs.String("retry", "off", "comma-separated reliability-layer modes: off, on (on arms deadline retries + summary degradation)")
 	scaleSizes := fs.String("scale", "", "comma-separated scale-tier sizes (e.g. 65,250,1000): adds scoop/hash/local cells on the grid topology at each size")
 	sources := fs.String("sources", "real", "comma-separated workload sources")
 	duration := fs.Duration("duration", 22*time.Minute, "virtual run length per cell")
@@ -148,6 +153,32 @@ func parseArgs(args []string, errw io.Writer) (cli, error) {
 			return cli{}, fmt.Errorf("-querymix: fraction %g outside [0,1]", m)
 		}
 	}
+	g.Faults = nil
+	known := make(map[string]bool)
+	for _, s := range dynamics.FaultScenarios() {
+		known[s] = true
+	}
+	for _, f := range splitList(*faults) {
+		if f == "none" {
+			f = ""
+		}
+		if f != "" && !known[f] {
+			return cli{}, fmt.Errorf("-faults: unknown scenario %q (want one of %v, or none)",
+				f, dynamics.FaultScenarios())
+		}
+		g.Faults = append(g.Faults, f)
+	}
+	g.Retry = nil
+	for _, m := range splitList(*retry) {
+		switch m {
+		case "on":
+			g.Retry = append(g.Retry, true)
+		case "off":
+			g.Retry = append(g.Retry, false)
+		default:
+			return cli{}, fmt.Errorf("-retry: unknown mode %q (want on, off)", m)
+		}
+	}
 	if *reindexEvery < 0 {
 		return cli{}, fmt.Errorf("-reindex-every: negative epoch %v", *reindexEvery)
 	}
@@ -220,6 +251,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Progress: func(r sweep.CellResult) {
 			line := fmt.Sprintf("  [%3d/%d] %-40s msgs=%8.0f data=%.2f wall=%.0fms",
 				r.Index+1, len(cells), r.Key(), r.Msgs, r.DataSuccess, r.WallMS)
+			if r.Faults != "" || r.Retry {
+				line += fmt.Sprintf(" compl=%.3f retries=%d", r.Completeness, r.Retries)
+			}
 			if r.ReindexBuilds > 0 {
 				// Reindex cost: values recomputed vs total across the
 				// cell's rebuilds, SPT sources relaxed, wall time.

@@ -26,6 +26,7 @@ type aggCombine struct {
 	dueOwn   netsim.Time
 	q        *AggQueryMsg // set while wantOwn, for the local scan
 	retries  int          // flush attempts deferred for lack of a route
+	nodes    Bitmap       // contributor bitmap (Track queries only)
 }
 
 // Retry budgets. A combined partial folds a whole subtree, so unlike
@@ -122,6 +123,7 @@ func (n *Node) aggPartial(m *AggReplyMsg) {
 	e := n.aggEntry(m.QueryID)
 	e.part.Merge(m.Part)
 	e.contribs += int(m.Contribs)
+	e.nodes.Or(&m.Nodes)
 	if h := m.Hops + 1; h > e.hops {
 		e.hops = h
 	}
@@ -180,6 +182,9 @@ func (n *Node) flushAggNow() {
 			}
 			e.part.Merge(scanPartial(n.store, e.q.ValueLo, e.q.ValueHi, e.q.TimeLo, e.q.TimeHi))
 			e.contribs++
+			if e.q.Track {
+				e.nodes.Set(n.api.ID())
+			}
 			e.wantOwn = false
 			e.q = nil
 		}
@@ -222,7 +227,8 @@ func (n *Node) sendAggReply(qid uint16, e *aggCombine) {
 		Part:     e.part,
 		// onAggPartial already counted one hop per merge; a fresh
 		// local partial starts at zero.
-		Hops: e.hops,
+		Hops:  e.hops,
+		Nodes: e.nodes,
 	}
 	n.stats.AggRepliesSent++
 	n.transmitAggReply(m, n.tree.Parent(), 0)
@@ -265,6 +271,16 @@ type pendingAgg struct {
 	expected int
 	issued   netsim.Time
 	answered bool
+
+	// Reliability layer state (DESIGN.md §19); all zero when
+	// Config.QueryDeadline is 0.
+	targets  Bitmap      // the issued target set
+	nodes    Bitmap      // contributors heard so far (across attempts)
+	deadline netsim.Time // next retry/settle point
+	attempt  int         // re-issues so far
+	verdict  Verdict     // terminal verdict once settled
+	wires    []uint16    // retry wire IDs mapping back to this query
+	logIdx   int         // 1+index into the durable journal; 0 = none
 }
 
 // IssueAgg plans and executes one aggregate query, returning the
@@ -315,12 +331,14 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 		b.stats.PlanSummaryChosen++
 		b.stats.SummaryAnswered++
 		b.qidNext++
-		b.pendingAgg = dense.Grow(b.pendingAgg, int(b.qidNext))
-		b.pendingAgg[b.qidNext] = &pendingAgg{
+		pa := &pendingAgg{
 			q: q, plan: dec.Plan, est: est,
 			issued: b.api.Now(), answered: true,
 		}
+		b.pendingAgg = dense.Grow(b.pendingAgg, int(b.qidNext))
+		b.pendingAgg[b.qidNext] = pa
 		b.stats.AggAnswered++
+		b.relRegisterAgg(b.qidNext, pa)
 
 	case query.PlanTuple:
 		b.stats.PlanTupleChosen++
@@ -329,9 +347,12 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 			TimeLo: q.TimeLo, TimeHi: q.TimeHi,
 		}
 		b.issueTupleQuery(wq, targets)
+		// The tuple pendingQuery owns the verdict; the agg wrapper just
+		// carries the operator and the estimate degradation falls back
+		// to.
 		b.pendingAgg = dense.Grow(b.pendingAgg, int(b.qidNext))
 		b.pendingAgg[b.qidNext] = &pendingAgg{
-			q: q, plan: dec.Plan, issued: b.api.Now(),
+			q: q, plan: dec.Plan, est: est, issued: b.api.Now(),
 		}
 
 	case query.PlanAgg, query.PlanFlood:
@@ -349,13 +370,17 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 			ID: b.qidNext, Op: q.Op,
 			ValueLo: q.ValueLo, ValueHi: q.ValueHi,
 			TimeLo: q.TimeLo, TimeHi: q.TimeHi,
+			Track: b.relOn(),
 		}
-		pa := &pendingAgg{q: q, plan: dec.Plan, issued: b.api.Now()}
+		pa := &pendingAgg{q: q, plan: dec.Plan, est: est, issued: b.api.Now()}
 		for _, id := range targets {
 			if id == b.api.ID() {
 				continue
 			}
 			msg.Bitmap.Set(id)
+			if msg.Track {
+				pa.targets.Set(id)
+			}
 			pa.expected++
 		}
 		// The base folds in its own store (owned plus washed-up
@@ -375,6 +400,7 @@ func (b *Base) IssueAgg(q query.AggQuery) query.Decision {
 			pa.answered = true
 			b.stats.AggAnswered++
 		}
+		b.relRegisterAgg(msg.ID, pa)
 	}
 	return dec
 }
@@ -388,15 +414,28 @@ func (b *Base) onAggReply(m *AggReplyMsg) {
 }
 
 func (b *Base) aggReply(m *AggReplyMsg) {
-	if int(m.QueryID) >= len(b.pendingAgg) {
+	qid := b.resolveWire(m.QueryID)
+	if int(qid) >= len(b.pendingAgg) {
 		return
 	}
-	pa := b.pendingAgg[m.QueryID]
-	if pa == nil {
-		return
+	pa := b.pendingAgg[qid]
+	if pa == nil || pa.verdict != VerdictOpen {
+		return // settled (reliability layer): late partials are dropped
 	}
+	// The per-sender (query, seq) dedup stays keyed on the wire ID:
+	// node flush sequence numbers are per wire query.
 	if b.seenAggParts.Seen(m.Node, aggPartKey(m.QueryID, m.Seq)) {
 		return
+	}
+	if !m.Nodes.Empty() {
+		if pa.nodes.Intersects(&m.Nodes) {
+			// A retry re-scanned owners an earlier attempt already
+			// folded in; merging would double count, so the whole
+			// partial is dropped (conservative — a combined partial
+			// mixing new and seen owners is discarded with them).
+			return
+		}
+		pa.nodes.Or(&m.Nodes)
 	}
 	pa.part.Merge(m.Part)
 	pa.contribs += int(m.Contribs)
@@ -407,7 +446,11 @@ func (b *Base) aggReply(m *AggReplyMsg) {
 		b.stats.AggAnswered++
 		b.stats.AggFirstAnswerMS += int64(b.api.Now() - pa.issued)
 		b.cfg.Trace.Emit(trace.Event{Kind: trace.QueryAnswered, Node: uint16(b.api.ID()),
-			ID: m.QueryID, Value: int64(pa.contribs)})
+			ID: qid, Value: int64(pa.contribs)})
+	}
+	if pa.deadline != 0 && pa.nodes.Count() >= pa.expected {
+		// Every targeted owner accounted for: settle complete now.
+		b.settleAgg(qid, pa, true)
 	}
 }
 
@@ -419,6 +462,11 @@ func (b *Base) AggAnswer(qid uint16) (float64, query.Plan, bool) {
 		return 0, query.PlanAuto, false
 	}
 	pa := b.pendingAgg[qid]
+	if pa.verdict == VerdictDegraded {
+		// Settled degraded: the answer is the widened summary estimate
+		// (query.Degrade), not the partial result.
+		return pa.est.Value, pa.plan, true
+	}
 	switch pa.plan {
 	case query.PlanSummary:
 		return pa.est.Value, pa.plan, true

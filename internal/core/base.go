@@ -39,6 +39,16 @@ type pendingQuery struct {
 	replied  []bool
 	readings []storage.Reading // tuples carried back (reply payloads are capped)
 	total    int               // total matches reported (uncapped node counts)
+
+	// Reliability layer state (DESIGN.md §19); all zero when
+	// Config.QueryDeadline is 0.
+	msg      *QueryMsg   // the issued packet (retries narrow its bitmap)
+	deadline netsim.Time // next retry/settle point
+	attempt  int         // re-issues so far
+	got      int         // distinct owners heard (across attempts)
+	verdict  Verdict     // terminal verdict once settled
+	wires    []uint16    // retry wire IDs mapping back to this query
+	logIdx   int         // 1+index into the durable journal; 0 = none
 }
 
 // Base is the Scoop basestation application (node 0). The paper runs
@@ -68,6 +78,14 @@ type Base struct {
 	pending  []*pendingQuery // dense by query ID
 	qidNext  uint16
 	remaps   int // scheduled remaps run so far (RemapLimit bookkeeping)
+
+	// Reliability layer (DESIGN.md §19). retryOf and relNextAt are RAM
+	// (lost on restart); openLog and verdicts are journal state that
+	// survives like the query log does.
+	retryOf   []uint16    // dense wire ID -> original query ID; 0 = none
+	relNextAt netsim.Time // armed deadline of timerRel; 0 = unarmed
+	verdicts  []VerdictRecord
+	openLog   []openQuery
 
 	// Reindex pipeline state, reused across rebuilds: the link-quality
 	// graph (Reset each epoch), the incremental index builder with its
@@ -124,6 +142,8 @@ func (b *Base) Init(api *netsim.NodeAPI) {
 	b.aggOut = nil
 	b.pendingAgg = nil
 	b.seenAggParts.reset()
+	b.retryOf = nil
+	b.relNextAt = 0
 	b.graph = index.NewGraph(api.N())
 	b.builder = index.Builder{DirtyEpsilon: b.cfg.ReindexEpsilon, Trace: b.cfg.Trace}
 	b.statsInput = make([]index.NodeStat, api.N())
@@ -138,10 +158,16 @@ func (b *Base) Init(api *netsim.NodeAPI) {
 	if !b.cfg.DisableRemap {
 		// First remap one summary interval after sampling starts, so
 		// the first wave of statistics has arrived; then every
-		// RemapInterval.
+		// RemapInterval. A restart mid-run realigns to the next remap
+		// boundary instead of scheduling into the past.
 		first := b.start + b.cfg.SummaryInterval + 10*netsim.Second
-		api.SetTimer(timerRemap, first-api.Now())
+		delay := first - api.Now()
+		if delay < 0 {
+			delay = b.cfg.RemapInterval - (api.Now()-first)%b.cfg.RemapInterval
+		}
+		api.SetTimer(timerRemap, delay)
 	}
+	b.recoverOpenQueries()
 }
 
 // Timer implements netsim.App.
@@ -159,6 +185,8 @@ func (b *Base) Timer(id int) {
 		b.mapGos.OnTimer()
 	case timerQuery:
 		b.qGos.OnTimer()
+	case timerRel:
+		b.relTimer()
 	}
 }
 
@@ -267,14 +295,18 @@ func (b *Base) onData(m *DataMsg) {
 }
 
 func (b *Base) onReply(m *ReplyMsg) {
-	if int(m.QueryID) >= len(b.pending) {
+	qid := b.resolveWire(m.QueryID)
+	if int(qid) >= len(b.pending) {
 		return
 	}
-	pq := b.pending[m.QueryID]
-	if pq == nil || pq.replied[m.Node] {
+	pq := b.pending[qid]
+	// A nil replied table means the query already settled and was
+	// evicted (reliability layer); late replies are dropped.
+	if pq == nil || pq.replied == nil || pq.replied[m.Node] {
 		return
 	}
 	pq.replied[m.Node] = true
+	pq.got++
 	pq.readings = append(pq.readings, m.Readings...)
 	pq.total += m.Count
 	b.stats.RepliesReceived++
@@ -282,8 +314,13 @@ func (b *Base) onReply(m *ReplyMsg) {
 	if rec := b.cfg.Trace; rec != nil {
 		for _, r := range m.Readings {
 			rec.Emit(trace.Event{Kind: trace.ReadingDelivered, Node: uint16(b.api.ID()),
-				ID: m.QueryID, Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
+				ID: qid, Producer: r.Producer, SampleT: r.Time, Value: int64(r.Value)})
 		}
+	}
+	if pq.deadline != 0 && pq.got >= pq.expected {
+		// Every owner heard: settle complete without waiting for the
+		// deadline, freeing the collection state immediately.
+		b.settleTuple(qid, pq, true)
 	}
 }
 
@@ -491,6 +528,7 @@ func (b *Base) issueTupleQuery(q workload.Query, targets []netsim.NodeID) []nets
 	// The base also scans its own store (readings it owns plus
 	// washed-up data) at no message cost.
 	b.scanLocal(msg, pq)
+	b.relRegisterTuple(msg, pq, q)
 	if expected == 0 {
 		return targets
 	}

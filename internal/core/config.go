@@ -23,15 +23,16 @@ import (
 
 // Timer identifiers shared by node and basestation applications.
 const (
-	timerSample   = 1 // node: take a sensor sample
-	timerSummary  = 2 // node: send a summary message
-	timerTree     = 3 // both: routing-tree maintenance/beacons
-	timerMapping  = 4 // both: mapping-chunk Trickle
-	timerQuery    = 5 // both: query Trickle
-	timerBatch    = 6 // node: flush a stale data batch
-	timerRemap    = 7 // base: recompute the storage index
-	timerReply    = 8 // node: send jittered query replies
-	timerAggFlush = 9 // node: flush combined partial aggregates upward
+	timerSample   = 1  // node: take a sensor sample
+	timerSummary  = 2  // node: send a summary message
+	timerTree     = 3  // both: routing-tree maintenance/beacons
+	timerMapping  = 4  // both: mapping-chunk Trickle
+	timerQuery    = 5  // both: query Trickle
+	timerBatch    = 6  // node: flush a stale data batch
+	timerRemap    = 7  // base: recompute the storage index
+	timerReply    = 8  // node: send jittered query replies
+	timerAggFlush = 9  // node: flush combined partial aggregates upward
+	timerRel      = 10 // base: earliest pending-query deadline (reliability layer)
 )
 
 // Config carries every protocol parameter. Defaults (DefaultConfig)
@@ -117,6 +118,20 @@ type Config struct {
 	// DomainMin/DomainMax bound the attribute value domain the
 	// basestation indexes (from the workload source).
 	DomainMin, DomainMax int
+
+	// QueryDeadline, when > 0, enables the basestation's query
+	// reliability layer (DESIGN.md §19): every issued tuple or
+	// aggregate query gets a reply deadline; owners still silent when
+	// it expires are re-asked with a narrowed bitmap under exponential
+	// backoff, and when the retry budget runs out the query settles to
+	// an explicit terminal verdict (complete/partial/degraded/failed).
+	// 0 — the default and what every pre-§19 baseline runs — disables
+	// the layer entirely: no deadlines, no retries, no verdict state,
+	// and zero additional allocations on the query path.
+	QueryDeadline netsim.Time
+	// QueryRetryMax caps re-issues per query (attempt k waits
+	// QueryDeadline << k). Only read when QueryDeadline > 0.
+	QueryRetryMax int
 
 	// Preload, when non-nil, installs a fixed storage index on every
 	// node and the basestation at time zero and skips dissemination.
@@ -306,6 +321,15 @@ type RunStats struct {
 	PlanAggChosen       int64
 	PlanTupleChosen     int64
 	PlanFloodChosen     int64
+
+	// Query reliability layer counters (DESIGN.md §19). All zero when
+	// Config.QueryDeadline is 0.
+	QueryRetries         int64 // deadline-driven re-issues (tuple + agg)
+	QueryVerdictComplete int64 // queries settled with every owner heard
+	QueryVerdictPartial  int64 // settled with some replies but no bound
+	QueryVerdictDegraded int64 // settled from summaries with an error bound
+	QueryVerdictFailed   int64 // settled with nothing to answer from
+	DegradedAnswers      int64 // answers served via summary degradation
 }
 
 // MarkStored records that the reading (producer, sampled at time t)

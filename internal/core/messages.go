@@ -95,10 +95,22 @@ type AggQueryMsg struct {
 	Op               query.Op
 	ValueLo, ValueHi int
 	TimeLo, TimeHi   netsim.Time
+	// Track asks targeted nodes to carry a contributor bitmap in their
+	// partials so the base can tell which owners a combined partial
+	// folds in — the reliability layer's retry targeting needs it. Off
+	// (the pre-§19 wire format) unless Config.QueryDeadline > 0.
+	Track bool
 }
 
-// aggQuerySize mirrors querySize plus one operator byte.
-func aggQuerySize(q *AggQueryMsg) int { return q.Bitmap.Bytes() + 14 + 1 }
+// aggQuerySize mirrors querySize plus one operator byte; the Track
+// flag costs one more byte only when set.
+func aggQuerySize(q *AggQueryMsg) int {
+	n := q.Bitmap.Bytes() + 14 + 1
+	if q.Track {
+		n++
+	}
+	return n
+}
 
 // AggReplyMsg carries mergeable partial-aggregate state one hop
 // toward the basestation. Node is the sender of this (possibly
@@ -114,12 +126,23 @@ type AggReplyMsg struct {
 	Contribs uint16
 	Part     query.Partial
 	Hops     uint8
+	// Nodes is the contributor bitmap: which targeted nodes this
+	// partial folds in. Carried only for Track queries; empty (and
+	// free on the air) otherwise.
+	Nodes Bitmap
 }
 
-// aggReplySize is a fixed 22 bytes: ids/seq/contribs header plus the
-// 14-byte partial (count, sum, min, max) — a fraction of a tuple
-// reply, which is the whole point.
-func aggReplySize(*AggReplyMsg) int { return 8 + 14 }
+// aggReplySize is a fixed 22 bytes — ids/seq/contribs header plus the
+// 14-byte partial (count, sum, min, max), a fraction of a tuple reply,
+// which is the whole point — plus the contributor bitmap when the
+// query asked for tracking.
+func aggReplySize(m *AggReplyMsg) int {
+	n := 8 + 14
+	if !m.Nodes.Empty() {
+		n += m.Nodes.Bytes()
+	}
+	return n
+}
 
 // Bitmap is the node bitmap in query packets. The paper's fixed
 // 128-bit field "puts an upper bound to the size of the sensor
@@ -175,6 +198,56 @@ func (b *Bitmap) Count() int {
 		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// Empty reports whether no node is marked.
+func (b *Bitmap) Empty() bool {
+	for _, w := range b.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Or folds other's marked nodes into b.
+func (b *Bitmap) Or(other *Bitmap) {
+	if len(other.w) > 0 {
+		b.w = dense.Grow(b.w, len(other.w)-1)
+	}
+	for i, w := range other.w {
+		b.w[i] |= w
+	}
+}
+
+// Intersects reports whether b and other share any marked node.
+func (b *Bitmap) Intersects(other *Bitmap) bool {
+	n := len(b.w)
+	if len(other.w) < n {
+		n = len(other.w)
+	}
+	for i := 0; i < n; i++ {
+		if b.w[i]&other.w[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AndNot returns the nodes marked in b but not in other — the silent
+// set the reliability layer re-asks.
+func (b *Bitmap) AndNot(other *Bitmap) Bitmap {
+	var out Bitmap
+	for i, w := range b.w {
+		if i < len(other.w) {
+			w &^= other.w[i]
+		}
+		if w != 0 {
+			out.w = dense.Grow(out.w, i)
+			out.w[i] = w
+		}
+	}
+	return out
 }
 
 // IDs returns all marked nodes in ascending order.

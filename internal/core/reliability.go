@@ -1,0 +1,522 @@
+package core
+
+import (
+	"scoop/internal/dense"
+	"scoop/internal/netsim"
+	"scoop/internal/query"
+	"scoop/internal/trace"
+	"scoop/internal/workload"
+)
+
+// This file is the basestation's query reliability layer (DESIGN.md
+// §19). When Config.QueryDeadline > 0 every issued tuple or aggregate
+// query carries a reply deadline; owners still silent when it expires
+// are re-asked under exponential backoff with a bitmap narrowed to
+// exactly the silent set, and when the retry budget runs out the query
+// settles to an explicit terminal verdict — falling back to the
+// retained summaries (with a widened error bound) when they can still
+// answer. With QueryDeadline == 0 none of this state exists and the
+// query path is byte-for-byte the pre-§19 protocol.
+
+// Verdict is the terminal state of one issued query. Every query
+// reaches exactly one verdict (the invariant checker enforces it); the
+// lattice orders answer quality Complete > Degraded > Partial >
+// Failed.
+type Verdict uint8
+
+const (
+	// VerdictOpen is the non-terminal zero value: replies are still
+	// being collected (or the reliability layer is disabled and the
+	// query never settles).
+	VerdictOpen Verdict = iota
+	// VerdictComplete: every targeted owner was heard.
+	VerdictComplete
+	// VerdictPartial: some owners stayed silent and no summary
+	// estimate could bound the gap; the answer is the partial result.
+	VerdictPartial
+	// VerdictDegraded: owners stayed silent but the retained summaries
+	// answer with an explicit error bound (query.Degrade).
+	VerdictDegraded
+	// VerdictFailed: nothing came back and no estimate exists.
+	VerdictFailed
+	numVerdicts
+)
+
+var verdictNames = [numVerdicts]string{
+	VerdictOpen:     "open",
+	VerdictComplete: "complete",
+	VerdictPartial:  "partial",
+	VerdictDegraded: "degraded",
+	VerdictFailed:   "failed",
+}
+
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "unknown"
+}
+
+// ParseVerdict resolves a verdict name (CLI filters).
+func ParseVerdict(s string) (Verdict, bool) {
+	for v, name := range verdictNames {
+		if name == s {
+			return Verdict(v), true
+		}
+	}
+	return VerdictOpen, false
+}
+
+// AllVerdicts lists the terminal verdicts in lattice order
+// (reporting).
+func AllVerdicts() []Verdict {
+	return []Verdict{VerdictComplete, VerdictDegraded, VerdictPartial, VerdictFailed}
+}
+
+// VerdictRecord is one settled query in the basestation's durable
+// verdict log: what the query reached, how many of its targeted
+// owners were heard, and — for degraded answers — the served error
+// bound next to the raw summary bound it widened (the invariant
+// checker asserts ErrBound >= SummaryBound).
+type VerdictRecord struct {
+	QID          uint16
+	Verdict      Verdict
+	Got          int
+	Expected     int
+	ErrBound     float64
+	SummaryBound float64
+}
+
+// openQuery is one entry of the basestation's durable query journal:
+// enough to re-issue the query after a basestation restart wipes the
+// in-RAM pending state. Settling marks it closed.
+type openQuery struct {
+	qid     uint16
+	agg     bool
+	plan    query.Plan
+	wq      workload.Query // tuple queries
+	aq      query.AggQuery // aggregate queries
+	attempt int
+	closed  bool
+}
+
+// relOn reports whether the reliability layer is enabled.
+func (b *Base) relOn() bool { return b.cfg.QueryDeadline > 0 }
+
+// VerdictLog exposes the durable verdict records in settle order.
+func (b *Base) VerdictLog() []VerdictRecord { return b.verdicts }
+
+// QueryJournalLen reports how many queries the reliability layer has
+// journalled — the number that must reach a terminal verdict.
+func (b *Base) QueryJournalLen() int { return len(b.openLog) }
+
+// PendingOpen counts queries still holding live collection state
+// (reply tables, deadline clocks). The regression hook for the
+// unbounded pending-state fix: with the reliability layer on, every
+// query eventually settles and evicts, so this returns to zero even
+// under 100% reply loss.
+func (b *Base) PendingOpen() int {
+	n := 0
+	for _, pq := range b.pending {
+		if pq != nil && pq.replied != nil {
+			n++
+		}
+	}
+	for _, pa := range b.pendingAgg {
+		if pa != nil && pa.deadline != 0 && pa.verdict == VerdictOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// relArm arms (or pulls forward) the shared deadline timer.
+func (b *Base) relArm(at netsim.Time) {
+	if b.relNextAt != 0 && b.relNextAt <= at {
+		return
+	}
+	b.relNextAt = at
+	b.api.SetTimer(timerRel, at-b.api.Now())
+}
+
+// relRegisterTuple attaches reliability state to a freshly issued
+// tuple query: journal it, and either settle immediately (nothing to
+// wait for) or start the deadline clock.
+func (b *Base) relRegisterTuple(msg *QueryMsg, pq *pendingQuery, wq workload.Query) {
+	if !b.relOn() {
+		return
+	}
+	pq.msg = msg
+	pq.logIdx = len(b.openLog) + 1
+	b.openLog = append(b.openLog, openQuery{qid: msg.ID, plan: query.PlanTuple, wq: wq})
+	if pq.expected == 0 {
+		b.settleTuple(msg.ID, pq, true)
+		return
+	}
+	pq.deadline = b.api.Now() + b.cfg.QueryDeadline
+	b.relArm(pq.deadline)
+}
+
+// relRegisterAgg is relRegisterTuple's aggregate twin. Summary-plan
+// queries are answered at issue time and settle complete on the spot.
+func (b *Base) relRegisterAgg(qid uint16, pa *pendingAgg) {
+	if !b.relOn() {
+		return
+	}
+	pa.logIdx = len(b.openLog) + 1
+	b.openLog = append(b.openLog, openQuery{qid: qid, agg: true, plan: pa.plan, aq: pa.q})
+	if pa.plan == query.PlanSummary || pa.expected == 0 {
+		b.settleAgg(qid, pa, true)
+		return
+	}
+	pa.deadline = b.api.Now() + b.cfg.QueryDeadline
+	b.relArm(pa.deadline)
+}
+
+// resolveWire maps a reply's wire query ID back to the original query
+// it retries (identity for first-issue IDs).
+func (b *Base) resolveWire(qid uint16) uint16 {
+	if int(qid) < len(b.retryOf) && b.retryOf[qid] != 0 {
+		return b.retryOf[qid]
+	}
+	return qid
+}
+
+// relTimer fires at the earliest pending deadline: retry or settle
+// every due query, then re-arm for the next one. Both pending tables
+// are dense by query ID, so the walk order — and therefore the retry
+// wire-ID assignment — is deterministic.
+func (b *Base) relTimer() {
+	now := b.api.Now()
+	b.relNextAt = 0
+	var next netsim.Time
+	note := func(at netsim.Time) {
+		if next == 0 || at < next {
+			next = at
+		}
+	}
+	for id := range b.pending {
+		pq := b.pending[id]
+		if pq == nil || pq.verdict != VerdictOpen || pq.deadline == 0 {
+			continue
+		}
+		if now < pq.deadline {
+			note(pq.deadline)
+			continue
+		}
+		b.tupleDeadline(uint16(id), pq)
+		if pq.verdict == VerdictOpen {
+			note(pq.deadline)
+		}
+	}
+	for id := range b.pendingAgg {
+		pa := b.pendingAgg[id]
+		if pa == nil || pa.verdict != VerdictOpen || pa.deadline == 0 {
+			continue
+		}
+		if now < pa.deadline {
+			note(pa.deadline)
+			continue
+		}
+		b.aggDeadline(uint16(id), pa)
+		if pa.verdict == VerdictOpen {
+			note(pa.deadline)
+		}
+	}
+	if next != 0 {
+		b.relArm(next)
+	}
+}
+
+// tupleDeadline handles one expired tuple-query deadline: re-ask the
+// silent owners if budget remains, otherwise settle.
+func (b *Base) tupleDeadline(qid uint16, pq *pendingQuery) {
+	if pq.got >= pq.expected || pq.attempt >= b.cfg.QueryRetryMax {
+		b.settleTuple(qid, pq, true)
+		return
+	}
+	var silent Bitmap
+	cnt := 0
+	for _, id := range pq.msg.Bitmap.IDs() {
+		if !pq.replied[id] {
+			silent.Set(id)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		b.settleTuple(qid, pq, true)
+		return
+	}
+	pq.attempt++
+	b.qidNext++
+	wire := b.qidNext
+	m := &QueryMsg{
+		ID: wire, Bitmap: silent,
+		ValueLo: pq.msg.ValueLo, ValueHi: pq.msg.ValueHi,
+		TimeLo: pq.msg.TimeLo, TimeHi: pq.msg.TimeHi,
+	}
+	b.retryOf = dense.Grow(b.retryOf, int(wire))
+	b.retryOf[wire] = qid
+	pq.wires = append(pq.wires, wire)
+	b.queriesOut = dense.Grow(b.queriesOut, int(wire))
+	b.queriesOut[wire] = m
+	b.relLaunchRetry(qid, wire, cnt, pq.attempt)
+	pq.deadline = b.api.Now() + b.cfg.QueryDeadline<<uint(pq.attempt)
+	if pq.logIdx > 0 {
+		b.openLog[pq.logIdx-1].attempt = pq.attempt
+	}
+}
+
+// aggDeadline is tupleDeadline's aggregate twin; the silent set comes
+// from the contributor bitmaps Track queries collect.
+func (b *Base) aggDeadline(qid uint16, pa *pendingAgg) {
+	if pa.nodes.Count() >= pa.expected || pa.attempt >= b.cfg.QueryRetryMax {
+		b.settleAgg(qid, pa, true)
+		return
+	}
+	silent := pa.targets.AndNot(&pa.nodes)
+	cnt := silent.Count()
+	if cnt == 0 {
+		b.settleAgg(qid, pa, true)
+		return
+	}
+	pa.attempt++
+	b.qidNext++
+	wire := b.qidNext
+	m := &AggQueryMsg{
+		ID: wire, Bitmap: silent, Op: pa.q.Op,
+		ValueLo: pa.q.ValueLo, ValueHi: pa.q.ValueHi,
+		TimeLo: pa.q.TimeLo, TimeHi: pa.q.TimeHi,
+		Track: true,
+	}
+	b.retryOf = dense.Grow(b.retryOf, int(wire))
+	b.retryOf[wire] = qid
+	pa.wires = append(pa.wires, wire)
+	b.aggOut = dense.Grow(b.aggOut, int(wire))
+	b.aggOut[wire] = m
+	b.relLaunchRetry(qid, wire, cnt, pa.attempt)
+	pa.deadline = b.api.Now() + b.cfg.QueryDeadline<<uint(pa.attempt)
+	if pa.logIdx > 0 {
+		b.openLog[pa.logIdx-1].attempt = pa.attempt
+	}
+}
+
+// relLaunchRetry pushes one registered retry packet into query gossip
+// and accounts it. Retries ride fresh wire IDs: nodes answer each
+// query ID exactly once, so re-asking under the original ID would be
+// suppressed everywhere.
+func (b *Base) relLaunchRetry(qid, wire uint16, silent, attempt int) {
+	b.qGos.Add(queryKey(wire))
+	b.sendQuery(queryKey(wire))
+	b.qGos.Heard(queryKey(wire)) // count our own broadcast
+	b.stats.QueryRetries++
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.QueryRetry, Node: uint16(b.api.ID()),
+		ID: qid, Value: int64(silent), Aux: int64(attempt)})
+}
+
+// settleTuple assigns a tuple query its terminal verdict and evicts
+// its collection state. The collected readings stay (QueryResults and
+// tuple-plan aggregate answers read them); the replied table, retry
+// mappings and gossip entries go.
+func (b *Base) settleTuple(qid uint16, pq *pendingQuery, emit bool) {
+	var v Verdict
+	var errB, sumB float64
+	var pa *pendingAgg
+	if int(qid) < len(b.pendingAgg) {
+		pa = b.pendingAgg[qid]
+	}
+	switch {
+	case pq.got >= pq.expected:
+		v = VerdictComplete
+	case pa != nil && pa.est.Valid:
+		v = VerdictDegraded
+		sumB = pa.est.ErrBound
+		pa.est = query.Degrade(pa.est, float64(pq.got)/float64(pq.expected))
+		errB = pa.est.ErrBound
+	case pq.got > 0 || pq.total > 0:
+		v = VerdictPartial
+	default:
+		v = VerdictFailed
+	}
+	pq.verdict = v
+	if pa != nil {
+		pa.verdict = v
+	}
+	b.settleVerdict(qid, v, pq.got, pq.expected, errB, sumB, pq.logIdx, emit)
+	pq.replied = nil
+	pq.msg = nil
+	b.relDropWire(qid)
+	for _, w := range pq.wires {
+		b.relDropWire(w)
+	}
+	pq.wires = nil
+}
+
+// settleAgg assigns an aggregate query its terminal verdict. A
+// degraded verdict swaps the answer to the widened summary estimate
+// (AggAnswer serves est.Value with its error bound).
+func (b *Base) settleAgg(qid uint16, pa *pendingAgg, emit bool) {
+	heard := pa.nodes.Count()
+	var v Verdict
+	var errB, sumB float64
+	switch {
+	case heard >= pa.expected:
+		v = VerdictComplete
+	case pa.est.Valid:
+		v = VerdictDegraded
+		sumB = pa.est.ErrBound
+		pa.est = query.Degrade(pa.est, float64(heard)/float64(pa.expected))
+		errB = pa.est.ErrBound
+		if !pa.answered {
+			pa.answered = true
+			b.stats.AggAnswered++
+		}
+	case pa.contribs > 0:
+		v = VerdictPartial
+	default:
+		v = VerdictFailed
+	}
+	pa.verdict = v
+	b.settleVerdict(qid, v, heard, pa.expected, errB, sumB, pa.logIdx, emit)
+	b.relDropWire(qid)
+	for _, w := range pa.wires {
+		b.relDropWire(w)
+	}
+	pa.wires = nil
+}
+
+// settleVerdict is the shared settle tail: counters, the optional
+// trace event, the durable verdict record, and journal closure.
+func (b *Base) settleVerdict(qid uint16, v Verdict, got, expected int, errB, sumB float64, logIdx int, emit bool) {
+	switch v {
+	case VerdictComplete:
+		b.stats.QueryVerdictComplete++
+	case VerdictPartial:
+		b.stats.QueryVerdictPartial++
+	case VerdictDegraded:
+		b.stats.QueryVerdictDegraded++
+		b.stats.DegradedAnswers++
+	case VerdictFailed:
+		b.stats.QueryVerdictFailed++
+	}
+	if emit {
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.QueryVerdict, Node: uint16(b.api.ID()),
+			Flag: uint8(v), ID: qid, Value: int64(got), Aux: int64(expected)})
+	}
+	b.verdicts = append(b.verdicts, VerdictRecord{
+		QID: qid, Verdict: v, Got: got, Expected: expected,
+		ErrBound: errB, SummaryBound: sumB,
+	})
+	if logIdx > 0 {
+		b.openLog[logIdx-1].closed = true
+	}
+}
+
+// relDropWire evicts one wire query ID from the outbound tables and
+// query gossip — the fix for the unbounded pending-state growth the
+// pre-§19 base suffered under reply loss.
+func (b *Base) relDropWire(w uint16) {
+	if int(w) < len(b.queriesOut) && b.queriesOut[w] != nil {
+		b.queriesOut[w] = nil
+		b.qGos.Remove(queryKey(w))
+	}
+	if int(w) < len(b.aggOut) && b.aggOut[w] != nil {
+		b.aggOut[w] = nil
+		b.qGos.Remove(queryKey(w))
+	}
+	if int(w) < len(b.retryOf) {
+		b.retryOf[w] = 0
+	}
+}
+
+// FinalizeVerdicts settles every still-open query — the harness calls
+// it once after the simulator stops, so queries issued too late for
+// their deadline still reach a terminal verdict exactly once. It runs
+// post-run and therefore emits no trace events (region-parallel trace
+// merge is closed by then); counters and the verdict log are enough.
+func (b *Base) FinalizeVerdicts() {
+	if !b.relOn() {
+		return
+	}
+	for id := range b.pending {
+		pq := b.pending[id]
+		if pq != nil && pq.deadline != 0 && pq.verdict == VerdictOpen {
+			b.settleTuple(uint16(id), pq, false)
+		}
+	}
+	for id := range b.pendingAgg {
+		pa := b.pendingAgg[id]
+		if pa != nil && pa.deadline != 0 && pa.verdict == VerdictOpen {
+			b.settleAgg(uint16(id), pa, false)
+		}
+	}
+}
+
+// recoverOpenQueries rebuilds pending-query state from the durable
+// journal after a basestation restart: every journalled query not yet
+// settled is re-registered with a fresh deadline, and the ordinary
+// deadline machinery re-asks its owners. Replies addressed to
+// pre-restart retry wire IDs are dropped — the retry mapping was RAM.
+func (b *Base) recoverOpenQueries() {
+	if !b.relOn() {
+		return
+	}
+	now := b.api.Now()
+	for i := range b.openLog {
+		e := &b.openLog[i]
+		if e.closed {
+			continue
+		}
+		if e.agg {
+			targets, _ := b.rangeTargets(e.aq.ValueLo, e.aq.ValueHi, e.aq.TimeLo, e.aq.TimeHi)
+			pa := &pendingAgg{
+				q: e.aq, plan: e.plan, issued: now,
+				attempt: e.attempt, logIdx: i + 1,
+			}
+			pa.est = query.EstimateFromSummaries(e.aq, b.summarySnapshots())
+			for _, id := range targets {
+				if id == b.api.ID() {
+					continue
+				}
+				pa.targets.Set(id)
+				pa.expected++
+			}
+			b.pendingAgg = dense.Grow(b.pendingAgg, int(e.qid))
+			b.pendingAgg[e.qid] = pa
+			if pa.expected == 0 {
+				b.settleAgg(e.qid, pa, true)
+				continue
+			}
+			pa.deadline = now + b.cfg.QueryDeadline
+			b.relArm(pa.deadline)
+			continue
+		}
+		targets := b.targets(e.wq)
+		msg := &QueryMsg{ID: e.qid, TimeLo: e.wq.TimeLo, TimeHi: e.wq.TimeHi}
+		if e.wq.IsNodeQuery() {
+			msg.ValueLo, msg.ValueHi = 1, 0
+		} else {
+			msg.ValueLo, msg.ValueHi = e.wq.ValueLo, e.wq.ValueHi
+		}
+		expected := 0
+		for _, id := range targets {
+			if id == b.api.ID() {
+				continue
+			}
+			msg.Bitmap.Set(id)
+			expected++
+		}
+		pq := &pendingQuery{
+			expected: expected, replied: make([]bool, b.api.N()),
+			msg: msg, attempt: e.attempt, logIdx: i + 1,
+		}
+		b.pending = dense.Grow(b.pending, int(e.qid))
+		b.pending[e.qid] = pq
+		if expected == 0 {
+			b.settleTuple(e.qid, pq, true)
+			continue
+		}
+		pq.deadline = now + b.cfg.QueryDeadline
+		b.relArm(pq.deadline)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"scoop/internal/netsim"
+	"scoop/internal/query"
+	"scoop/internal/workload"
+)
+
+func TestVerdictStringsRoundTrip(t *testing.T) {
+	for _, v := range AllVerdicts() {
+		got, ok := ParseVerdict(v.String())
+		if !ok || got != v {
+			t.Fatalf("ParseVerdict(%q) = %v, %v; want %v", v.String(), got, ok, v)
+		}
+	}
+	if _, ok := ParseVerdict("bogus"); ok {
+		t.Fatal("ParseVerdict accepted a bogus name")
+	}
+}
+
+func TestBitmapSetOps(t *testing.T) {
+	var a, b Bitmap
+	if !a.Empty() {
+		t.Fatal("fresh bitmap not empty")
+	}
+	a.Set(3)
+	a.Set(70)
+	b.Set(70)
+	b.Set(200)
+	if a.Empty() || !a.Intersects(&b) {
+		t.Fatal("Intersects missed the shared node")
+	}
+	diff := a.AndNot(&b)
+	if diff.Count() != 1 || !diff.Has(3) || diff.Has(70) {
+		t.Fatalf("AndNot = %v, want {3}", diff.IDs())
+	}
+	a.Or(&b)
+	if a.Count() != 3 || !a.Has(200) {
+		t.Fatalf("Or = %v, want {3,70,200}", a.IDs())
+	}
+	var c Bitmap
+	d := c.AndNot(&a)
+	if c.Intersects(&a) || !d.Empty() {
+		t.Fatal("empty-bitmap set ops misbehaved")
+	}
+}
+
+// relConfig is testConfig plus an enabled reliability layer.
+func relConfig() Config {
+	cfg := testConfig()
+	cfg.QueryDeadline = 10 * netsim.Second
+	cfg.QueryRetryMax = 2
+	return cfg
+}
+
+// TestPendingEvictsUnderTotalReplyLoss is the regression test for the
+// unbounded pending-state growth the pre-§19 base suffered: queries
+// whose replies never arrive now settle to a terminal verdict when the
+// retry budget runs out, and their collection state is evicted.
+func TestPendingEvictsUnderTotalReplyLoss(t *testing.T) {
+	tn := newTestNet(t, meshTopo(6, 0.9), relConfig(), nil, 11)
+	tn.sim.At(5*netsim.Minute, func() {
+		tn.net.SetBlackout(1, 5, true) // total silence: nothing gets through
+	})
+	for i := 0; i < 3; i++ {
+		at := 5*netsim.Minute + netsim.Time(i+1)*netsim.Second
+		tn.sim.At(at, func() {
+			tn.base.IssueQuery(workload.Query{ValueLo: 0, ValueHi: 20, TimeLo: 0, TimeHi: at})
+		})
+	}
+	tn.sim.Run(10 * netsim.Minute)
+	if n := tn.base.QueryJournalLen(); n != 3 {
+		t.Fatalf("journalled %d queries, want 3", n)
+	}
+	if got := len(tn.base.VerdictLog()); got != 3 {
+		t.Fatalf("%d verdicts for 3 queries: every query must settle exactly once", got)
+	}
+	terminal := tn.stats.QueryVerdictComplete + tn.stats.QueryVerdictPartial +
+		tn.stats.QueryVerdictDegraded + tn.stats.QueryVerdictFailed
+	if terminal != 3 {
+		t.Fatalf("verdict counters sum to %d, want 3", terminal)
+	}
+	if tn.stats.QueryRetries == 0 {
+		t.Fatal("no retries under total loss: deadline machinery never fired")
+	}
+	if open := tn.base.PendingOpen(); open != 0 {
+		t.Fatalf("%d pending queries still hold collection state after settling", open)
+	}
+}
+
+// TestRetryRecoversAfterBlackout: a query issued into a blackout is
+// lost, but once the blackout lifts the deadline retry re-asks the
+// silent owners and the query completes.
+func TestRetryRecoversAfterBlackout(t *testing.T) {
+	tn := newTestNet(t, meshTopo(6, 0.95), relConfig(), nil, 12)
+	tn.sim.At(5*netsim.Minute-10*netsim.Second, func() { tn.net.SetBlackout(1, 5, true) })
+	tn.sim.At(5*netsim.Minute, func() {
+		tn.base.IssueQuery(workload.Query{ValueLo: 0, ValueHi: 20, TimeLo: 0, TimeHi: 5 * netsim.Minute})
+	})
+	tn.sim.At(5*netsim.Minute+5*netsim.Second, func() { tn.net.SetBlackout(1, 5, false) })
+	tn.sim.Run(10 * netsim.Minute)
+	if tn.stats.QueryRetries == 0 {
+		t.Fatal("no retry was issued")
+	}
+	if tn.stats.QueryVerdictComplete != 1 {
+		t.Fatalf("verdicts: complete=%d partial=%d degraded=%d failed=%d; want 1 complete",
+			tn.stats.QueryVerdictComplete, tn.stats.QueryVerdictPartial,
+			tn.stats.QueryVerdictDegraded, tn.stats.QueryVerdictFailed)
+	}
+	if tn.stats.RepliesReceived != tn.stats.RepliesExpected {
+		t.Fatalf("received %d of %d expected replies after retry",
+			tn.stats.RepliesReceived, tn.stats.RepliesExpected)
+	}
+}
+
+// TestDegradedAggAnswerFromSummaries: an in-network aggregate whose
+// owners all go dark settles degraded — answered from the retained
+// summaries with an error bound no tighter than the summary math.
+func TestDegradedAggAnswerFromSummaries(t *testing.T) {
+	cfg := relConfig()
+	cfg.AggForcePlan = query.PlanAgg
+	tn := newTestNet(t, meshTopo(6, 0.95), cfg, nil, 13)
+	tn.sim.At(6*netsim.Minute, func() { tn.net.SetBlackout(1, 5, true) })
+	var qid uint16
+	tn.sim.At(6*netsim.Minute+netsim.Second, func() {
+		tn.base.IssueAgg(query.AggQuery{
+			Op: query.OpCount, ValueLo: 0, ValueHi: 20,
+			TimeLo: 2 * netsim.Minute, TimeHi: 6 * netsim.Minute,
+		})
+		qid = tn.base.LastQueryID()
+	})
+	tn.sim.Run(10 * netsim.Minute)
+	if tn.stats.QueryVerdictDegraded != 1 || tn.stats.DegradedAnswers != 1 {
+		t.Fatalf("verdicts: complete=%d partial=%d degraded=%d failed=%d; want 1 degraded",
+			tn.stats.QueryVerdictComplete, tn.stats.QueryVerdictPartial,
+			tn.stats.QueryVerdictDegraded, tn.stats.QueryVerdictFailed)
+	}
+	if _, _, ok := tn.base.AggAnswer(qid); !ok {
+		t.Fatal("degraded aggregate has no answer")
+	}
+	var rec *VerdictRecord
+	for i := range tn.base.VerdictLog() {
+		if tn.base.VerdictLog()[i].QID == qid {
+			rec = &tn.base.VerdictLog()[i]
+		}
+	}
+	if rec == nil || rec.Verdict != VerdictDegraded {
+		t.Fatalf("no degraded verdict record for query %d", qid)
+	}
+	if rec.ErrBound < rec.SummaryBound {
+		t.Fatalf("degraded bound %v tighter than summary bound %v", rec.ErrBound, rec.SummaryBound)
+	}
+	if open := tn.base.PendingOpen(); open != 0 {
+		t.Fatalf("%d pending aggregates still open after settling", open)
+	}
+}
+
+// TestBaseRestartRecoversOpenQueries: a basestation restart wipes the
+// pending RAM, but the durable journal re-registers the open query and
+// the deadline machinery re-asks its owners.
+func TestBaseRestartRecoversOpenQueries(t *testing.T) {
+	tn := newTestNet(t, meshTopo(6, 0.95), relConfig(), nil, 14)
+	tn.sim.At(5*netsim.Minute-10*netsim.Second, func() { tn.net.SetBlackout(1, 5, true) })
+	tn.sim.At(5*netsim.Minute, func() {
+		tn.base.IssueQuery(workload.Query{ValueLo: 0, ValueHi: 20, TimeLo: 0, TimeHi: 5 * netsim.Minute})
+	})
+	tn.sim.At(5*netsim.Minute+2*netsim.Second, func() { tn.net.Restart(0) })
+	tn.sim.At(5*netsim.Minute+5*netsim.Second, func() { tn.net.SetBlackout(1, 5, false) })
+	tn.sim.Run(12 * netsim.Minute)
+	if n := tn.base.QueryJournalLen(); n != 1 {
+		t.Fatalf("journal holds %d queries, want the 1 issued pre-restart", n)
+	}
+	if got := len(tn.base.VerdictLog()); got != 1 {
+		t.Fatalf("%d verdicts after restart recovery, want exactly 1", got)
+	}
+	rec := tn.base.VerdictLog()[0]
+	if rec.Verdict == VerdictOpen || rec.Verdict == VerdictFailed {
+		t.Fatalf("recovered query settled %v; want it re-asked and answered", rec.Verdict)
+	}
+	if open := tn.base.PendingOpen(); open != 0 {
+		t.Fatalf("%d pending queries open after recovery settled", open)
+	}
+}

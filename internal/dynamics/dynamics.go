@@ -50,6 +50,29 @@ const (
 	// QueryShift moves the query hot-range center to Value, a fraction
 	// of the value domain in [0,1].
 	QueryShift
+	// BlackoutStart blocks every directed link into or out of the node
+	// stripe [Src, Dst] — a regional blackout. BlackoutEnd lifts it.
+	// Windows over the same stripe must not overlap.
+	BlackoutStart
+	// BlackoutEnd ends the blackout over [Src, Dst].
+	BlackoutEnd
+	// PartitionStart blocks every directed link between {id < Node} and
+	// {id >= Node} — a clean network partition at the boundary.
+	// PartitionEnd heals it. Cut windows must not overlap.
+	PartitionStart
+	// PartitionEnd heals the partition at boundary Node.
+	PartitionEnd
+	// BurstStart begins a correlated burst-loss window: every link's
+	// delivery probability is multiplied by (1 - Value) until BurstEnd.
+	// Burst windows must not overlap.
+	BurstStart
+	// BurstEnd ends the burst-loss window.
+	BurstEnd
+	// BaseRestart reboots the basestation process: node 0 loses its RAM
+	// (pending query state, send queue) and recovers from its durable
+	// query log. Distinct from NodeDown/NodeUp, which must never target
+	// the base.
+	BaseRestart
 )
 
 // String returns the kind's report name (also the metrics mark label).
@@ -67,6 +90,20 @@ func (k Kind) String() string {
 		return "data-shift"
 	case QueryShift:
 		return "query-shift"
+	case BlackoutStart:
+		return "blackout-start"
+	case BlackoutEnd:
+		return "blackout-end"
+	case PartitionStart:
+		return "partition-start"
+	case PartitionEnd:
+		return "partition-end"
+	case BurstStart:
+		return "burst-start"
+	case BurstEnd:
+		return "burst-end"
+	case BaseRestart:
+		return "base-restart"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -155,6 +192,20 @@ func (s *Script) Validate(n int, duration netsim.Time) error {
 			if e.Value < 0 || e.Value > 1 {
 				return fmt.Errorf("dynamics: event %d query-shift %v outside [0,1]", i, e.Value)
 			}
+		case BlackoutStart, BlackoutEnd:
+			if e.Src < 1 || e.Src > e.Dst || int(e.Dst) >= n {
+				return fmt.Errorf("dynamics: event %d (%s) stripe [%d,%d] not within the non-base nodes [1,%d)", i, e.Kind, e.Src, e.Dst, n)
+			}
+		case PartitionStart, PartitionEnd:
+			if e.Node < 1 || int(e.Node) >= n {
+				return fmt.Errorf("dynamics: event %d (%s) boundary %d outside [1,%d)", i, e.Kind, e.Node, n)
+			}
+		case BurstStart:
+			if e.Value <= 0 || e.Value >= 1 {
+				return fmt.Errorf("dynamics: event %d burst-start loss %v outside (0,1)", i, e.Value)
+			}
+		case BurstEnd, BaseRestart:
+			// No parameters beyond the timestamp.
 		default:
 			return fmt.Errorf("dynamics: event %d has unknown kind %d", i, e.Kind)
 		}
@@ -219,7 +270,7 @@ func (s *Script) Attach(sim *netsim.Simulator, t Targets) {
 			if !apply(e, t, base) {
 				return
 			}
-			if e.Kind != NodeDown && e.Kind != NodeUp {
+			if e.Kind != NodeDown && e.Kind != NodeUp && e.Kind != BaseRestart {
 				t.Trace.Emit(trace.Event{Kind: trace.Perturb, Node: uint16(e.Src),
 					Flag: uint8(e.Kind), Value: int64(e.Value * 1e6)})
 			}
@@ -251,6 +302,24 @@ func apply(e Event, t Targets, lossBase float64) bool {
 			return false
 		}
 		t.Query.SetHotCenter(e.Value)
+	case BlackoutStart:
+		t.Net.SetBlackout(e.Src, e.Dst, true)
+	case BlackoutEnd:
+		t.Net.SetBlackout(e.Src, e.Dst, false)
+	case PartitionStart:
+		t.Net.SetPartition(e.Node, true)
+	case PartitionEnd:
+		t.Net.SetPartition(e.Node, false)
+	case BurstStart:
+		t.Net.SetBurst(e.Value)
+	case BurstEnd:
+		t.Net.SetBurst(0)
+	case BaseRestart:
+		// Restart re-runs the base app's Init: RAM state (pending
+		// queries, send queue) is lost; durable state (records, query
+		// log) survives and drives recovery. netsim emits the
+		// NodeRestart/PacketPurge trace events itself.
+		t.Net.Restart(0)
 	}
 	return true
 }

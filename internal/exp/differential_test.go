@@ -131,8 +131,9 @@ func compareArtifacts(t *testing.T, label string, want, got diffArtifacts) {
 
 // differentialScenarios enumerates one cell per scenario class the
 // repo's experiments exercise: churn (node reboot/rejoin), data drift
-// with reindexing, a pure aggregate-query mix, and a larger scale-tier
-// grid. Each runs a single trial under the invariant checker.
+// with reindexing, a pure aggregate-query mix, a larger scale-tier
+// grid, and the full fault campaign with the reliability layer armed.
+// Each runs a single trial under the invariant checker.
 func differentialScenarios() []struct {
 	name string
 	cfg  Config
@@ -167,6 +168,14 @@ func differentialScenarios() []struct {
 	scale.Topology = "grid"
 	scale.Duration = 5 * netsim.Minute
 	scale.Seed = 3
+	faults := base()
+	faults.Faults = "campaign"
+	faults.LinkLoss = 0.3
+	faults.QueryDeadline = 12 * netsim.Second
+	faults.QueryRetryMax = 3
+	faults.AggRatio = 0.5
+	faults.QueryWidth = 0.4
+	faults.AggErrBudget = 0.25
 	return []struct {
 		name string
 		cfg  Config
@@ -175,6 +184,7 @@ func differentialScenarios() []struct {
 		{"drift", drift},
 		{"agg", agg},
 		{"scale", scale},
+		{"faults", faults},
 	}
 }
 

@@ -79,6 +79,21 @@ type Config struct {
 	// should be built from the cell seed so runs stay reproducible).
 	Dynamics *dynamics.Script
 
+	// Faults, when non-empty, names a dynamics.FaultScenario (regional
+	// blackout, partition, correlated burst loss, basestation restart,
+	// or the composed "campaign") resolved per trial from the trial
+	// seed and appended to Dynamics — the reliability campaign's fault
+	// axis (DESIGN.md §19).
+	Faults string
+
+	// QueryDeadline, when > 0, enables the basestation's query
+	// reliability layer (deadline retries with narrowed bitmaps,
+	// terminal verdicts, graceful degradation — DESIGN.md §19);
+	// QueryRetryMax caps re-issues per query. Both map straight onto
+	// the core.Config knobs of the same names.
+	QueryDeadline netsim.Time
+	QueryRetryMax int
+
 	// ReindexInterval overrides how often the basestation rebuilds
 	// the storage index from fresh statistics and redisseminates it
 	// (the adaptive epoch length; core default 240 s). 0 keeps the
@@ -218,10 +233,23 @@ func (c Config) Validate() error {
 	if c.Regions < 0 {
 		return fmt.Errorf("exp: negative region count %d", c.Regions)
 	}
+	if c.QueryDeadline < 0 {
+		return fmt.Errorf("exp: negative query deadline %v", c.QueryDeadline)
+	}
+	if c.QueryRetryMax < 0 {
+		return fmt.Errorf("exp: negative query retry budget %d", c.QueryRetryMax)
+	}
+	if c.Faults != "" {
+		// Resolve once with the base seed purely to validate the name
+		// and shape; trials re-resolve with their own seeds.
+		if _, err := dynamics.FaultScenario(c.Faults, c.N, c.Warmup, c.Duration, c.Seed); err != nil {
+			return err
+		}
+	}
 	if err := c.Dynamics.Validate(c.N, c.Duration); err != nil {
 		return err
 	}
-	if c.Policy == policy.Hash && !c.Dynamics.Empty() {
+	if c.Policy == policy.Hash && (!c.Dynamics.Empty() || c.Faults != "") {
 		// The paper's HASH is evaluated analytically; there is no
 		// simulation to perturb, and silently reporting unperturbed
 		// numbers under a churn/drift label would poison baselines.
@@ -401,6 +429,22 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		net.ScaleAllLinks(1 - cfg.LinkLoss)
 	}
 
+	// The fault axis resolves per trial (seeded window jitter) and
+	// rides the same control-plane timeline as any other dynamics.
+	dyn := cfg.Dynamics
+	if cfg.Faults != "" {
+		fs, err := dynamics.FaultScenario(cfg.Faults, cfg.N, cfg.Warmup, cfg.Duration, seed+211)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		var merged dynamics.Script
+		if dyn != nil {
+			merged.Append(*dyn)
+		}
+		merged.Append(fs)
+		dyn = &merged
+	}
+
 	src, err := workload.NewSource(cfg.Source, cfg.N, seed+13)
 	if err != nil {
 		return TrialResult{}, err
@@ -410,7 +454,7 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	// wrapper whose offset the scheduled events move.
 	sampler := src
 	var drift *workload.Drift
-	if cfg.Dynamics.HasData() {
+	if dyn.HasData() {
 		drift = workload.NewDrift(src)
 		sampler = drift
 	}
@@ -429,11 +473,13 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		// build one at all, degenerating into store-local.)
 		ccfg.RemapLimit = 1
 	}
-	if cfg.Dynamics.HasChurn() && ccfg.StatStaleAfter == 0 {
+	if dyn.HasChurn() && ccfg.StatStaleAfter == 0 {
 		// Under churn, dead nodes must age out of index construction.
 		ccfg.StatStaleAfter = 3 * ccfg.SummaryInterval
 	}
 	ccfg.AggForcePlan = cfg.AggForce
+	ccfg.QueryDeadline = cfg.QueryDeadline
+	ccfg.QueryRetryMax = cfg.QueryRetryMax
 	if cfg.Modify != nil {
 		cfg.Modify(&ccfg)
 	}
@@ -567,7 +613,7 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 	}
 
 	tr := TrialResult{}
-	if !cfg.Dynamics.Empty() {
+	if !dyn.Empty() {
 		tg := dynamics.Targets{
 			Net:      net,
 			LossBase: 1 - cfg.LinkLoss,
@@ -582,7 +628,7 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		if rg, ok := gen.(*workload.RangeGen); ok {
 			tg.Query = rg
 		}
-		cfg.Dynamics.Attach(sim, tg)
+		dyn.Attach(sim, tg)
 	}
 
 	if win := cfg.windowInterval(); win > 0 {
@@ -691,6 +737,11 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 
 	net.Run(cfg.Duration)
 
+	// Settle every still-open query to its terminal verdict before the
+	// stats shards are merged and read (no trace events are emitted
+	// post-run, so region-parallel byte identity is preserved).
+	base.FinalizeVerdicts()
+
 	if rec != nil {
 		if err := rec.Close(); err != nil {
 			return TrialResult{}, fmt.Errorf("exp: closing trace sinks (trial %d): %w", trial, err)
@@ -760,6 +811,23 @@ func runTrial(cfg Config, trial int) (TrialResult, error) {
 		for _, rec := range aggLog {
 			got, expected := base.AggContribs(rec.qid)
 			chk.AggResult(rec.qid, got, expected)
+		}
+		if cfg.QueryDeadline > 0 {
+			// Reliability-layer contracts: every issued query settles to
+			// a terminal verdict exactly once, and degraded answers never
+			// report tighter bounds than the summary math allows.
+			recs := base.VerdictLog()
+			infos := make([]invariant.VerdictInfo, len(recs))
+			for i, r := range recs {
+				infos[i] = invariant.VerdictInfo{
+					QID:          r.QID,
+					Terminal:     r.Verdict != core.VerdictOpen,
+					Degraded:     r.Verdict == core.VerdictDegraded,
+					ErrBound:     r.ErrBound,
+					SummaryBound: r.SummaryBound,
+				}
+			}
+			chk.QueryVerdicts(base.QueryJournalLen(), infos)
 		}
 		if vs := chk.Violations(); len(vs) != 0 {
 			return TrialResult{}, fmt.Errorf("exp: invariant violations (policy %s, trial %d, seed %d):\n  %s",
@@ -831,7 +899,7 @@ func (c Config) windowInterval() netsim.Time {
 	if c.WindowInterval > 0 {
 		return c.WindowInterval
 	}
-	if !c.Dynamics.Empty() {
+	if !c.Dynamics.Empty() || c.Faults != "" {
 		return 30 * netsim.Second
 	}
 	return 0
@@ -935,4 +1003,10 @@ func addStats(dst, src *core.RunStats) {
 	dst.PlanAggChosen += src.PlanAggChosen
 	dst.PlanTupleChosen += src.PlanTupleChosen
 	dst.PlanFloodChosen += src.PlanFloodChosen
+	dst.QueryRetries += src.QueryRetries
+	dst.QueryVerdictComplete += src.QueryVerdictComplete
+	dst.QueryVerdictPartial += src.QueryVerdictPartial
+	dst.QueryVerdictDegraded += src.QueryVerdictDegraded
+	dst.QueryVerdictFailed += src.QueryVerdictFailed
+	dst.DegradedAnswers += src.DegradedAnswers
 }

@@ -42,6 +42,15 @@ func TestSeedFuzz(t *testing.T) {
 			cfg.QueryWidth = 0.4
 			cfg.AggErrBudget = 0.25
 		}},
+		{"faults", func(cfg *Config, seed int64) {
+			cfg.Faults = "campaign"
+			cfg.LinkLoss = 0.3
+			cfg.QueryDeadline = 12 * netsim.Second
+			cfg.QueryRetryMax = 3
+			cfg.AggRatio = 0.5
+			cfg.QueryWidth = 0.4
+			cfg.AggErrBudget = 0.25
+		}},
 	}
 	for _, sc := range scenarios {
 		sc := sc

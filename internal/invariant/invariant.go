@@ -104,6 +104,45 @@ func (c *Checker) AggResult(qid uint16, contribs, expected int) {
 	}
 }
 
+// VerdictInfo is one query's terminal state as the reliability layer
+// recorded it (adapted from core.VerdictRecord by the harness).
+type VerdictInfo struct {
+	QID          uint16
+	Terminal     bool    // reached a terminal verdict
+	Degraded     bool    // settled degraded (summary-estimate answer)
+	ErrBound     float64 // reported bound of the served degraded answer
+	SummaryBound float64 // raw summary bound before degradation widening
+}
+
+// QueryVerdicts checks the reliability layer's two contracts
+// (DESIGN.md §19): every issued query reaches a terminal verdict
+// exactly once, and a degraded answer never reports a tighter error
+// bound than the summary math allows.
+func (c *Checker) QueryVerdicts(issued int, recs []VerdictInfo) {
+	seen := make(map[uint16]int, len(recs))
+	for _, r := range recs {
+		seen[r.QID]++
+		if !r.Terminal {
+			c.extra = append(c.extra,
+				fmt.Sprintf("query %d: settled with non-terminal verdict", r.QID))
+		}
+		if seen[r.QID] == 2 {
+			c.extra = append(c.extra,
+				fmt.Sprintf("query %d: settled more than once", r.QID))
+		}
+		if r.Degraded && r.ErrBound < r.SummaryBound {
+			c.extra = append(c.extra, fmt.Sprintf(
+				"query %d: degraded answer reports bound %.4f tighter than the summary bound %.4f",
+				r.QID, r.ErrBound, r.SummaryBound))
+		}
+	}
+	if len(seen) != issued {
+		c.extra = append(c.extra, fmt.Sprintf(
+			"%d queries issued but %d reached a verdict: every query must settle exactly once",
+			issued, len(seen)))
+	}
+}
+
 // maxReported bounds the violation list so a systemic failure reads as
 // a handful of examples plus a count, not megabytes of log.
 const maxReported = 12

@@ -93,6 +93,9 @@ const (
 	DropNoRoute                    // no parent/owner route available
 	DropRadio                      // link-layer send failed (ack never seen)
 	DropReboot                     // state lost to a node reboot
+	DropBlackout                   // link inside a scripted regional blackout
+	DropPartition                  // link across a scripted partition cut
+	DropBurst                      // correlated burst-loss window degraded the link
 	numDropCauses
 )
 
@@ -116,6 +119,12 @@ func (c DropCause) String() string {
 		return "radio"
 	case DropReboot:
 		return "reboot"
+	case DropBlackout:
+		return "blackout"
+	case DropPartition:
+		return "partition"
+	case DropBurst:
+		return "burst"
 	}
 	return fmt.Sprintf("cause(%d)", uint8(c))
 }
@@ -133,7 +142,8 @@ func ParseDropCause(s string) (DropCause, bool) {
 
 // AllDropCauses lists every drop cause in enum order.
 func AllDropCauses() []DropCause {
-	return []DropCause{DropCollision, DropQueue, DropRetries, DropTTL, DropNoRoute, DropRadio, DropReboot}
+	return []DropCause{DropCollision, DropQueue, DropRetries, DropTTL, DropNoRoute, DropRadio, DropReboot,
+		DropBlackout, DropPartition, DropBurst}
 }
 
 // Counters accumulates per-class and per-node message counts for one

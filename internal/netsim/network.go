@@ -192,6 +192,8 @@ type Network struct {
 	api       []*NodeAPI
 	dead      []bool
 	linkScale []float64 // flat N×N link degradation factors
+	blockMask []uint8   // flat N×N fault-blocked link bits, lazily allocated
+	burstLoss float64   // correlated burst-loss fraction (0: no burst window active)
 	qualFlat  []float64 // flat copy of Topo.Quality, built at Start
 	txSeq     []uint32
 	nextOseq  []uint64 // per-origin canonical schedule counters
@@ -452,6 +454,102 @@ func (n *Network) ScaleAllLinks(f float64) {
 	}
 }
 
+// Fault-primitive block bits (Network.blockMask). A link is blocked
+// while any bit is set; the bit identifies which primitive to charge a
+// typed drop to (blackout wins when both overlap).
+const (
+	blockBlackout uint8 = 1 << iota
+	blockPartition
+)
+
+func (n *Network) ensureBlockMask() []uint8 {
+	if n.blockMask == nil {
+		n.blockMask = make([]uint8, n.Topo.N*n.Topo.N)
+	}
+	return n.blockMask
+}
+
+// SetBlackout switches a regional blackout over the node stripe
+// [lo, hi] on or off: every directed link into or out of the stripe is
+// blocked while the window is active. Blocked links lose frames before
+// any random draw, so the sender's substream advances identically for
+// every region count. Control-plane only (dynamics events at barriers);
+// windows of the same primitive must not overlap.
+func (n *Network) SetBlackout(lo, hi NodeID, on bool) {
+	mask := n.ensureBlockMask()
+	nn := n.Topo.N
+	for i := 0; i < nn; i++ {
+		inStripe := NodeID(i) >= lo && NodeID(i) <= hi
+		row := i * nn
+		for j := 0; j < nn; j++ {
+			if !inStripe && !(NodeID(j) >= lo && NodeID(j) <= hi) {
+				continue
+			}
+			if on {
+				mask[row+j] |= blockBlackout
+			} else {
+				mask[row+j] &^= blockBlackout
+			}
+		}
+	}
+}
+
+// SetPartition switches a network partition on or off: every directed
+// link between the node sets {id < boundary} and {id >= boundary} is
+// blocked while the cut is active. Control-plane only; cut windows must
+// not overlap.
+func (n *Network) SetPartition(boundary NodeID, on bool) {
+	mask := n.ensureBlockMask()
+	nn := n.Topo.N
+	for i := 0; i < nn; i++ {
+		row := i * nn
+		for j := 0; j < nn; j++ {
+			if (NodeID(i) < boundary) == (NodeID(j) < boundary) {
+				continue
+			}
+			if on {
+				mask[row+j] |= blockPartition
+			} else {
+				mask[row+j] &^= blockPartition
+			}
+		}
+	}
+}
+
+// SetBurst sets the correlated burst-loss fraction: while f > 0, every
+// link's delivery probability is multiplied by (1-f) on top of scripted
+// loss scaling — the whole channel degrades at once, unlike the
+// independent per-link ScaleLink model. f = 0 ends the window.
+// Control-plane only.
+func (n *Network) SetBurst(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	n.burstLoss = f
+}
+
+// dropCause classifies a retry-exhaustion drop on the path src→dst: a
+// loss inside an active fault window is charged to the fault primitive
+// (blackout over partition when both cover the link), everything else
+// to plain retry exhaustion.
+func (n *Network) dropCause(src, dst NodeID) metrics.DropCause {
+	if n.blockMask != nil && int(dst) < n.Topo.N {
+		switch m := n.blockMask[int(src)*n.Topo.N+int(dst)]; {
+		case m&blockBlackout != 0:
+			return metrics.DropBlackout
+		case m&blockPartition != 0:
+			return metrics.DropPartition
+		}
+	}
+	if n.burstLoss > 0 {
+		return metrics.DropBurst
+	}
+	return metrics.DropRetries
+}
+
 // quality returns the effective delivery probability src→dst now.
 func (n *Network) quality(src, dst NodeID) float64 {
 	i := int(src)*n.Topo.N + int(dst)
@@ -461,7 +559,13 @@ func (n *Network) quality(src, dst NodeID) float64 {
 	} else {
 		base = n.Topo.Quality[src][dst] // pre-Start (tests poking directly)
 	}
+	if n.blockMask != nil && n.blockMask[i] != 0 {
+		return 0
+	}
 	q := base * n.linkScale[i]
+	if n.burstLoss > 0 {
+		q *= 1 - n.burstLoss
+	}
 	if q < 0 {
 		return 0
 	}
@@ -711,7 +815,17 @@ func (n *Network) transmit(a *NodeAPI, p *Packet, requireAck bool) bool {
 		if n.dead[j] || n.apps[j] == nil {
 			continue
 		}
+		if n.blockMask != nil && n.blockMask[rowBase+j] != 0 {
+			// Fault-blocked link: the frame dies before the per-link
+			// draw, exactly like a q=0 link, so the sender's substream
+			// advances identically whether or not a window is active
+			// elsewhere.
+			continue
+		}
 		q := lk.Quality * n.linkScale[rowBase+j]
+		if n.burstLoss > 0 {
+			q *= 1 - n.burstLoss
+		}
 		if q > 1 {
 			q = 1
 		}
@@ -975,10 +1089,11 @@ func (a *NodeAPI) step(gen uint64, try, defers int) {
 		return
 	}
 	if try >= net.Params.MaxAttempts {
-		a.reg.counters.CountDrop(metrics.DropRetries)
+		cause := net.dropCause(a.id, j.p.Dst)
+		a.reg.counters.CountDrop(cause)
 		if a.reg.trace != nil {
 			a.reg.trace.Emit(trace.Event{Kind: trace.PacketDrop, Node: uint16(a.id),
-				Peer: uint16(j.p.Dst), Class: j.p.Class, Cause: metrics.DropRetries,
+				Peer: uint16(j.p.Dst), Class: j.p.Class, Cause: cause,
 				Size: int32(j.p.Size)})
 		}
 		a.jobDone(false)

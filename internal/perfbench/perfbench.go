@@ -57,6 +57,8 @@ func Benches() []Bench {
 		{"core/scoop/n65", func(b *testing.B) { benchCoreScoop(b, 65) }},
 		{"core/scoop/n250", func(b *testing.B) { benchCoreScoop(b, 250) }},
 		{"core/scoop/n1000", func(b *testing.B) { benchCoreScoop(b, 1000) }},
+		{"core/reply/rel-off", benchReplyRelOff},
+		{"core/reply/rel-settled", benchReplyRelSettled},
 		{"index/rebuild/n65", func(b *testing.B) { benchIndexRebuild(b, 65) }},
 		{"index/rebuild/n250", func(b *testing.B) { benchIndexRebuild(b, 250) }},
 		{"index/rebuild/n1000", func(b *testing.B) { benchIndexRebuild(b, 1000) }},
@@ -193,6 +195,76 @@ func benchCoreScoop(b *testing.B, n int) {
 		}
 		net.Start()
 		sim.Run(4 * netsim.Minute)
+	}
+}
+
+// replyBenchBase builds a warmed 20-node SCOOP network, issues one
+// wide tuple query, runs `settle` more virtual time, and returns the
+// base plus the query's last wire ID — the fixture for the per-reply
+// hot-path benches below.
+func replyBenchBase(b *testing.B, deadline netsim.Time, retryMax int, settle netsim.Time) (*core.Base, uint16) {
+	const n = 20
+	topo := netsim.GridTopology(n, 2.5, 7)
+	sim := netsim.NewSimulator(13)
+	net := netsim.NewNetwork(sim, topo, metrics.NewCounters(), netsim.DefaultParams())
+	src, err := workload.NewSource("real", n, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := src.Domain()
+	ccfg, err := policy.Config(policy.Scoop, n, lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ccfg.QueryDeadline = deadline
+	ccfg.QueryRetryMax = retryMax
+	stats := &core.RunStats{}
+	base := core.NewBase(ccfg, stats, netsim.Minute)
+	net.Attach(0, base)
+	for id := 1; id < n; id++ {
+		net.Attach(netsim.NodeID(id), core.NewNode(ccfg, stats, src.Next, netsim.Minute))
+	}
+	net.Start()
+	sim.Run(4 * netsim.Minute)
+	sim.At(sim.Now()+1, func() {
+		base.IssueQuery(workload.Query{ValueLo: lo, ValueHi: hi, TimeLo: 0, TimeHi: 4 * netsim.Minute})
+	})
+	sim.Run(sim.Now() + 1 + settle)
+	return base, base.LastQueryID()
+}
+
+// benchReplyRelOff pins the reliability layer's disabled-path cost on
+// the per-reply hot path: with Config.QueryDeadline zero (the §19
+// layer off) a duplicate reply through Base.Receive must stay zero
+// allocs/op — the layer adds only the wire-ID resolve and the nil
+// deadline check to pre-reliability reply handling.
+func benchReplyRelOff(b *testing.B) {
+	base, qid := replyBenchBase(b, 0, 0, 10*netsim.Second)
+	pkt := &netsim.Packet{Class: metrics.Reply, Src: 1, Origin: 1,
+		Payload: &core.ReplyMsg{QueryID: qid, Node: 1}}
+	base.Receive(pkt) // mark node 1 replied; every timed op is then a duplicate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.Receive(pkt)
+	}
+}
+
+// benchReplyRelSettled pins the enabled layer's post-settlement cost:
+// once a query's verdict is journalled and its collection state
+// evicted, a late reply must be dropped by the eviction guard at zero
+// allocs/op — straggler traffic after a retry storm cannot tax the
+// base.
+func benchReplyRelSettled(b *testing.B) {
+	// 8s deadline, one retry: settled (and evicted) well inside the
+	// extra virtual minute the fixture runs.
+	base, qid := replyBenchBase(b, 8*netsim.Second, 1, netsim.Minute)
+	pkt := &netsim.Packet{Class: metrics.Reply, Src: 1, Origin: 1,
+		Payload: &core.ReplyMsg{QueryID: qid, Node: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.Receive(pkt)
 	}
 }
 

@@ -1,0 +1,28 @@
+package query
+
+// Degrade widens a summary estimate into a degraded answer: the value
+// the retained summaries predict, with an error bound that can never
+// be tighter than the summary math allows (est.ErrBound), never
+// tighter than the fraction of targeted owners that stayed silent,
+// and never below the extrapolation floor. The basestation serves it
+// when a query's retry budget runs out with owners still unheard
+// (DESIGN.md §19): an explicit bounded answer instead of a silently
+// truncated one.
+func Degrade(est Estimate, completeness float64) Estimate {
+	if !est.Valid {
+		return Estimate{}
+	}
+	if completeness < 0 {
+		completeness = 0
+	} else if completeness > 1 {
+		completeness = 1
+	}
+	bound := est.ErrBound
+	if miss := 1 - completeness; miss > bound {
+		bound = miss
+	}
+	if bound < extrapolationFloor {
+		bound = extrapolationFloor
+	}
+	return Estimate{Valid: true, Value: est.Value, ErrBound: bound}
+}

@@ -1,0 +1,40 @@
+package query
+
+import "testing"
+
+func TestDegradeWidensBounds(t *testing.T) {
+	est := Estimate{Valid: true, Value: 40, ErrBound: 0.2}
+	cases := []struct {
+		completeness float64
+		want         float64
+	}{
+		{1.0, 0.2},  // nothing missing: the summary bound stands
+		{0.9, 0.2},  // missing less than the summary bound: unchanged
+		{0.5, 0.5},  // half the owners silent dominates
+		{0.0, 1.0},  // nothing heard
+		{-0.5, 1.0}, // clamped
+		{1.5, 0.2},  // clamped
+	}
+	for _, c := range cases {
+		d := Degrade(est, c.completeness)
+		if !d.Valid || d.Value != est.Value {
+			t.Fatalf("Degrade(%v) lost the estimate: %+v", c.completeness, d)
+		}
+		if d.ErrBound != c.want {
+			t.Fatalf("Degrade(completeness=%v).ErrBound = %v, want %v", c.completeness, d.ErrBound, c.want)
+		}
+		if d.ErrBound < est.ErrBound {
+			t.Fatalf("degraded bound %v tighter than the summary bound %v", d.ErrBound, est.ErrBound)
+		}
+	}
+}
+
+func TestDegradeFloorsAndInvalid(t *testing.T) {
+	tight := Estimate{Valid: true, Value: 7, ErrBound: 0.01}
+	if d := Degrade(tight, 1.0); d.ErrBound != extrapolationFloor {
+		t.Fatalf("degraded bound %v below the extrapolation floor %v", d.ErrBound, extrapolationFloor)
+	}
+	if d := Degrade(Estimate{}, 0.5); d.Valid {
+		t.Fatal("degrading an invalid estimate produced a valid one")
+	}
+}

@@ -51,7 +51,17 @@ type Grid struct {
 	// the analytical HASH has no simulation — so other cells are
 	// omitted.
 	QueryMixes []float64
-	Sources    []string // workload skews ("unique", "real", "random", ...)
+	// Faults is the fault-scenario axis: each non-empty name resolves
+	// through dynamics.FaultScenario ("blackout", "partition", "burst",
+	// "baserestart", "campaign"); "" is the fault-free default. Fault
+	// cells apply to the Scoop policy only — the comparators have no
+	// reliability layer to exercise — so other cells are omitted.
+	Faults []string
+	// Retry toggles the query reliability layer (deadline retries plus
+	// summary degradation, DESIGN.md §19) per cell. Scoop-only, like
+	// Faults; the off value is the pre-§19 default.
+	Retry   []bool
+	Sources []string // workload skews ("unique", "real", "random", ...)
 
 	// ScaleSizes is the scale-tier axis: for each size it appends
 	// scoop/hash/local cells on the multi-hop "grid" topology at zero
@@ -119,6 +129,11 @@ type Cell struct {
 	// AggMix is the aggregate fraction of the query stream (0: pure
 	// tuple workload, the pre-agg default).
 	AggMix float64
+	// Faults names the injected fault scenario ("": fault-free).
+	Faults string
+	// Retry arms the query reliability layer (deadline retries plus
+	// summary degradation); false is the pre-§19 default.
+	Retry  bool
 	Source string
 }
 
@@ -140,6 +155,12 @@ func (c Cell) Key() string {
 	if c.AggMix > 0 {
 		k += fmt.Sprintf("/agg%g", c.AggMix)
 	}
+	if c.Faults != "" {
+		k += "/faults-" + c.Faults
+	}
+	if c.Retry {
+		k += "/retry"
+	}
 	return k
 }
 
@@ -152,7 +173,7 @@ func orDefault[T any](axis []T, def T) []T {
 
 // Cells expands the grid's cross-product in deterministic order
 // (Policies outermost, then topology, size, loss, churn, drift,
-// reindex, with Sources innermost).
+// reindex, query mix, faults, retry, with Sources innermost).
 func (g Grid) Cells() []Cell {
 	policies := orDefault(g.Policies, policy.Scoop)
 	topos := orDefault(g.Topologies, "uniform")
@@ -162,9 +183,12 @@ func (g Grid) Cells() []Cell {
 	drifts := orDefault(g.DriftRates, 0)
 	reindex := orDefault(g.Reindex, true)
 	mixes := orDefault(g.QueryMixes, 0)
+	faults := orDefault(g.Faults, "")
+	retries := orDefault(g.Retry, false)
 	sources := orDefault(g.Sources, "real")
 	total := len(policies)*len(topos)*len(sizes)*len(losses)*
-		len(churns)*len(drifts)*len(reindex)*len(mixes)*len(sources) +
+		len(churns)*len(drifts)*len(reindex)*len(mixes)*
+		len(faults)*len(retries)*len(sources) +
 		3*len(g.ScaleSizes)
 	cells := make([]Cell, 0, total)
 	appendScaleCells := func() {
@@ -212,12 +236,26 @@ func (g Grid) Cells() []Cell {
 										// no simulation.
 										continue
 									}
-									for _, src := range sources {
-										cells = append(cells, Cell{
-											Index: len(cells), Policy: p, Topology: topo,
-											N: n, Loss: loss, Churn: churn, Drift: drift,
-											NoReindex: !ri, AggMix: mix, Source: src,
-										})
+									for _, flt := range faults {
+										if flt != "" && p != policy.Scoop {
+											// Fault scenarios exercise the query
+											// reliability layer, which only Scoop
+											// carries.
+											continue
+										}
+										for _, rty := range retries {
+											if rty && p != policy.Scoop {
+												continue
+											}
+											for _, src := range sources {
+												cells = append(cells, Cell{
+													Index: len(cells), Policy: p, Topology: topo,
+													N: n, Loss: loss, Churn: churn, Drift: drift,
+													NoReindex: !ri, AggMix: mix,
+													Faults: flt, Retry: rty, Source: src,
+												})
+											}
+										}
 									}
 								}
 							}
@@ -282,6 +320,14 @@ func (g Grid) config(c Cell) exp.Config {
 			c.Churn, c.Drift, cfg.Seed+101)
 		cfg.Dynamics = &script
 	}
+	cfg.Faults = c.Faults
+	if c.Retry {
+		// The campaign's reference reliability tuning: an 8 s initial
+		// deadline doubling across up to 7 re-asks spans every scripted
+		// fault window (see TestReliabilityAcceptance in internal/exp).
+		cfg.QueryDeadline = 8 * netsim.Second
+		cfg.QueryRetryMax = 7
+	}
 	return cfg
 }
 
@@ -299,6 +345,8 @@ type CellResult struct {
 	Drift     float64 `json:"drift,omitempty"`
 	NoReindex bool    `json:"noReindex,omitempty"`
 	AggMix    float64 `json:"aggMix,omitempty"`
+	Faults    string  `json:"faults,omitempty"`
+	Retry     bool    `json:"retry,omitempty"`
 	Source    string  `json:"source"`
 	Seed      int64   `json:"seed"`
 
@@ -327,6 +375,20 @@ type CellResult struct {
 	PlanAgg     float64 `json:"planAgg,omitempty"`
 	PlanTuple   float64 `json:"planTuple,omitempty"`
 	PlanFlood   float64 `json:"planFlood,omitempty"`
+
+	// Query reliability (fault or retry cells only): the fraction of
+	// settled queries with a usable answer (complete + bounded
+	// degraded), the verdict census, and the deadline re-issue count.
+	// Overhead lives in the per-class byte columns above; latency for
+	// aggregate mixes in AggFirstMS (summed virtual ms to first
+	// partial, over answered aggregates).
+	Completeness    float64 `json:"completeness,omitempty"`
+	VerdictComplete int64   `json:"verdictComplete,omitempty"`
+	VerdictPartial  int64   `json:"verdictPartial,omitempty"`
+	VerdictDegraded int64   `json:"verdictDegraded,omitempty"`
+	VerdictFailed   int64   `json:"verdictFailed,omitempty"`
+	Retries         int64   `json:"retries,omitempty"`
+	AggFirstMS      float64 `json:"aggFirstMS,omitempty"`
 
 	// Transition metrics (perturbed cells only; means across trials).
 	// Perturbed marks cells whose trials recorded a transition
@@ -362,7 +424,8 @@ type CellResult struct {
 func (r CellResult) Key() string {
 	return Cell{Policy: policy.Name(r.Policy), Topology: r.Topology,
 		N: r.N, Loss: r.Loss, Churn: r.Churn, Drift: r.Drift,
-		NoReindex: r.NoReindex, AggMix: r.AggMix, Source: r.Source}.Key()
+		NoReindex: r.NoReindex, AggMix: r.AggMix,
+		Faults: r.Faults, Retry: r.Retry, Source: r.Source}.Key()
 }
 
 // Report is a finished sweep: the artifact WriteFile persists and Gate
@@ -448,6 +511,8 @@ func runCell(g Grid, c Cell) (CellResult, error) {
 		Drift:     c.Drift,
 		NoReindex: c.NoReindex,
 		AggMix:    c.AggMix,
+		Faults:    c.Faults,
+		Retry:     c.Retry,
 		Source:    c.Source,
 		Seed:      cfg.Seed,
 
@@ -471,6 +536,20 @@ func runCell(g Grid, c Cell) (CellResult, error) {
 		ReindexRecomputed: res.Stats.ReindexRecomputed,
 		ReindexSPT:        res.Stats.ReindexSPTSources,
 		ReindexWallMS:     float64(res.Stats.ReindexWallNanos) / 1e6,
+	}
+	if c.Faults != "" || c.Retry {
+		s := &res.Stats
+		out.VerdictComplete = s.QueryVerdictComplete
+		out.VerdictPartial = s.QueryVerdictPartial
+		out.VerdictDegraded = s.QueryVerdictDegraded
+		out.VerdictFailed = s.QueryVerdictFailed
+		out.Retries = s.QueryRetries
+		if settled := s.QueryVerdictComplete + s.QueryVerdictPartial +
+			s.QueryVerdictDegraded + s.QueryVerdictFailed; settled > 0 {
+			out.Completeness = float64(s.QueryVerdictComplete+s.QueryVerdictDegraded) /
+				float64(settled)
+		}
+		out.AggFirstMS = float64(s.AggFirstAnswerMS)
 	}
 	if res.Agg.Issued > 0 {
 		out.AggAnswered = float64(res.Agg.Answered) / float64(res.Agg.Issued)

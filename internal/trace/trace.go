@@ -68,6 +68,10 @@ const (
 	// Environment perturbations (emitted by dynamics).
 	Perturb // interference/drift epoch applied (Flag: dynamics kind)
 
+	// Query reliability layer (emitted by core base).
+	QueryRetry   // deadline expired: re-issue to the silent owners (Aux: attempt)
+	QueryVerdict // query reached a terminal verdict (Flag: verdict)
+
 	numKinds
 )
 
@@ -97,6 +101,8 @@ var kindNames = [numKinds]string{
 	IndexAdopted:     "index-adopted",
 	IndexSuppressed:  "index-suppressed",
 	Perturb:          "perturb",
+	QueryRetry:       "query-retry",
+	QueryVerdict:     "query-verdict",
 }
 
 // String returns the kind's wire name.
@@ -198,6 +204,8 @@ var kindFields = [numKinds]uint16{
 	IndexAdopted:     fID | fValue,
 	IndexSuppressed:  fID,
 	Perturb:          fFlag | fValue,
+	QueryRetry:       fID | fValue | fAux,
+	QueryVerdict:     fFlag | fID | fValue | fAux,
 }
 
 // Fields returns the presence mask for k (0 for invalid kinds).
